@@ -1,0 +1,48 @@
+// Ablation: the repartition-insertion benefit factor gamma (paper
+// Sec. III-C, default 1.5).
+//
+// Setup: KMeans is loaded with too few input splits (150), so the cached
+// points are partitioned badly and every cache-pinned iteration stage
+// inherits oversized, memory-pressured tasks. The profiling sweep teaches
+// the models that better counts exist; whether the plan inserts an explicit
+// repartition in front of the pinned stages depends on gamma: the current
+// cost must exceed gamma x (optimized cost + repartition cost).
+#include "harness.h"
+
+using namespace chopper;
+
+int main() {
+  workloads::KMeansParams params = bench::kmeans_params();
+  params.source_partitions = 150;  // deliberately coarse input splits
+  const workloads::KMeansWorkload wl(params);
+
+  core::Chopper profiler(bench::bench_cluster(), bench::chopper_options());
+  const double input_bytes = profiler.profile(wl.name(), wl.runner(), 1.0);
+
+  bench::print_header(
+      "Ablation: gamma sweep (repartition insertion in front of cache-pinned "
+      "KMeans stages loaded with coarse splits)");
+  bench::Table table({"gamma", "insertions", "optimized run (s)"});
+  for (const double gamma : {1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0}) {
+    auto opts = bench::chopper_options();
+    opts.optimizer.gamma = gamma;
+    core::Optimizer optimizer(profiler.db(), opts.optimizer);
+    const auto plan = optimizer.get_global_par(wl.name(), input_bytes);
+    int insertions = 0;
+    for (const auto& ps : plan) insertions += ps.insert_repartition;
+
+    auto eng = profiler.make_engine();
+    eng->set_plan_provider(
+        std::make_shared<core::ConfigPlanProvider>(core::plan_to_config(plan)));
+    wl.run(*eng, 1.0);
+
+    table.add_row({bench::Table::num(gamma, 2), std::to_string(insertions),
+                   bench::Table::num(eng->metrics().total_sim_time(), 2)});
+  }
+  table.print();
+
+  engine::Engine vanilla(bench::bench_cluster(), bench::vanilla_options());
+  wl.run(vanilla, 1.0);
+  std::printf("\nvanilla (no plan): %.2fs\n", vanilla.metrics().total_sim_time());
+  return 0;
+}

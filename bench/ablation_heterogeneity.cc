@@ -1,0 +1,56 @@
+// Ablation: how much of CHOPPER's gain depends on cluster heterogeneity.
+// The paper evaluates on a heterogeneous cluster (Sec. II-B) and notes the
+// design "takes the heterogeneity of cluster resources into account"; this
+// bench repeats the Fig. 7 comparison on a uniform cluster with the same
+// total slot count to separate partitioning gains from heterogeneity
+// effects.
+#include "harness.h"
+
+using namespace chopper;
+
+namespace {
+
+double chopper_gain(const workloads::Workload& wl,
+                    const engine::ClusterSpec& cluster,
+                    double* vanilla_out) {
+  engine::Engine vanilla(cluster, bench::vanilla_options());
+  wl.run(vanilla, 1.0);
+  const double vanilla_time = vanilla.metrics().total_sim_time();
+
+  auto opts = bench::chopper_options();
+  core::Chopper chopper(cluster, opts);
+  const double input = chopper.profile(wl.name(), wl.runner(), 1.0);
+  auto eng = chopper.make_engine();
+  eng->set_plan_provider(
+      chopper.make_provider(chopper.plan(wl.name(), input)));
+  wl.run(*eng, 1.0);
+  if (vanilla_out != nullptr) *vanilla_out = vanilla_time;
+  return 100.0 * (vanilla_time - eng->metrics().total_sim_time()) /
+         vanilla_time;
+}
+
+}  // namespace
+
+int main() {
+  const auto hetero = bench::bench_cluster();          // 112 slots, mixed
+  const auto uniform = engine::ClusterSpec::uniform(   // 112 slots, even
+      4, 28, 1.25e9);
+
+  bench::print_header(
+      "Ablation: CHOPPER improvement on heterogeneous vs uniform clusters "
+      "(same 112 total slots)");
+  bench::Table table({"workload", "hetero vanilla(s)", "hetero gain(%)",
+                      "uniform vanilla(s)", "uniform gain(%)"});
+
+  auto row = [&](const workloads::Workload& wl) {
+    double hv = 0.0, uv = 0.0;
+    const double hg = chopper_gain(wl, hetero, &hv);
+    const double ug = chopper_gain(wl, uniform, &uv);
+    table.add_row({wl.name(), bench::Table::num(hv, 2), bench::Table::num(hg, 1),
+                   bench::Table::num(uv, 2), bench::Table::num(ug, 1)});
+  };
+  row(workloads::KMeansWorkload(bench::kmeans_params()));
+  row(workloads::SqlWorkload(bench::sql_params()));
+  table.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: the alpha/beta weights of Eq. 3 (paper uses 0.5/0.5). Pure
+// time-weighting (alpha=1) tolerates shuffle growth; pure shuffle-weighting
+// (beta=1) collapses partition counts to shrink shuffle volume at the cost
+// of execution time.
+#include "harness.h"
+
+using namespace chopper;
+
+int main() {
+  const workloads::KMeansWorkload wl(bench::kmeans_params());
+
+  core::Chopper profiler(bench::bench_cluster(), bench::chopper_options());
+  const double input_bytes = profiler.profile(wl.name(), wl.runner(), 1.0);
+
+  bench::print_header(
+      "Ablation: Eq. 3 weights (KMeans; execution time and total shuffle "
+      "volume of the resulting optimized run)");
+  bench::Table table(
+      {"alpha", "beta", "total time(s)", "total shuffle(KB)", "reduce P"});
+  const std::pair<double, double> sweeps[] = {
+      {1.0, 0.0}, {0.7, 0.3}, {0.5, 0.5}, {0.3, 0.7}, {0.0, 1.0}};
+  for (const auto& [alpha, beta] : sweeps) {
+    auto opts = bench::chopper_options();
+    opts.optimizer.weights.alpha = alpha;
+    opts.optimizer.weights.beta = beta;
+    core::Optimizer optimizer(profiler.db(), opts.optimizer);
+    const auto plan = optimizer.get_global_par(wl.name(), input_bytes);
+
+    auto eng = profiler.make_engine();
+    eng->set_plan_provider(
+        std::make_shared<core::ConfigPlanProvider>(core::plan_to_config(plan)));
+    wl.run(*eng, 1.0);
+
+    double shuffle_kb = 0.0;
+    std::size_t reduce_p = 0;
+    for (const auto& s : eng->metrics().stages()) {
+      shuffle_kb += static_cast<double>(s.shuffle_bytes()) / 1024.0;
+      if (s.anchor_op == engine::OpKind::kReduceByKey) {
+        reduce_p = s.num_partitions;
+      }
+    }
+    table.add_row({bench::Table::num(alpha, 1), bench::Table::num(beta, 1),
+                   bench::Table::num(eng->metrics().total_sim_time(), 2),
+                   bench::Table::num(shuffle_kb, 1), std::to_string(reduce_p)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 11-14: resource utilization time series (CPU %, memory %, packets/s,
+// transactions/s) for all three workloads under Spark and CHOPPER, sampled
+// per simulated second and averaged over the cluster nodes.
+#include "harness.h"
+
+using namespace chopper;
+
+namespace {
+
+void print_series(const std::string& label, engine::Engine& eng) {
+  const auto samples = eng.timeline().samples();
+  // Down-sample long runs so the table stays readable.
+  const std::size_t stride = std::max<std::size_t>(1, samples.size() / 12);
+  bench::Table table({"t(s)", "cpu(%)", "mem(%)", "packets/s", "trans/s"});
+  for (std::size_t i = 0; i < samples.size(); i += stride) {
+    const auto& s = samples[i];
+    table.add_row({bench::Table::num(s.t, 0), bench::Table::num(s.cpu_pct, 1),
+                   bench::Table::num(s.mem_pct, 1),
+                   bench::Table::num(s.packets_per_s, 0),
+                   bench::Table::num(s.transactions_per_s, 0)});
+  }
+  std::printf("\n-- %s --\n", label.c_str());
+  table.print();
+
+  double cpu = 0.0, mem = 0.0, pkt = 0.0, trans = 0.0;
+  for (const auto& s : samples) {
+    cpu += s.cpu_pct;
+    mem += s.mem_pct;
+    pkt += s.packets_per_s;
+    trans += s.transactions_per_s;
+  }
+  const double n = std::max<std::size_t>(1, samples.size());
+  std::printf("means: cpu %.1f%%  mem %.1f%%  packets/s %.0f  trans/s %.0f\n",
+              cpu / n, mem / n, pkt / n, trans / n);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 11-14: per-second utilization (cluster average), Spark vs "
+      "CHOPPER");
+
+  auto run_pair = [&](const workloads::Workload& wl) {
+    auto vanilla = bench::run_vanilla(wl);
+    print_series(wl.name() + std::string("-Spark"), *vanilla);
+    core::Chopper chopper(bench::bench_cluster(), bench::chopper_options());
+    auto optimized = bench::run_chopper(chopper, wl);
+    print_series(wl.name() + std::string("-CHOPPER"), *optimized);
+  };
+
+  run_pair(workloads::PcaWorkload(bench::pca_params()));
+  run_pair(workloads::KMeansWorkload(bench::kmeans_params()));
+  run_pair(workloads::SqlWorkload(bench::sql_params()));
+  return 0;
+}

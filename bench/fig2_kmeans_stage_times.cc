@@ -1,0 +1,57 @@
+// Fig. 2: KMeans execution time per stage under different partition counts
+// (paper Sec. II-B workload study; 7.3 GB-equivalent input, 20 stages,
+// partitions swept 100..500 via a fixed plan).
+#include "harness.h"
+#include "chopper/config_plan.h"
+
+using namespace chopper;
+
+int main() {
+  const std::vector<std::size_t> partition_counts = {100, 200, 300, 400, 500};
+  const workloads::KMeansWorkload wl(bench::kmeans_params());
+  const double scale = bench::kmeans_study_scale();
+
+  // stage_times[p_index][stage_id]
+  std::vector<std::vector<double>> stage_times;
+  for (const std::size_t p : partition_counts) {
+    engine::Engine eng(bench::bench_cluster(), bench::vanilla_options());
+    eng.set_plan_provider(std::make_shared<core::FixedPlanProvider>(
+        engine::PartitionerKind::kHash, p));
+    wl.run(eng, scale);
+    std::vector<double> times;
+    for (const auto& s : eng.metrics().stages()) times.push_back(s.sim_time_s);
+    stage_times.push_back(std::move(times));
+  }
+
+  bench::print_header(
+      "Fig. 2: KMeans execution time per stage vs number of partitions "
+      "(simulated seconds; stage 0 listed for completeness)");
+  std::vector<std::string> cols = {"stage"};
+  for (const std::size_t p : partition_counts) {
+    cols.push_back("P=" + std::to_string(p));
+  }
+  bench::Table table(cols);
+  const std::size_t stages = stage_times.front().size();
+  for (std::size_t s = 0; s < stages; ++s) {
+    std::vector<std::string> row = {std::to_string(s)};
+    for (std::size_t pi = 0; pi < partition_counts.size(); ++pi) {
+      row.push_back(bench::Table::num(stage_times[pi][s], 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  // Paper observation: the per-stage optimum varies across stages.
+  bench::print_header("Per-stage optimal partition count (arg min over the sweep)");
+  bench::Table best({"stage", "best P", "time(s)"});
+  for (std::size_t s = 0; s < stages; ++s) {
+    std::size_t arg = 0;
+    for (std::size_t pi = 1; pi < partition_counts.size(); ++pi) {
+      if (stage_times[pi][s] < stage_times[arg][s]) arg = pi;
+    }
+    best.add_row({std::to_string(s), std::to_string(partition_counts[arg]),
+                  bench::Table::num(stage_times[arg][s], 3)});
+  }
+  best.print();
+  return 0;
+}

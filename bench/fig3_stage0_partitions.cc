@@ -1,0 +1,26 @@
+// Fig. 3: execution time of KMeans stage 0 under different partition
+// numbers (paper Sec. II-B: worst at 100 partitions, improving toward 500).
+#include "harness.h"
+#include "chopper/config_plan.h"
+
+using namespace chopper;
+
+int main() {
+  const std::vector<std::size_t> partition_counts = {100, 200, 300, 400, 500};
+  const workloads::KMeansWorkload wl(bench::kmeans_params());
+  const double scale = bench::kmeans_study_scale();
+
+  bench::print_header(
+      "Fig. 3: KMeans stage-0 execution time vs number of partitions");
+  bench::Table table({"partitions", "stage0 time(s)"});
+  for (const std::size_t p : partition_counts) {
+    engine::Engine eng(bench::bench_cluster(), bench::vanilla_options());
+    eng.set_plan_provider(std::make_shared<core::FixedPlanProvider>(
+        engine::PartitionerKind::kHash, p));
+    wl.run(eng, scale);
+    table.add_row({std::to_string(p),
+                   bench::Table::num(eng.metrics().stages().front().sim_time_s, 3)});
+  }
+  table.print();
+  return 0;
+}

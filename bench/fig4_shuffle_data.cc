@@ -1,0 +1,72 @@
+// Fig. 4: shuffle data per stage under different partition counts. For
+// KMeans only the iterative stages (12-17 in the paper's numbering)
+// shuffle; shuffle volume grows with the partition count, and a very large
+// count (2000) blows both time and shuffle volume up (paper Sec. II-B).
+#include "harness.h"
+#include "chopper/config_plan.h"
+
+using namespace chopper;
+
+int main() {
+  const std::vector<std::size_t> partition_counts = {100, 200, 300, 400, 500};
+  const workloads::KMeansWorkload wl(bench::kmeans_params());
+  const double scale = bench::kmeans_study_scale();
+
+  struct Run {
+    std::size_t partitions;
+    std::vector<std::pair<std::size_t, double>> shuffle_kb;  // (stage, KB)
+    double total_time = 0.0;
+  };
+  std::vector<Run> runs;
+
+  auto sweep = partition_counts;
+  sweep.push_back(2000);  // the paper's blow-up comparison
+  for (const std::size_t p : sweep) {
+    engine::Engine eng(bench::bench_cluster(), bench::vanilla_options());
+    eng.set_plan_provider(std::make_shared<core::FixedPlanProvider>(
+        engine::PartitionerKind::kHash, p));
+    wl.run(eng, scale);
+    Run run;
+    run.partitions = p;
+    run.total_time = eng.metrics().total_sim_time();
+    for (const auto& s : eng.metrics().stages()) {
+      if (s.shuffle_bytes() > 0) {
+        run.shuffle_kb.emplace_back(s.stage_id,
+                                    static_cast<double>(s.shuffle_bytes()) / 1024.0);
+      }
+    }
+    runs.push_back(std::move(run));
+  }
+
+  bench::print_header(
+      "Fig. 4: shuffle data (KB, max of read/write) per shuffle stage vs "
+      "partitions (KMeans; only the iterative stages shuffle)");
+  std::vector<std::string> cols = {"stage"};
+  for (const auto& r : runs) cols.push_back("P=" + std::to_string(r.partitions));
+  bench::Table table(cols);
+  if (!runs.empty()) {
+    for (std::size_t i = 0; i < runs.front().shuffle_kb.size(); ++i) {
+      std::vector<std::string> row = {
+          std::to_string(runs.front().shuffle_kb[i].first)};
+      for (const auto& r : runs) {
+        row.push_back(i < r.shuffle_kb.size()
+                          ? bench::Table::num(r.shuffle_kb[i].second, 1)
+                          : "-");
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  table.print();
+
+  bench::print_header("Total execution time per sweep point (the P=2000 blow-up)");
+  bench::Table totals({"partitions", "total time(s)", "last-stage shuffle KB"});
+  for (const auto& r : runs) {
+    totals.add_row({std::to_string(r.partitions),
+                    bench::Table::num(r.total_time, 2),
+                    r.shuffle_kb.empty()
+                        ? "-"
+                        : bench::Table::num(r.shuffle_kb.back().second, 1)});
+  }
+  totals.print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 8 + Table II: per-stage execution-time breakdown of KMeans,
+// CHOPPER vs vanilla Spark. The paper lists stage 0 separately (Table II:
+// CHOPPER 250 s vs Spark 372 s) because it dominates the rest.
+#include "harness.h"
+
+using namespace chopper;
+
+int main() {
+  const workloads::KMeansWorkload wl(bench::kmeans_params());
+
+  auto vanilla = bench::run_vanilla(wl);
+  core::Chopper chopper(bench::bench_cluster(), bench::chopper_options());
+  auto optimized = bench::run_chopper(chopper, wl);
+
+  const auto& vs = vanilla->metrics().stages();
+  const auto& cs = optimized->metrics().stages();
+  const std::size_t stages = std::min(vs.size(), cs.size());
+
+  bench::print_header("Table II: execution time for stage 0 in KMeans");
+  bench::Table t2({"system", "stage0 time(s)"});
+  t2.add_row({"CHOPPER", bench::Table::num(cs.front().sim_time_s, 2)});
+  t2.add_row({"Spark", bench::Table::num(vs.front().sim_time_s, 2)});
+  t2.print();
+
+  bench::print_header(
+      "Fig. 8: execution time per stage (1..n), CHOPPER vs Spark");
+  bench::Table table({"stage", "CHOPPER(s)", "Spark(s)"});
+  for (std::size_t s = 1; s < stages; ++s) {
+    table.add_row({std::to_string(s), bench::Table::num(cs[s].sim_time_s, 3),
+                   bench::Table::num(vs[s].sim_time_s, 3)});
+  }
+  table.print();
+
+  double ctotal = 0.0, vtotal = 0.0;
+  for (std::size_t s = 0; s < stages; ++s) {
+    ctotal += cs[s].sim_time_s;
+    vtotal += vs[s].sim_time_s;
+  }
+  std::printf("\ntotal: CHOPPER %.2fs vs Spark %.2fs (%.1f%% improvement)\n",
+              ctotal, vtotal, 100.0 * (vtotal - ctotal) / vtotal);
+  return 0;
+}

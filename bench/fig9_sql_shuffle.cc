@@ -1,0 +1,44 @@
+// Fig. 9: shuffle data per stage for the SQL workload, CHOPPER vs Spark.
+// CHOPPER co-partitions the two aggregations with the join (Algorithm 3),
+// which turns the join's shuffle into local pass-through reads.
+#include "harness.h"
+
+using namespace chopper;
+
+int main() {
+  const workloads::SqlWorkload wl(bench::sql_params());
+
+  auto vanilla = bench::run_vanilla(wl);
+  core::Chopper chopper(bench::bench_cluster(), bench::chopper_options());
+  auto optimized = bench::run_chopper(chopper, wl);
+
+  bench::print_header(
+      "Fig. 9: shuffle data per SQL stage (KB, max of read/write), CHOPPER "
+      "vs Spark");
+  const auto& vs = vanilla->metrics().stages();
+  const auto& cs = optimized->metrics().stages();
+  bench::Table table({"stage", "name", "CHOPPER(KB)", "Spark(KB)"});
+  for (std::size_t s = 0; s < std::min(vs.size(), cs.size()); ++s) {
+    std::string name = cs[s].name;
+    if (name.size() > 40) name = name.substr(0, 37) + "...";
+    table.add_row(
+        {std::to_string(s), name,
+         bench::Table::num(static_cast<double>(cs[s].shuffle_bytes()) / 1024.0, 1),
+         bench::Table::num(static_cast<double>(vs[s].shuffle_bytes()) / 1024.0, 1)});
+  }
+  table.print();
+
+  auto join_remote = [](const engine::Engine& eng) {
+    std::uint64_t remote = 0;
+    for (const auto& s : eng.metrics().stages()) {
+      if (s.anchor_op == engine::OpKind::kJoin) {
+        for (const auto& t : s.tasks) remote += t.shuffle_read_remote;
+      }
+    }
+    return remote;
+  };
+  std::printf("\njoin-stage remote shuffle bytes: CHOPPER %llu vs Spark %llu\n",
+              static_cast<unsigned long long>(join_remote(*optimized)),
+              static_cast<unsigned long long>(join_remote(*vanilla)));
+  return 0;
+}

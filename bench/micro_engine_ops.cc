@@ -1,0 +1,94 @@
+// Google-benchmark microbenchmarks of the engine's hot paths: partitioner
+// dispatch, shuffle bucketing with and without map-side combine, and the
+// wide-merge implementations. These guard the substrate's performance so
+// profiling sweeps stay cheap.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "engine/partition.h"
+#include "engine/partitioner.h"
+
+namespace {
+
+using namespace chopper;
+
+engine::Partition make_records(std::size_t n, std::size_t distinct_keys) {
+  common::Xoshiro256 rng(99);
+  engine::Partition p;
+  p.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    engine::Record r;
+    r.key = rng.next_below(distinct_keys);
+    r.values = {rng.next_double(), 1.0};
+    p.push(std::move(r));
+  }
+  return p;
+}
+
+void BM_HashPartitioner(benchmark::State& state) {
+  const engine::HashPartitioner part(static_cast<std::size_t>(state.range(0)));
+  const auto data = make_records(4096, 1u << 20);
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (const auto& r : data.records()) acc += part.partition_of(r.key);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_HashPartitioner)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_RangePartitioner(benchmark::State& state) {
+  common::Xoshiro256 rng(7);
+  std::vector<std::uint64_t> sample(2048);
+  for (auto& k : sample) k = rng();
+  const auto part = engine::RangePartitioner::from_sample(
+      static_cast<std::size_t>(state.range(0)), sample);
+  const auto data = make_records(4096, 1u << 20);
+  for (auto _ : state) {
+    std::size_t acc = 0;
+    for (const auto& r : data.records()) acc += part->partition_of(r.key);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_RangePartitioner)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_BucketByPartition(benchmark::State& state) {
+  const std::size_t r_count = static_cast<std::size_t>(state.range(0));
+  const engine::HashPartitioner part(r_count);
+  const auto data = make_records(8192, 1u << 16);
+  for (auto _ : state) {
+    std::vector<engine::Partition> buckets(r_count);
+    for (const auto& r : data.records()) {
+      buckets[part.partition_of(r.key)].push(r);
+    }
+    benchmark::DoNotOptimize(buckets.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_BucketByPartition)->Arg(100)->Arg(500);
+
+void BM_MapSideCombine(benchmark::State& state) {
+  const std::size_t distinct = static_cast<std::size_t>(state.range(0));
+  const auto data = make_records(8192, distinct);
+  for (auto _ : state) {
+    std::unordered_map<std::uint64_t, engine::Record> acc;
+    for (const auto& r : data.records()) {
+      auto [it, inserted] = acc.try_emplace(r.key, r);
+      if (!inserted) it->second.values[1] += r.values[1];
+    }
+    benchmark::DoNotOptimize(acc.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_MapSideCombine)->Arg(10)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

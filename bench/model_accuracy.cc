@@ -1,0 +1,55 @@
+// Model diagnostics: how well the Eq. 1/2 polynomial fits each stage of
+// each workload (the paper claims "the model fits the actual execution time
+// and amount of shuffle data well", Sec. III-B). Reports per-stage training
+// error plus a held-out check: models trained on fractions {0.5, 1.0}
+// predicting the never-profiled 0.75 fraction.
+#include "harness.h"
+
+using namespace chopper;
+
+namespace {
+
+void report(const std::string& name, const workloads::Workload& wl) {
+  auto opts = bench::chopper_options();
+  core::Chopper chopper(bench::bench_cluster(), opts);
+  chopper.profile(wl.name(), wl.runner(), 1.0);
+  auto& db = chopper.db();
+
+  // Held-out run at an unseen fraction.
+  auto eng = chopper.make_engine();
+  eng->set_plan_provider(std::make_shared<core::FixedPlanProvider>(
+      engine::PartitionerKind::kHash, 350));  // unseen P too
+  wl.run(*eng, 0.75);
+
+  std::printf("\n-- %s --\n", name.c_str());
+  bench::Table table({"stage", "train err (rel^2)", "heldout pred(s)",
+                      "heldout actual(s)", "rel err(%)"});
+  for (const auto& s : eng->metrics().stages()) {
+    core::StageModel* model = const_cast<core::StageModel*>(
+        db.model(wl.name(), s.signature, s.partitioner));
+    const double pred = model->predict_texe(
+        static_cast<double>(s.input_bytes),
+        static_cast<double>(s.num_partitions));
+    const double actual = s.sim_time_s;
+    std::string nm = s.name;
+    if (nm.size() > 42) nm = nm.substr(0, 39) + "...";
+    table.add_row(
+        {nm, bench::Table::num(model->texe_fit_error(), 4),
+         bench::Table::num(pred, 3), bench::Table::num(actual, 3),
+         bench::Table::num(100.0 * std::abs(pred - actual) /
+                               std::max(actual, 1e-9),
+                           1)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Model accuracy: Eq. 1/2 fit quality per stage (training error and a "
+      "held-out prediction at unseen input fraction 0.75, P=350)");
+  report("kmeans", workloads::KMeansWorkload(bench::kmeans_params()));
+  report("sql", workloads::SqlWorkload(bench::sql_params()));
+  return 0;
+}

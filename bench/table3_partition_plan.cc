@@ -1,0 +1,35 @@
+// Table III: the number of partitions CHOPPER uses per KMeans stage vs the
+// vanilla default (300 for every stage in the paper). Iterative stages
+// share a signature and therefore a scheme, like the paper's stages 12-17.
+#include "harness.h"
+
+using namespace chopper;
+
+int main() {
+  const workloads::KMeansWorkload wl(bench::kmeans_params());
+
+  auto vanilla = bench::run_vanilla(wl);
+  core::Chopper chopper(bench::bench_cluster(), bench::chopper_options());
+  std::vector<core::PlannedStage> plan;
+  auto optimized = bench::run_chopper(chopper, wl, &plan);
+
+  bench::print_header(
+      "Table III: partitions per stage, CHOPPER vs Spark (effective counts "
+      "observed at runtime; cache-dependent stages inherit the cached "
+      "partitioning CHOPPER chose upstream)");
+  const auto& vs = vanilla->metrics().stages();
+  const auto& cs = optimized->metrics().stages();
+  bench::Table table({"stage", "name", "CHOPPER", "Spark"});
+  for (std::size_t s = 0; s < std::min(vs.size(), cs.size()); ++s) {
+    std::string name = cs[s].name;
+    if (name.size() > 44) name = name.substr(0, 41) + "...";
+    table.add_row({std::to_string(s), name,
+                   std::to_string(cs[s].num_partitions),
+                   std::to_string(vs[s].num_partitions)});
+  }
+  table.print();
+
+  bench::print_header("Generated plan (Fig. 6 configuration file)");
+  std::printf("%s", chopper.plan_config(plan).to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Co-partitioning demo: the SQL workload's join re-shuffles both inputs
+// under vanilla defaults (their aggregation schemes disagree), while
+// CHOPPER's globally-optimized plan (Algorithm 3) assigns the whole join
+// subgraph one scheme, turning the join into local pass-through reads.
+#include <cstdio>
+
+#include "chopper/chopper.h"
+#include "workloads/sql.h"
+
+using namespace chopper;
+
+namespace {
+void report(const char* label, engine::Engine& eng) {
+  std::uint64_t join_remote = 0, join_local = 0;
+  double join_time = 0.0;
+  for (const auto& s : eng.metrics().stages()) {
+    if (s.anchor_op != engine::OpKind::kJoin) continue;
+    join_time += s.sim_time_s;
+    for (const auto& t : s.tasks) {
+      join_remote += t.shuffle_read_remote;
+      join_local += t.shuffle_read_local;
+    }
+  }
+  std::printf(
+      "%-8s total %.2fs | join stage %.2fs, %6.1f KB remote + %6.1f KB local "
+      "shuffle reads\n",
+      label, eng.metrics().total_sim_time(), join_time,
+      static_cast<double>(join_remote) / 1024.0,
+      static_cast<double>(join_local) / 1024.0);
+}
+}  // namespace
+
+int main() {
+  workloads::SqlParams params;
+  params.fact.total_rows = 300'000;
+  params.fact.num_keys = 60'000;
+  params.dim.num_keys = 60'000;
+  params.fact_partitions = 160;
+  params.dim_partitions = 48;
+  params.fact_agg_partitions = 160;  // Spark-style split-proportional defaults
+  params.dim_agg_partitions = 48;    // ... which disagree, forcing a reshuffle
+  const workloads::SqlWorkload wl(params);
+
+  const auto cluster = engine::ClusterSpec::paper_heterogeneous();
+  core::ChopperOptions opts;
+  opts.engine_options.default_parallelism = 120;
+  opts.engine_options.cost_model.data_scale = 1.0 / 100.0;
+  opts.profile_partitions = {48, 96, 160, 240};
+  opts.profile_fractions = {0.5, 1.0};
+
+  engine::Engine vanilla(cluster, opts.engine_options);
+  const auto vres = wl.run_with_result(vanilla, 1.0);
+  report("vanilla", vanilla);
+
+  core::Chopper chopper(cluster, opts);
+  const double input = chopper.profile(wl.name(), wl.runner(), 1.0);
+  const auto plan = chopper.plan(wl.name(), input);
+
+  int grouped = 0;
+  for (const auto& ps : plan) grouped += ps.group >= 0;
+  std::printf("Algorithm 3 grouped %d stages into the join subgraph\n", grouped);
+
+  auto optimized = chopper.make_engine();
+  optimized->set_plan_provider(chopper.make_provider(plan));
+  const auto cres = wl.run_with_result(*optimized, 1.0);
+  report("CHOPPER", *optimized);
+
+  // Same query answer either way.
+  std::printf("query result: %llu joined rows (vanilla) vs %llu (CHOPPER)\n",
+              static_cast<unsigned long long>(vres.joined_rows),
+              static_cast<unsigned long long>(cres.joined_rows));
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "chopper/collector.h"
+
+namespace chopper::core {
+
+double StatsCollector::ingest(const engine::MetricsRegistry& metrics,
+                              const std::string& workload,
+                              double workload_input_bytes, bool is_default) {
+  if (workload_input_bytes <= 0.0) {
+    // Measure: total bytes produced by source stages. Iterative workloads
+    // regenerate nothing after caching, so this is the workload's real
+    // input footprint.
+    for (const auto& s : metrics.stages()) {
+      if (s.anchor_op == engine::OpKind::kSource &&
+          s.parent_signatures.empty()) {
+        workload_input_bytes += static_cast<double>(s.input_bytes);
+      }
+    }
+    if (workload_input_bytes <= 0.0) workload_input_bytes = 1.0;
+  }
+
+  for (const auto& s : metrics.stages()) {
+    Observation o;
+    o.workload = workload;
+    o.signature = s.signature;
+    o.partitioner = s.partitioner;
+    o.workload_input_bytes = workload_input_bytes;
+    o.stage_input_bytes = static_cast<double>(s.input_bytes);
+    o.num_partitions = static_cast<double>(s.num_partitions);
+    o.t_exe_s = s.sim_time_s;
+    o.shuffle_bytes = static_cast<double>(s.shuffle_bytes());
+    o.is_default = is_default;
+    db_.add(std::move(o));
+
+    StageStructure st;
+    st.signature = s.signature;
+    st.name = s.name;
+    st.anchor_op = s.anchor_op;
+    st.fixed_partitions = s.fixed_partitions;
+    st.user_fixed = s.user_fixed;
+    st.parents.insert(s.parent_signatures.begin(), s.parent_signatures.end());
+    st.input_ratio_sum =
+        static_cast<double>(s.input_bytes) / workload_input_bytes;
+    st.input_ratio_count = 1;
+    st.dw_sum = workload_input_bytes;
+    st.d_sum = static_cast<double>(s.input_bytes);
+    st.dw2_sum = workload_input_bytes * workload_input_bytes;
+    st.dwd_sum = workload_input_bytes * static_cast<double>(s.input_bytes);
+    st.fit_count = 1;
+    db_.add_structure(workload, std::move(st));
+  }
+  return workload_input_bytes;
+}
+
+}  // namespace chopper::core

@@ -1,0 +1,33 @@
+// Statistics collector (paper Fig. 5): bridges engine metrics into the
+// workload DB as observations + stage structure records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chopper/workload_db.h"
+#include "engine/metrics.h"
+
+namespace chopper::core {
+
+class StatsCollector {
+ public:
+  explicit StatsCollector(WorkloadDb& db) : db_(db) {}
+
+  /// Ingest every stage of a finished run.
+  ///
+  /// `workload_input_bytes` may be 0, in which case it is measured as the
+  /// total input bytes of the run's source stages. `is_default` marks runs
+  /// executed under the default-parallelism configuration (they become the
+  /// normalization baselines of Eq. 3).
+  ///
+  /// Returns the workload input size used.
+  double ingest(const engine::MetricsRegistry& metrics,
+                const std::string& workload, double workload_input_bytes,
+                bool is_default);
+
+ private:
+  WorkloadDb& db_;
+};
+
+}  // namespace chopper::core

@@ -1,0 +1,58 @@
+#include "chopper/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chopper::core {
+
+double stage_cost(const StageModel& model, double input_bytes,
+                  double num_partitions, const CostWeights& w,
+                  const CostBaselines& base) {
+  const double texe = model.predict_texe(input_bytes, num_partitions);
+  double cost = w.alpha * texe / std::max(base.texe_default, 1e-9);
+  if (base.shuffle_default > 0.0) {
+    const double shuffle = model.predict_shuffle(input_bytes, num_partitions);
+    cost += w.beta * shuffle / base.shuffle_default;
+  }
+  return cost;
+}
+
+std::vector<std::size_t> candidate_partitions(const SearchSpace& space) {
+  std::vector<std::size_t> out;
+  const double lo = static_cast<double>(std::max<std::size_t>(1, space.min_partitions));
+  const double hi = static_cast<double>(std::max(space.max_partitions,
+                                                 space.min_partitions));
+  const std::size_t n = std::max<std::size_t>(2, space.candidates);
+  const double step = std::log(hi / lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = lo * std::exp(step * static_cast<double>(i));
+    if (space.round_to > 1) {
+      v = std::round(v / static_cast<double>(space.round_to)) *
+          static_cast<double>(space.round_to);
+    }
+    const auto c = static_cast<std::size_t>(std::max(1.0, v));
+    out.push_back(std::clamp(c, space.min_partitions, space.max_partitions));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+MinParResult get_min_par(const StageModel& model, double input_bytes,
+                         const CostWeights& w, const CostBaselines& base,
+                         const SearchSpace& space) {
+  MinParResult best;
+  bool first = true;
+  for (const std::size_t p : candidate_partitions(space)) {
+    const double c =
+        stage_cost(model, input_bytes, static_cast<double>(p), w, base);
+    if (first || c < best.cost) {
+      best.num_partitions = p;
+      best.cost = c;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace chopper::core

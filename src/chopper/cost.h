@@ -1,0 +1,59 @@
+// Eq. 3/4: the normalized cost objective and its minimizer over the
+// partition-count search space.
+//
+//   cost(D, P) = alpha * texe(D,P) / texe_default
+//              + beta  * sshuffle(D,P) / sshuffle_default
+//
+// Normalizing by the default-parallelism values puts both terms on the same
+// scale; alpha and beta weight them (0.5/0.5 in the paper). Stages that
+// shuffle nothing under the default config contribute no shuffle term.
+//
+// getMinPar (Algorithm 1's inner search) evaluates the cost over a
+// log-spaced candidate grid of partition counts — the paper calls the
+// minimization "a simple linear programming problem"; a direct sweep over
+// the one free integer variable is the robust equivalent.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chopper/model.h"
+
+namespace chopper::core {
+
+struct CostWeights {
+  double alpha = 0.5;  ///< weight of normalized execution time
+  double beta = 0.5;   ///< weight of normalized shuffle volume
+};
+
+struct CostBaselines {
+  double texe_default = 1.0;      ///< seconds under default parallelism
+  double shuffle_default = 0.0;   ///< bytes under default parallelism
+};
+
+/// Eq. 3 for one configuration.
+double stage_cost(const StageModel& model, double input_bytes,
+                  double num_partitions, const CostWeights& w,
+                  const CostBaselines& base);
+
+struct SearchSpace {
+  std::size_t min_partitions = 10;
+  std::size_t max_partitions = 2000;
+  std::size_t candidates = 48;   ///< log-spaced grid points
+  std::size_t round_to = 10;     ///< snap candidates to multiples of this
+};
+
+/// Log-spaced candidate partition counts (deduplicated, sorted).
+std::vector<std::size_t> candidate_partitions(const SearchSpace& space);
+
+struct MinParResult {
+  std::size_t num_partitions = 0;
+  double cost = 0.0;
+};
+
+/// Eq. 4: arg min over the candidate grid (Algorithm 1's getMinPar).
+MinParResult get_min_par(const StageModel& model, double input_bytes,
+                         const CostWeights& w, const CostBaselines& base,
+                         const SearchSpace& space);
+
+}  // namespace chopper::core

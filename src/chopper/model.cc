@@ -1,0 +1,121 @@
+#include "chopper/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/linalg.h"
+
+namespace chopper::core {
+
+namespace {
+// Rescaling applied before the polynomial expansion (see header).
+constexpr double kBytesScale = 1.0 / (1024.0 * 1024.0);  // D in MiB
+constexpr double kPartitionScale = 1.0 / 100.0;          // P in hundreds
+constexpr double kMinTexe = 1e-6;
+}  // namespace
+
+std::array<double, kNumFeatures> model_features(double input_bytes,
+                                                double num_partitions) {
+  const double d = std::max(0.0, input_bytes) * kBytesScale;
+  const double p = std::max(0.0, num_partitions) * kPartitionScale;
+  return {
+      d * d * d, d * d, d, std::sqrt(d),
+      p * p * p, p * p, p, std::sqrt(p),
+      1.0,
+  };
+}
+
+void StageModel::fit(std::span<const Observation> observations,
+                     double ridge_lambda) {
+  n_samples_ = observations.size();
+  trained_ = false;
+  mean_texe_ = 0.0;
+  mean_shuffle_ = 0.0;
+  if (observations.empty()) return;
+
+  for (const auto& o : observations) {
+    mean_texe_ += o.t_exe_s;
+    mean_shuffle_ += o.shuffle_bytes;
+  }
+  mean_texe_ /= static_cast<double>(n_samples_);
+  mean_shuffle_ /= static_cast<double>(n_samples_);
+
+  if (n_samples_ < kMinSamples) return;  // fall back to means
+
+  common::Matrix x(n_samples_, kNumFeatures);
+  std::vector<double> y_texe(n_samples_);
+  std::vector<double> y_shuffle(n_samples_);
+  for (std::size_t i = 0; i < n_samples_; ++i) {
+    const auto& o = observations[i];
+    const auto f = model_features(o.stage_input_bytes, o.num_partitions);
+    for (std::size_t j = 0; j < kNumFeatures; ++j) x(i, j) = f[j];
+    y_texe[i] = o.t_exe_s;
+    // Shuffle volumes span MBs; scale to MiB so both solves share a scale.
+    y_shuffle[i] = o.shuffle_bytes * kBytesScale;
+  }
+
+  // Standardize all non-intercept columns (see header).
+  feat_mean_.assign(kNumFeatures, 0.0);
+  feat_std_.assign(kNumFeatures, 1.0);
+  for (std::size_t j = 0; j + 1 < kNumFeatures; ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n_samples_; ++i) mean += x(i, j);
+    mean /= static_cast<double>(n_samples_);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n_samples_; ++i) {
+      const double c = x(i, j) - mean;
+      var += c * c;
+    }
+    var /= static_cast<double>(n_samples_);
+    const double stddev = std::sqrt(var);
+    feat_mean_[j] = mean;
+    feat_std_[j] = stddev > 1e-12 ? stddev : 0.0;  // 0 marks constant column
+    for (std::size_t i = 0; i < n_samples_; ++i) {
+      x(i, j) = feat_std_[j] > 0.0 ? (x(i, j) - mean) / feat_std_[j] : 0.0;
+    }
+  }
+
+  w_texe_ = common::ridge_least_squares(x, y_texe, ridge_lambda);
+  w_shuffle_ = common::ridge_least_squares(x, y_shuffle, ridge_lambda);
+  trained_ = true;
+
+  double rel = 0.0;
+  for (std::size_t i = 0; i < n_samples_; ++i) {
+    const auto& o = observations[i];
+    const double pred = predict_texe(o.stage_input_bytes, o.num_partitions);
+    const double denom = std::max(o.t_exe_s, kMinTexe);
+    const double e = (pred - o.t_exe_s) / denom;
+    rel += e * e;
+  }
+  texe_rel_err_ = rel / static_cast<double>(n_samples_);
+}
+
+double StageModel::predict(const std::vector<double>& w, double d,
+                           double p) const {
+  const auto f = model_features(d, p);
+  double out = 0.0;
+  for (std::size_t j = 0; j < kNumFeatures; ++j) {
+    double v = f[j];
+    if (j + 1 < kNumFeatures) {
+      v = feat_std_[j] > 0.0 ? (v - feat_mean_[j]) / feat_std_[j] : 0.0;
+    }
+    out += w[j] * v;
+  }
+  return out;
+}
+
+double StageModel::predict_texe(double input_bytes,
+                                double num_partitions) const {
+  if (!trained_) return std::max(mean_texe_, kMinTexe);
+  return std::max(predict(w_texe_, input_bytes, num_partitions), kMinTexe);
+}
+
+double StageModel::predict_shuffle(double input_bytes,
+                                   double num_partitions) const {
+  if (!trained_) return std::max(mean_shuffle_, 0.0);
+  // Undo the MiB target scaling applied in fit().
+  return std::max(
+      predict(w_shuffle_, input_bytes, num_partitions) * 1024.0 * 1024.0, 0.0);
+}
+
+}  // namespace chopper::core

@@ -1,0 +1,76 @@
+// CHOPPER's per-stage performance models (paper Eq. 1 and Eq. 2).
+//
+// Both execution time and shuffle volume are modeled over the polynomial
+// basis {D^3, D^2, D, sqrt(D), P^3, P^2, P, sqrt(P)} (plus an intercept,
+// which the paper folds into the coefficients). The basis is fit with
+// ridge-regularized least squares; inputs are rescaled (D to MiB, P to
+// hundreds) before raising to the third power so the normal equations stay
+// well-conditioned across the 4-5 orders of magnitude the raw values span.
+//
+// With fewer samples than features, the ridge fit degenerates gracefully,
+// but predictions then mostly interpolate the prior; callers should gather
+// at least `kMinSamples` points per (stage, partitioner) before trusting
+// the model (CHOPPER's test runs guarantee this, paper Sec. III-B).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "chopper/observation.h"
+
+namespace chopper::core {
+
+/// Feature vector of Eq. 1/2 (with intercept appended).
+inline constexpr std::size_t kNumFeatures = 9;
+std::array<double, kNumFeatures> model_features(double input_bytes,
+                                                double num_partitions);
+
+/// Minimum samples before a fit is considered trained.
+inline constexpr std::size_t kMinSamples = 6;
+
+class StageModel {
+ public:
+  /// Fit t_exe and shuffle models from observations (all must share one
+  /// (stage, partitioner) identity; this is not checked).
+  ///
+  /// Features are standardized (zero mean, unit variance) before the ridge
+  /// solve: the raw cubic basis is heavily collinear when D or P barely
+  /// varies across observations, and unstandardized ridge lets cancelling
+  /// giant coefficients produce wild predictions for tiny input shifts.
+  /// Constant columns fold into the intercept.
+  void fit(std::span<const Observation> observations, double ridge_lambda);
+
+  bool trained() const noexcept { return trained_; }
+  std::size_t sample_count() const noexcept { return n_samples_; }
+
+  /// Predicted stage execution time (seconds), clamped to >= epsilon.
+  double predict_texe(double input_bytes, double num_partitions) const;
+  /// Predicted shuffle volume (bytes), clamped to >= 0.
+  double predict_shuffle(double input_bytes, double num_partitions) const;
+
+  /// Mean squared relative training error of the t_exe model (diagnostic).
+  double texe_fit_error() const noexcept { return texe_rel_err_; }
+
+  const std::vector<double>& texe_weights() const noexcept { return w_texe_; }
+  const std::vector<double>& shuffle_weights() const noexcept {
+    return w_shuffle_;
+  }
+
+ private:
+  double predict(const std::vector<double>& w, double d, double p) const;
+
+  std::vector<double> w_texe_;
+  std::vector<double> w_shuffle_;
+  std::vector<double> feat_mean_;
+  std::vector<double> feat_std_;
+  bool trained_ = false;
+  std::size_t n_samples_ = 0;
+  double texe_rel_err_ = 0.0;
+  // Fallback means when untrained.
+  double mean_texe_ = 0.0;
+  double mean_shuffle_ = 0.0;
+};
+
+}  // namespace chopper::core

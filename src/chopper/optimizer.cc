@@ -1,0 +1,262 @@
+#include "chopper/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace chopper::core {
+
+namespace {
+
+/// Union-find over stage signatures, used for DAG regrouping.
+class UnionFind {
+ public:
+  void add(std::uint64_t x) {
+    parent_.emplace(x, x);  // no-op if present
+  }
+  std::uint64_t find(std::uint64_t x) {
+    add(x);
+    std::uint64_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      const std::uint64_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+  void unite(std::uint64_t a, std::uint64_t b) {
+    parent_[find(a)] = find(b);
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_;
+};
+
+}  // namespace
+
+CostBaselines Optimizer::baselines(const std::string& workload,
+                                   std::uint64_t signature) const {
+  CostBaselines base;
+  base.texe_default = std::max(db_.default_texe(workload, signature), 1e-9);
+  base.shuffle_default = db_.default_shuffle(workload, signature);
+  return base;
+}
+
+double Optimizer::repartition_cost(double bytes,
+                                   const CostBaselines& base) const {
+  // An inserted repartition moves essentially all stage input once across
+  // the network and adds a stage barrier; price it as time normalized by
+  // the same baseline as the stage it precedes, plus its shuffle volume.
+  const double t_rep = bytes / options_.repartition_bw;
+  double cost = options_.weights.alpha * t_rep / base.texe_default;
+  if (base.shuffle_default > 0.0) {
+    cost += options_.weights.beta * bytes / base.shuffle_default;
+  }
+  return cost;
+}
+
+Optimizer::StageChoice Optimizer::get_stage_par(const std::string& workload,
+                                                std::uint64_t signature,
+                                                double stage_input_bytes) {
+  const CostBaselines base = baselines(workload, signature);
+
+  const StageModel* r_model =
+      db_.model(workload, signature, engine::PartitionerKind::kRange);
+  const StageModel* h_model =
+      db_.model(workload, signature, engine::PartitionerKind::kHash);
+
+  // Search only where the models were trained (see observed_partition_range).
+  SearchSpace space = options_.space;
+  const auto [p_lo, p_hi] = db_.observed_partition_range(workload, signature);
+  if (p_hi > 0.0) {
+    space.min_partitions =
+        std::max(space.min_partitions, static_cast<std::size_t>(p_lo));
+    space.max_partitions =
+        std::min(space.max_partitions, static_cast<std::size_t>(p_hi));
+    space.max_partitions = std::max(space.max_partitions, space.min_partitions);
+  }
+
+  const MinParResult r = get_min_par(*r_model, stage_input_bytes,
+                                     options_.weights, base, space);
+  const MinParResult h = get_min_par(*h_model, stage_input_bytes,
+                                     options_.weights, base, space);
+
+  StageChoice choice;
+  // Prefer hash on ties (and when the range model has no training data at
+  // all: an untrained flat model would otherwise win spuriously).
+  const bool range_wins =
+      r_model->sample_count() > 0 &&
+      (h_model->sample_count() == 0 || r.cost < h.cost);
+  if (range_wins) {
+    choice.partitioner = engine::PartitionerKind::kRange;
+    choice.num_partitions = r.num_partitions;
+    choice.cost = r.cost;
+  } else {
+    choice.partitioner = engine::PartitionerKind::kHash;
+    choice.num_partitions = h.num_partitions;
+    choice.cost = h.cost;
+  }
+  return choice;
+}
+
+std::vector<PlannedStage> Optimizer::get_workload_par(
+    const std::string& workload, double workload_input_bytes) {
+  std::vector<PlannedStage> plan;
+  for (const auto& s : db_.dag(workload)) {
+    const double d =
+        db_.stage_input_estimate(workload, s.signature, workload_input_bytes);
+    const StageChoice c = get_stage_par(workload, s.signature, d);
+    PlannedStage ps;
+    ps.signature = s.signature;
+    ps.name = s.name;
+    ps.partitioner = c.partitioner;
+    ps.num_partitions = c.num_partitions;
+    ps.cost = c.cost;
+    ps.fixed = s.fixed_partitions || s.user_fixed;
+    plan.push_back(std::move(ps));
+  }
+  return plan;
+}
+
+std::vector<std::vector<std::uint64_t>> Optimizer::regroup_dag(
+    const std::string& workload) const {
+  const auto dag = db_.dag(workload);
+  UnionFind uf;
+  for (const auto& s : dag) uf.add(s.signature);
+  for (const auto& s : dag) {
+    const bool joins = s.anchor_op == engine::OpKind::kJoin ||
+                       s.anchor_op == engine::OpKind::kCoGroup;
+    if (!joins) continue;
+    // A join stage and the stages producing its inputs must share a scheme
+    // for co-partitioning to eliminate the join's shuffle.
+    for (const auto p : s.parents) uf.unite(s.signature, p);
+  }
+  // Collect groups preserving DAG order.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> groups;
+  std::vector<std::uint64_t> order;
+  for (const auto& s : dag) {
+    const auto root = uf.find(s.signature);
+    if (groups[root].empty()) order.push_back(root);
+    groups[root].push_back(s.signature);
+  }
+  std::vector<std::vector<std::uint64_t>> out;
+  out.reserve(order.size());
+  for (const auto root : order) out.push_back(groups[root]);
+  return out;
+}
+
+std::vector<PlannedStage> Optimizer::get_global_par(
+    const std::string& workload, double workload_input_bytes) {
+  const auto dag = db_.dag(workload);
+  std::unordered_map<std::uint64_t, StageStructure> by_sig;
+  for (const auto& s : dag) by_sig.emplace(s.signature, s);
+
+  std::vector<PlannedStage> plan;
+  const auto groups = regroup_dag(workload);
+  int group_id = 0;
+
+  for (const auto& group : groups) {
+    // --- pick the group's scheme ------------------------------------------
+    engine::PartitionerKind kind = engine::PartitionerKind::kHash;
+    std::size_t num_partitions = 0;
+    double chosen_cost = 0.0;
+
+    if (group.size() == 1) {
+      const double d = db_.stage_input_estimate(workload, group[0],
+                                                workload_input_bytes);
+      const StageChoice c = get_stage_par(workload, group[0], d);
+      kind = c.partitioner;
+      num_partitions = c.num_partitions;
+      chosen_cost = c.cost;
+    } else {
+      // getSubGraphPar: each member's individually-optimal scheme is a
+      // candidate; the group adopts the candidate with the lowest total
+      // cost when applied to every member.
+      struct Candidate {
+        engine::PartitionerKind kind;
+        std::size_t p;
+      };
+      std::vector<Candidate> candidates;
+      for (const auto sig : group) {
+        const double d =
+            db_.stage_input_estimate(workload, sig, workload_input_bytes);
+        const StageChoice c = get_stage_par(workload, sig, d);
+        candidates.push_back({c.partitioner, c.num_partitions});
+      }
+      bool first = true;
+      double best_total = 0.0;
+      for (const auto& cand : candidates) {
+        double total = 0.0;
+        for (const auto sig : group) {
+          const double d =
+              db_.stage_input_estimate(workload, sig, workload_input_bytes);
+          const StageModel* model = db_.model(workload, sig, cand.kind);
+          total += stage_cost(*model, d, static_cast<double>(cand.p),
+                              options_.weights, baselines(workload, sig));
+        }
+        if (first || total < best_total) {
+          best_total = total;
+          kind = cand.kind;
+          num_partitions = cand.p;
+          first = false;
+        }
+      }
+      chosen_cost = best_total;
+    }
+
+    // --- emit one PlannedStage per member, honoring fixed stages -----------
+    for (const auto sig : group) {
+      const StageStructure& st = by_sig.at(sig);
+      const double d =
+          db_.stage_input_estimate(workload, sig, workload_input_bytes);
+
+      PlannedStage ps;
+      ps.signature = sig;
+      ps.name = st.name;
+      ps.group = group.size() > 1 ? group_id : -1;
+
+      const bool is_fixed = st.fixed_partitions || st.user_fixed;
+      if (is_fixed) {
+        // Current (unchangeable) scheme vs optimal + explicit repartition.
+        const double cur_p = db_.default_partitions(workload, sig);
+        const CostBaselines base = baselines(workload, sig);
+        const StageModel* cur_model =
+            db_.model(workload, sig, engine::PartitionerKind::kHash);
+        const double cur_cost =
+            stage_cost(*cur_model, d, cur_p > 0 ? cur_p : 1.0,
+                       options_.weights, base);
+
+        const StageModel* opt_model = db_.model(workload, sig, kind);
+        const double opt_stage_cost =
+            stage_cost(*opt_model, d, static_cast<double>(num_partitions),
+                       options_.weights, base);
+        const double opt_cost = opt_stage_cost + repartition_cost(d, base);
+
+        if (cur_cost > options_.gamma * opt_cost) {
+          ps.partitioner = kind;
+          ps.num_partitions = num_partitions;
+          ps.cost = opt_cost;
+          ps.fixed = true;
+          ps.insert_repartition = true;
+        } else {
+          ps.partitioner = engine::PartitionerKind::kHash;
+          ps.num_partitions =
+              cur_p > 0 ? static_cast<std::size_t>(cur_p) : num_partitions;
+          ps.cost = cur_cost;
+          ps.fixed = true;
+        }
+      } else {
+        ps.partitioner = kind;
+        ps.num_partitions = num_partitions;
+        ps.cost = chosen_cost;
+      }
+      plan.push_back(std::move(ps));
+    }
+    if (group.size() > 1) ++group_id;
+  }
+  return plan;
+}
+
+}  // namespace chopper::core

@@ -1,0 +1,92 @@
+// The partition optimizer: Algorithms 1, 2 and 3 of the paper.
+//
+//  * Algorithm 1 (get_stage_par): per-stage choice between the trained hash
+//    and range models, each minimized over the partition-count grid.
+//  * Algorithm 2 (get_workload_par): the naive per-stage plan — every stage
+//    independently optimal, ignoring inter-stage dependencies.
+//  * Algorithm 3 (get_global_par): the globally-optimized plan — the DAG is
+//    regrouped so stages connected through join/cogroup dependencies form
+//    subgraphs that must share one scheme (enabling co-partitioning, which
+//    eliminates their shuffle); stages whose scheme cannot be changed
+//    (cache/partition dependencies, user-fixed schemes) keep their scheme
+//    unless inserting an explicit repartition wins by more than a factor of
+//    gamma (1.5 in the paper, tolerating model error).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chopper/cost.h"
+#include "chopper/workload_db.h"
+
+namespace chopper::core {
+
+struct OptimizerOptions {
+  CostWeights weights;
+  SearchSpace space;
+  /// Benefit factor required before inserting a repartition phase.
+  double gamma = 1.5;
+  /// Effective bandwidth for pricing an inserted repartition of D bytes.
+  double repartition_bw = 2.0e8;
+};
+
+/// One row of the generated plan (becomes one tuple of the Fig. 6 config).
+struct PlannedStage {
+  std::uint64_t signature = 0;
+  std::string name;
+  engine::PartitionerKind partitioner = engine::PartitionerKind::kHash;
+  std::size_t num_partitions = 0;
+  double cost = 0.0;
+  /// Scheme cannot be applied directly (cache- or user-fixed stage).
+  bool fixed = false;
+  /// Fixed stage where inserting an explicit repartition phase pays off.
+  bool insert_repartition = false;
+  /// Subgraph id when the stage was co-partitioned with others (Algorithm 3);
+  /// stages sharing an id share a scheme. -1 for singletons.
+  int group = -1;
+};
+
+class Optimizer {
+ public:
+  Optimizer(WorkloadDb& db, OptimizerOptions options = {})
+      : db_(db), options_(options) {}
+
+  struct StageChoice {
+    engine::PartitionerKind partitioner = engine::PartitionerKind::kHash;
+    std::size_t num_partitions = 0;
+    double cost = 0.0;
+  };
+
+  /// Algorithm 1. `stage_input_bytes` is D for the stage.
+  StageChoice get_stage_par(const std::string& workload, std::uint64_t signature,
+                            double stage_input_bytes);
+
+  /// Algorithm 2. `workload_input_bytes` is the workload input D_w; per-stage
+  /// D values are estimated through the DB's input-ratio transfer model.
+  std::vector<PlannedStage> get_workload_par(const std::string& workload,
+                                             double workload_input_bytes);
+
+  /// Algorithm 3 (the plan CHOPPER deploys).
+  std::vector<PlannedStage> get_global_par(const std::string& workload,
+                                           double workload_input_bytes);
+
+  /// DAG regrouping used by Algorithm 3, exposed for tests: returns groups
+  /// of stage signatures that must share a partition scheme (singletons
+  /// included).
+  std::vector<std::vector<std::uint64_t>> regroup_dag(
+      const std::string& workload) const;
+
+  const OptimizerOptions& options() const noexcept { return options_; }
+
+ private:
+  CostBaselines baselines(const std::string& workload,
+                          std::uint64_t signature) const;
+  /// Normalized cost of an inserted repartition phase over `bytes` input.
+  double repartition_cost(double bytes, const CostBaselines& base) const;
+
+  WorkloadDb& db_;
+  OptimizerOptions options_;
+};
+
+}  // namespace chopper::core

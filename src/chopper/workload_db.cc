@@ -1,0 +1,325 @@
+#include "chopper/workload_db.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace chopper::core {
+
+namespace {
+engine::PartitionerKind kind_from_string(const std::string& s) {
+  if (s == "range") return engine::PartitionerKind::kRange;
+  return engine::PartitionerKind::kHash;
+}
+}  // namespace
+
+void WorkloadDb::add(Observation o) { observations_.push_back(std::move(o)); }
+
+void WorkloadDb::add_structure(const std::string& workload, StageStructure s) {
+  const auto key = std::make_pair(workload, s.signature);
+  const auto it = structures_.find(key);
+  if (it == structures_.end()) {
+    s.order = next_order_++;
+    structures_.emplace(key, std::move(s));
+    return;
+  }
+  // Merge: keep first-seen order, union parents, accumulate input ratios.
+  StageStructure& dst = it->second;
+  dst.fixed_partitions = dst.fixed_partitions || s.fixed_partitions;
+  dst.user_fixed = dst.user_fixed || s.user_fixed;
+  dst.parents.insert(s.parents.begin(), s.parents.end());
+  dst.input_ratio_sum += s.input_ratio_sum;
+  dst.input_ratio_count += s.input_ratio_count;
+  dst.dw_sum += s.dw_sum;
+  dst.d_sum += s.d_sum;
+  dst.dw2_sum += s.dw2_sum;
+  dst.dwd_sum += s.dwd_sum;
+  dst.fit_count += s.fit_count;
+}
+
+std::vector<Observation> WorkloadDb::observations(
+    const std::string& workload, std::uint64_t signature,
+    engine::PartitionerKind kind) const {
+  std::vector<Observation> out;
+  for (const auto& o : observations_) {
+    if (o.workload == workload && o.signature == signature &&
+        o.partitioner == kind) {
+      out.push_back(o);
+    }
+  }
+  return out;
+}
+
+const StageModel* WorkloadDb::model(const std::string& workload,
+                                    std::uint64_t signature,
+                                    engine::PartitionerKind kind) {
+  const ModelKey key{workload, signature, kind};
+  auto& entry = models_[key];
+  if (entry.trained_on != observations_.size()) {
+    const auto obs = observations(workload, signature, kind);
+    entry.model.fit(obs, ridge_lambda_);
+    entry.trained_on = observations_.size();
+  }
+  return &entry.model;
+}
+
+double WorkloadDb::default_texe(const std::string& workload,
+                                std::uint64_t signature) const {
+  double sum = 0.0, all = 0.0;
+  std::size_t n = 0, n_all = 0;
+  for (const auto& o : observations_) {
+    if (o.workload != workload || o.signature != signature) continue;
+    all += o.t_exe_s;
+    ++n_all;
+    if (o.is_default) {
+      sum += o.t_exe_s;
+      ++n;
+    }
+  }
+  if (n > 0) return sum / static_cast<double>(n);
+  if (n_all > 0) return all / static_cast<double>(n_all);
+  return 1.0;
+}
+
+double WorkloadDb::default_shuffle(const std::string& workload,
+                                   std::uint64_t signature) const {
+  double sum = 0.0, all = 0.0;
+  std::size_t n = 0, n_all = 0;
+  for (const auto& o : observations_) {
+    if (o.workload != workload || o.signature != signature) continue;
+    all += o.shuffle_bytes;
+    ++n_all;
+    if (o.is_default) {
+      sum += o.shuffle_bytes;
+      ++n;
+    }
+  }
+  if (n > 0) return sum / static_cast<double>(n);
+  if (n_all > 0) return all / static_cast<double>(n_all);
+  return 0.0;
+}
+
+double WorkloadDb::default_partitions(const std::string& workload,
+                                      std::uint64_t signature) const {
+  double sum = 0.0, all = 0.0;
+  std::size_t n = 0, n_all = 0;
+  for (const auto& o : observations_) {
+    if (o.workload != workload || o.signature != signature) continue;
+    all += o.num_partitions;
+    ++n_all;
+    if (o.is_default) {
+      sum += o.num_partitions;
+      ++n;
+    }
+  }
+  if (n > 0) return sum / static_cast<double>(n);
+  if (n_all > 0) return all / static_cast<double>(n_all);
+  return 0.0;
+}
+
+std::pair<double, double> WorkloadDb::observed_partition_range(
+    const std::string& workload, std::uint64_t signature) const {
+  double lo = 0.0, hi = 0.0;
+  bool any = false;
+  for (const auto& o : observations_) {
+    if (o.workload != workload || o.signature != signature) continue;
+    if (!any) {
+      lo = hi = o.num_partitions;
+      any = true;
+    } else {
+      lo = std::min(lo, o.num_partitions);
+      hi = std::max(hi, o.num_partitions);
+    }
+  }
+  return {lo, hi};
+}
+
+double WorkloadDb::stage_input_estimate(const std::string& workload,
+                                        std::uint64_t signature,
+                                        double workload_bytes) const {
+  const auto it = structures_.find(std::make_pair(workload, signature));
+  if (it == structures_.end()) return workload_bytes;
+  const StageStructure& st = it->second;
+
+  double estimate;
+  const auto n = static_cast<double>(st.fit_count);
+  const double denom = n * st.dw2_sum - st.dw_sum * st.dw_sum;
+  if (st.fit_count >= 2 && std::abs(denom) > 1e-9 * st.dw2_sum) {
+    const double slope = (n * st.dwd_sum - st.dw_sum * st.d_sum) / denom;
+    const double intercept = (st.d_sum - slope * st.dw_sum) / n;
+    estimate = slope * workload_bytes + intercept;
+  } else {
+    estimate = st.input_ratio() * workload_bytes;
+  }
+  if (estimate < 0.0) estimate = 0.0;
+
+  const auto [lo, hi] = observed_input_range(workload, signature);
+  if (hi > 0.0) estimate = std::clamp(estimate, lo, hi);
+  return estimate;
+}
+
+std::pair<double, double> WorkloadDb::observed_input_range(
+    const std::string& workload, std::uint64_t signature) const {
+  double lo = 0.0, hi = 0.0;
+  bool any = false;
+  for (const auto& o : observations_) {
+    if (o.workload != workload || o.signature != signature) continue;
+    if (!any) {
+      lo = hi = o.stage_input_bytes;
+      any = true;
+    } else {
+      lo = std::min(lo, o.stage_input_bytes);
+      hi = std::max(hi, o.stage_input_bytes);
+    }
+  }
+  return {lo, hi};
+}
+
+std::vector<StageStructure> WorkloadDb::dag(const std::string& workload) const {
+  std::vector<StageStructure> out;
+  for (const auto& [key, s] : structures_) {
+    if (key.first == workload) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StageStructure& a, const StageStructure& b) {
+              return a.order < b.order;
+            });
+  return out;
+}
+
+std::optional<StageStructure> WorkloadDb::structure(
+    const std::string& workload, std::uint64_t signature) const {
+  const auto it = structures_.find(std::make_pair(workload, signature));
+  if (it == structures_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> WorkloadDb::workloads() const {
+  std::vector<std::string> out;
+  for (const auto& [key, s] : structures_) {
+    if (out.empty() || out.back() != key.first) out.push_back(key.first);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t WorkloadDb::prune(const std::string& workload) {
+  const auto before = observations_.size();
+  std::erase_if(observations_,
+                [&](const Observation& o) { return o.workload == workload; });
+  std::erase_if(structures_, [&](const auto& kv) {
+    return kv.first.first == workload;
+  });
+  std::erase_if(models_,
+                [&](const auto& kv) { return kv.first.workload == workload; });
+  return before - observations_.size();
+}
+
+void WorkloadDb::merge(const WorkloadDb& other) {
+  for (const auto& o : other.observations_) add(o);
+  for (const auto& [key, st] : other.structures_) {
+    add_structure(key.first, st);
+  }
+}
+
+void WorkloadDb::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("WorkloadDb: cannot write " + path);
+  os << "# chopper workload db v1\n";
+  for (const auto& o : observations_) {
+    os << "obs\t" << o.workload << "\t" << o.signature << "\t"
+       << engine::to_string(o.partitioner) << "\t" << o.workload_input_bytes
+       << "\t" << o.stage_input_bytes << "\t" << o.num_partitions << "\t"
+       << o.t_exe_s << "\t" << o.shuffle_bytes << "\t" << (o.is_default ? 1 : 0)
+       << "\n";
+  }
+  for (const auto& [key, s] : structures_) {
+    os << "stage\t" << key.first << "\t" << s.signature << "\t" << s.name
+       << "\t" << static_cast<int>(s.anchor_op) << "\t"
+       << (s.fixed_partitions ? 1 : 0) << "\t" << (s.user_fixed ? 1 : 0) << "\t"
+       << s.input_ratio_sum << "\t" << s.input_ratio_count << "\t" << s.dw_sum
+       << "\t" << s.d_sum << "\t" << s.dw2_sum << "\t" << s.dwd_sum << "\t"
+       << s.fit_count << "\t" << s.order;
+    for (const auto p : s.parents) os << "\t" << p;
+    os << "\n";
+  }
+}
+
+WorkloadDb WorkloadDb::load(const std::string& path, double ridge_lambda) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("WorkloadDb: cannot read " + path);
+  WorkloadDb db(ridge_lambda);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    std::getline(ls, tag, '\t');
+    if (tag == "obs") {
+      Observation o;
+      std::string kind, is_default;
+      std::string field;
+      std::getline(ls, o.workload, '\t');
+      std::getline(ls, field, '\t');
+      o.signature = std::stoull(field);
+      std::getline(ls, kind, '\t');
+      o.partitioner = kind_from_string(kind);
+      std::getline(ls, field, '\t');
+      o.workload_input_bytes = std::stod(field);
+      std::getline(ls, field, '\t');
+      o.stage_input_bytes = std::stod(field);
+      std::getline(ls, field, '\t');
+      o.num_partitions = std::stod(field);
+      std::getline(ls, field, '\t');
+      o.t_exe_s = std::stod(field);
+      std::getline(ls, field, '\t');
+      o.shuffle_bytes = std::stod(field);
+      std::getline(ls, is_default, '\t');
+      o.is_default = is_default == "1";
+      db.add(std::move(o));
+    } else if (tag == "stage") {
+      std::string workload, field;
+      StageStructure s;
+      std::getline(ls, workload, '\t');
+      std::getline(ls, field, '\t');
+      s.signature = std::stoull(field);
+      std::getline(ls, s.name, '\t');
+      std::getline(ls, field, '\t');
+      s.anchor_op = static_cast<engine::OpKind>(std::stoi(field));
+      std::getline(ls, field, '\t');
+      s.fixed_partitions = field == "1";
+      std::getline(ls, field, '\t');
+      s.user_fixed = field == "1";
+      std::getline(ls, field, '\t');
+      s.input_ratio_sum = std::stod(field);
+      std::getline(ls, field, '\t');
+      s.input_ratio_count = std::stoull(field);
+      std::getline(ls, field, '\t');
+      s.dw_sum = std::stod(field);
+      std::getline(ls, field, '\t');
+      s.d_sum = std::stod(field);
+      std::getline(ls, field, '\t');
+      s.dw2_sum = std::stod(field);
+      std::getline(ls, field, '\t');
+      s.dwd_sum = std::stod(field);
+      std::getline(ls, field, '\t');
+      s.fit_count = std::stoull(field);
+      std::getline(ls, field, '\t');
+      const auto order = static_cast<std::size_t>(std::stoull(field));
+      while (std::getline(ls, field, '\t')) {
+        if (!field.empty()) s.parents.insert(std::stoull(field));
+      }
+      db.add_structure(workload, s);
+      // Preserve the original ordering across save/load.
+      db.structures_.at(std::make_pair(workload, s.signature)).order = order;
+      db.next_order_ = std::max(db.next_order_, order + 1);
+    } else {
+      throw std::runtime_error("WorkloadDb: unknown record tag: " + tag);
+    }
+  }
+  return db;
+}
+
+}  // namespace chopper::core

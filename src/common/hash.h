@@ -1,0 +1,45 @@
+// Hashing primitives shared across the engine.
+//
+// The engine needs a fast, well-mixed 64-bit hash for (a) the hash
+// partitioner, (b) stage signatures, and (c) deterministic per-key RNG
+// streams. We use splitmix64-style finalizers and an FNV-1a variant for
+// byte spans; both are deterministic across platforms, which keeps every
+// experiment reproducible.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+namespace chopper::common {
+
+/// Final mixing function of splitmix64. Bijective on 64-bit ints, so it never
+/// introduces collisions on distinct integer keys — useful for partitioning.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit hashes (boost::hash_combine style, widened to 64 bits).
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) noexcept {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// FNV-1a over a byte span, finalized through mix64 for better avalanche.
+inline std::uint64_t hash_bytes(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+inline std::uint64_t hash_string(std::string_view s) noexcept {
+  return hash_bytes(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+}  // namespace chopper::common

@@ -1,0 +1,58 @@
+// Key/value configuration files.
+//
+// CHOPPER communicates the per-stage partition plan to the (modified)
+// DAGScheduler through a workload-specific configuration file (paper Fig. 6):
+// one tuple per stage signature, carrying the partitioner kind and the
+// partition count. This module provides the generic ordered string->string
+// store plus load/save in a simple `key = value` format with `#` comments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace chopper::common {
+
+class KvConfig {
+ public:
+  KvConfig() = default;
+
+  /// Sets (or overwrites) a key. Insertion order is preserved for new keys.
+  void set(const std::string& key, std::string value);
+  void set_int(const std::string& key, std::int64_t value);
+  void set_double(const std::string& key, double value);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::optional<std::int64_t> get_int(const std::string& key) const;
+  std::optional<double> get_double(const std::string& key) const;
+
+  bool contains(const std::string& key) const;
+  bool erase(const std::string& key);
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// All entries in insertion order.
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+  /// Keys sharing a prefix, in insertion order.
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  /// Serialize to `key = value` lines.
+  std::string to_string() const;
+
+  /// Parse from text. Blank lines and `#...` comments are skipped.
+  /// Throws std::runtime_error on malformed lines (missing '=').
+  static KvConfig parse(const std::string& text);
+
+  /// File round-trip. load throws std::runtime_error if unreadable.
+  void save(const std::string& path) const;
+  static KvConfig load(const std::string& path);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace chopper::common

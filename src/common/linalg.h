@@ -1,0 +1,73 @@
+// Small dense linear algebra: just enough for (a) CHOPPER's ridge
+// least-squares model fitting (Eq. 1/2 of the paper) and (b) the PCA
+// workload (covariance matrices + symmetric eigen-decomposition).
+//
+// Matrices are row-major, value-semantic, and deliberately unoptimized —
+// model fitting is an 8x8 solve and PCA covariances are tens of columns,
+// so clarity beats blocking here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace chopper::common {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix scaled(double s) const;
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b for symmetric positive-definite A via Cholesky.
+/// Throws std::runtime_error if A is not positive definite.
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b);
+
+/// Ridge-regularized least squares: minimizes ||X w - y||^2 + lambda ||w||^2.
+/// X is n x k (n samples, k features), y has n entries. Returns k weights.
+/// lambda > 0 keeps the normal equations well-conditioned even when the
+/// polynomial basis features are correlated.
+std::vector<double> ridge_least_squares(const Matrix& x,
+                                        std::span<const double> y,
+                                        double lambda);
+
+struct EigenResult {
+  std::vector<double> values;  ///< descending order
+  Matrix vectors;              ///< column i is the eigenvector for values[i]
+};
+
+/// Symmetric eigen-decomposition via cyclic Jacobi rotations.
+/// `a` must be symmetric; tolerance is on the off-diagonal Frobenius norm.
+EigenResult jacobi_eigen(Matrix a, double tol = 1e-12, int max_sweeps = 64);
+
+}  // namespace chopper::common

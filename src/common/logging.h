@@ -1,0 +1,46 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+// Default level is kWarn so library code stays quiet in tests and benches;
+// examples raise it to kInfo to narrate what the system is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace chopper::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace chopper::common
+
+#define CHOPPER_LOG(level)                                                  \
+  if (static_cast<int>(level) < static_cast<int>(::chopper::common::log_level())) \
+    ;                                                                       \
+  else                                                                      \
+    ::chopper::common::detail::LogStream(level)
+
+#define LOG_DEBUG CHOPPER_LOG(::chopper::common::LogLevel::kDebug)
+#define LOG_INFO CHOPPER_LOG(::chopper::common::LogLevel::kInfo)
+#define LOG_WARN CHOPPER_LOG(::chopper::common::LogLevel::kWarn)
+#define LOG_ERROR CHOPPER_LOG(::chopper::common::LogLevel::kError)

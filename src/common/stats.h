@@ -1,0 +1,72 @@
+// Descriptive statistics used throughout metrics collection and the
+// CHOPPER optimizer: running moments (Welford), percentiles, histograms,
+// and skew measures (coefficient of variation, max/mean imbalance, Gini).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace chopper::common {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Coefficient of variation (stddev/mean); 0 for empty or zero-mean data.
+  double cv() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile of a sample (copies + sorts; fine for per-stage task
+/// counts which are at most a few thousand). q in [0, 1].
+double percentile(std::vector<double> values, double q);
+
+/// max/mean load imbalance of a set of per-partition sizes.
+/// 1.0 = perfectly balanced; large values indicate stragglers.
+double imbalance(const std::vector<double>& loads);
+
+/// Gini coefficient in [0, 1): 0 = perfectly even, ->1 = fully concentrated.
+double gini(std::vector<double> values);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; out-of-range
+/// samples clamp into the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const noexcept { return total_; }
+  double bucket_low(std::size_t i) const;
+
+  std::string to_string() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace chopper::common

@@ -1,0 +1,85 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace chopper::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    fn();
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<std::size_t> remaining{n};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::promise<void> done;
+  auto done_future = done.get_future();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.post([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        done.set_value();
+      }
+    });
+  }
+  done_future.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace chopper::common

@@ -1,0 +1,68 @@
+// Fixed-size thread pool used by the engine's executors.
+//
+// Tasks are type-erased `std::function<void()>` closures; callers that need
+// results use `submit`, which wraps the closure in a packaged_task and
+// returns a future. The pool drains outstanding work on destruction (RAII —
+// no detached threads, per C++ Core Guidelines CP.23/CP.26).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace chopper::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Waits for queued work to finish, then joins all workers.
+  ~ThreadPool();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a fire-and-forget task.
+  void post(std::function<void()> fn);
+
+  /// Enqueue a task and get a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    post([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Block until the queue is empty and all in-flight tasks have completed.
+  /// New work may be posted concurrently; this waits for a quiescent point.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;       // signals workers: work available / stop
+  std::condition_variable idle_cv_;  // signals wait_idle: quiescent
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+/// Exceptions from tasks propagate to the caller (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace chopper::common

@@ -1,0 +1,43 @@
+#include "engine/block_manager.h"
+
+namespace chopper::engine {
+
+void BlockManager::put(std::size_t dataset_id, CachedDataset data) {
+  std::lock_guard lock(mu_);
+  cache_[dataset_id] = std::make_unique<CachedDataset>(std::move(data));
+}
+
+bool BlockManager::contains(std::size_t dataset_id) const {
+  std::lock_guard lock(mu_);
+  return cache_.count(dataset_id) > 0;
+}
+
+const CachedDataset* BlockManager::get(std::size_t dataset_id) const {
+  std::lock_guard lock(mu_);
+  const auto it = cache_.find(dataset_id);
+  return it == cache_.end() ? nullptr : it->second.get();
+}
+
+void BlockManager::remove(std::size_t dataset_id) {
+  std::lock_guard lock(mu_);
+  cache_.erase(dataset_id);
+}
+
+void BlockManager::clear() {
+  std::lock_guard lock(mu_);
+  cache_.clear();
+}
+
+std::uint64_t BlockManager::total_bytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t b = 0;
+  for (const auto& [id, data] : cache_) b += data->bytes;
+  return b;
+}
+
+std::size_t BlockManager::count() const {
+  std::lock_guard lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace chopper::engine

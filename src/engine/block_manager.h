@@ -1,0 +1,43 @@
+// Block manager: holds cached dataset materializations with per-node
+// placement, standing in for Spark's BlockManager + the HDFS storage layer.
+// Iterative workloads (KMeans, PCA) cache their input once and every later
+// job reads the cached blocks instead of regenerating lineage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/partition.h"
+#include "engine/partitioner.h"
+
+namespace chopper::engine {
+
+struct CachedDataset {
+  std::vector<Partition> partitions;
+  std::vector<std::size_t> placement;        ///< node index per partition
+  std::shared_ptr<Partitioner> partitioner;  ///< may be null (no known scheme)
+  std::uint64_t bytes = 0;
+};
+
+class BlockManager {
+ public:
+  void put(std::size_t dataset_id, CachedDataset data);
+  bool contains(std::size_t dataset_id) const;
+  /// Returns nullptr when absent. The pointer stays valid until remove/clear.
+  const CachedDataset* get(std::size_t dataset_id) const;
+  void remove(std::size_t dataset_id);
+  void clear();
+
+  std::uint64_t total_bytes() const;
+  std::size_t count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::size_t, std::unique_ptr<CachedDataset>> cache_;
+};
+
+}  // namespace chopper::engine

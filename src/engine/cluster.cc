@@ -1,0 +1,44 @@
+#include "engine/cluster.h"
+
+namespace chopper::engine {
+
+std::size_t ClusterSpec::total_slots() const noexcept {
+  std::size_t s = 0;
+  for (const auto& n : nodes_) s += n.cores;
+  return s;
+}
+
+double ClusterSpec::total_compute_rate() const noexcept {
+  double r = 0.0;
+  for (const auto& n : nodes_) r += static_cast<double>(n.cores) * n.speed;
+  return r;
+}
+
+ClusterSpec ClusterSpec::paper_heterogeneous(double memory_scale) {
+  constexpr double kGiB = static_cast<double>(1ULL << 30);
+  constexpr double k10Gbps = 1.25e9;  // bytes/s
+  constexpr double k1Gbps = 1.25e8;
+  const auto mem = static_cast<std::uint64_t>(40.0 * kGiB * memory_scale);
+  // Speeds normalized to the 2.0 GHz AMD baseline.
+  return ClusterSpec({
+      {"A", 32, 1.00, mem, k10Gbps},
+      {"B", 32, 1.00, mem, k10Gbps},
+      {"C", 32, 1.00, mem, k10Gbps},
+      {"D", 8, 1.15, mem, k1Gbps},
+      {"E", 8, 1.15, mem, k1Gbps},
+  });
+}
+
+ClusterSpec ClusterSpec::uniform(std::size_t n, std::size_t cores_per_node,
+                                 double net_bw) {
+  constexpr std::uint64_t kGiB = 1ULL << 30;
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back({"node" + std::to_string(i), cores_per_node, 1.0, 40 * kGiB,
+                     net_bw});
+  }
+  return ClusterSpec(std::move(nodes));
+}
+
+}  // namespace chopper::engine

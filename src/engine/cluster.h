@@ -1,0 +1,57 @@
+// Cluster topology description.
+//
+// The paper evaluates on a 6-node heterogeneous cluster (Sec. II-B):
+//   A,B,C: 32 cores @2.0 GHz, 64 GB, 10 Gbps Ethernet
+//   D,E  :  8 cores @2.3 GHz, 48 GB,  1 Gbps Ethernet
+//   F    :  8 cores @2.5 GHz, 64 GB,  1 Gbps Ethernet (master, not a worker)
+// We reproduce that topology as a preset, plus uniform presets for
+// controlled experiments. Executors get a fixed slot count (cores) and the
+// simulated cost model divides compute work by `speed` and network bytes by
+// `net_bw`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chopper::engine {
+
+struct NodeSpec {
+  std::string name;
+  std::size_t cores = 1;          ///< task slots on this node
+  double speed = 1.0;             ///< relative per-core compute speed
+  std::uint64_t memory_bytes = 0; ///< executor memory budget
+  double net_bw = 1.25e9;         ///< network bandwidth in bytes/s (10 Gbps)
+};
+
+class ClusterSpec {
+ public:
+  ClusterSpec() = default;
+  explicit ClusterSpec(std::vector<NodeSpec> nodes) : nodes_(std::move(nodes)) {}
+
+  const std::vector<NodeSpec>& nodes() const noexcept { return nodes_; }
+  const NodeSpec& node(std::size_t i) const { return nodes_.at(i); }
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+
+  std::size_t total_slots() const noexcept;
+
+  /// Sum of speed-weighted slots — the cluster's aggregate compute rate.
+  double total_compute_rate() const noexcept;
+
+  /// The paper's heterogeneous 5-worker setup (master excluded; Spark work
+  /// runs on workers A-E only). Memory: 40 GB executors as configured in
+  /// Sec. II-B. `memory_scale` shrinks executor memory proportionally when
+  /// experiments run scaled-down inputs, so memory-pressure effects (spill
+  /// at low partition counts) keep the paper's shape.
+  static ClusterSpec paper_heterogeneous(double memory_scale = 1.0);
+
+  /// n identical nodes, useful for isolating partitioning effects from
+  /// hardware heterogeneity.
+  static ClusterSpec uniform(std::size_t n, std::size_t cores_per_node,
+                             double net_bw = 1.25e9);
+
+ private:
+  std::vector<NodeSpec> nodes_;
+};
+
+}  // namespace chopper::engine

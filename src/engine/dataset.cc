@@ -1,0 +1,210 @@
+#include "engine/dataset.h"
+
+#include <atomic>
+#include <cassert>
+#include <utility>
+
+namespace chopper::engine {
+
+namespace {
+std::atomic<std::size_t> g_next_dataset_id{1};
+}
+
+const char* to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kSource:
+      return "source";
+    case OpKind::kMap:
+      return "map";
+    case OpKind::kMapValues:
+      return "mapValues";
+    case OpKind::kFilter:
+      return "filter";
+    case OpKind::kMapPartitions:
+      return "mapPartitions";
+    case OpKind::kSample:
+      return "sample";
+    case OpKind::kReduceByKey:
+      return "reduceByKey";
+    case OpKind::kGroupByKey:
+      return "groupByKey";
+    case OpKind::kJoin:
+      return "join";
+    case OpKind::kCoGroup:
+      return "cogroup";
+    case OpKind::kRepartition:
+      return "repartition";
+    case OpKind::kSortByKey:
+      return "sortByKey";
+    case OpKind::kFlatMap:
+      return "flatMap";
+    case OpKind::kUnion:
+      return "union";
+  }
+  return "?";
+}
+
+bool is_wide(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kReduceByKey:
+    case OpKind::kGroupByKey:
+    case OpKind::kJoin:
+    case OpKind::kCoGroup:
+    case OpKind::kRepartition:
+    case OpKind::kSortByKey:
+    case OpKind::kUnion:
+      return true;
+    default:
+      return false;
+  }
+}
+
+DatasetPtr Dataset::make(OpKind op, std::string label,
+                         std::vector<DatasetPtr> parents) {
+  auto ds = DatasetPtr(new Dataset());
+  ds->id_ = g_next_dataset_id.fetch_add(1, std::memory_order_relaxed);
+  ds->op_ = op;
+  ds->label_ = std::move(label);
+  ds->parents_ = std::move(parents);
+  return ds;
+}
+
+DatasetPtr Dataset::source(std::string label, std::size_t partitions,
+                           SourceFn fn) {
+  assert(partitions > 0);
+  assert(fn);
+  auto ds = make(OpKind::kSource, std::move(label), {});
+  ds->source_partitions_ = partitions;
+  ds->source_fn_ = std::move(fn);
+  return ds;
+}
+
+DatasetPtr Dataset::map(std::string label, MapFn fn, double work_per_record) {
+  auto ds = make(OpKind::kMap, std::move(label), {shared_from_this()});
+  ds->map_fn_ = std::move(fn);
+  ds->work_per_record_ = work_per_record;
+  return ds;
+}
+
+DatasetPtr Dataset::map_values(std::string label, MapFn fn,
+                               double work_per_record) {
+  auto ds = make(OpKind::kMapValues, std::move(label), {shared_from_this()});
+  ds->map_fn_ = std::move(fn);
+  ds->work_per_record_ = work_per_record;
+  ds->preserves_partitioning_ = true;
+  return ds;
+}
+
+DatasetPtr Dataset::flat_map(std::string label, FlatMapFn fn,
+                             double work_per_record) {
+  auto ds = make(OpKind::kFlatMap, std::move(label), {shared_from_this()});
+  ds->flat_map_fn_ = std::move(fn);
+  ds->work_per_record_ = work_per_record;
+  return ds;
+}
+
+DatasetPtr Dataset::filter(std::string label, FilterFn fn,
+                           double work_per_record) {
+  auto ds = make(OpKind::kFilter, std::move(label), {shared_from_this()});
+  ds->filter_fn_ = std::move(fn);
+  ds->work_per_record_ = work_per_record;
+  ds->preserves_partitioning_ = true;
+  return ds;
+}
+
+DatasetPtr Dataset::map_partitions(std::string label, MapPartitionsFn fn,
+                                   double work_per_record,
+                                   bool preserves_partitioning) {
+  auto ds = make(OpKind::kMapPartitions, std::move(label), {shared_from_this()});
+  ds->map_partitions_fn_ = std::move(fn);
+  ds->work_per_record_ = work_per_record;
+  ds->preserves_partitioning_ = preserves_partitioning;
+  return ds;
+}
+
+DatasetPtr Dataset::sample(std::string label, double fraction,
+                           std::uint64_t seed) {
+  assert(fraction >= 0.0 && fraction <= 1.0);
+  auto ds = make(OpKind::kSample, std::move(label), {shared_from_this()});
+  ds->sample_fraction_ = fraction;
+  ds->sample_seed_ = seed;
+  ds->work_per_record_ = 0.2;
+  ds->preserves_partitioning_ = true;
+  return ds;
+}
+
+DatasetPtr Dataset::reduce_by_key(std::string label, ReduceFn fn,
+                                  ShuffleRequest req, double work_per_record) {
+  auto ds = make(OpKind::kReduceByKey, std::move(label), {shared_from_this()});
+  ds->reduce_fn_ = std::move(fn);
+  ds->shuffle_req_ = req;
+  ds->work_per_record_ = work_per_record;
+  return ds;
+}
+
+DatasetPtr Dataset::group_by_key(std::string label, ShuffleRequest req) {
+  auto ds = make(OpKind::kGroupByKey, std::move(label), {shared_from_this()});
+  ds->shuffle_req_ = req;
+  ds->work_per_record_ = 1.0;
+  return ds;
+}
+
+DatasetPtr Dataset::join_with(const DatasetPtr& right, std::string label,
+                              ShuffleRequest req, JoinFn fn) {
+  auto ds = make(OpKind::kJoin, std::move(label), {shared_from_this(), right});
+  ds->shuffle_req_ = req;
+  ds->join_fn_ = std::move(fn);
+  // Hash-table build + probe + output materialization per matched record.
+  ds->work_per_record_ = 3.0;
+  return ds;
+}
+
+DatasetPtr Dataset::cogroup_with(const DatasetPtr& right, std::string label,
+                                 ShuffleRequest req, JoinFn fn) {
+  auto ds =
+      make(OpKind::kCoGroup, std::move(label), {shared_from_this(), right});
+  ds->shuffle_req_ = req;
+  ds->join_fn_ = std::move(fn);
+  ds->work_per_record_ = 1.2;
+  return ds;
+}
+
+DatasetPtr Dataset::repartition(std::string label, ShuffleRequest req) {
+  auto ds = make(OpKind::kRepartition, std::move(label), {shared_from_this()});
+  ds->shuffle_req_ = req;
+  ds->work_per_record_ = 0.3;
+  return ds;
+}
+
+DatasetPtr Dataset::sort_by_key(std::string label, ShuffleRequest req) {
+  if (!req.kind) req.kind = PartitionerKind::kRange;
+  auto ds = make(OpKind::kSortByKey, std::move(label), {shared_from_this()});
+  ds->shuffle_req_ = req;
+  ds->work_per_record_ = 1.5;
+  return ds;
+}
+
+DatasetPtr Dataset::union_with(const DatasetPtr& other, std::string label,
+                               ShuffleRequest req) {
+  auto ds = make(OpKind::kUnion, std::move(label), {shared_from_this(), other});
+  ds->shuffle_req_ = req;
+  ds->work_per_record_ = 0.2;
+  return ds;
+}
+
+DatasetPtr Dataset::distinct(std::string label, ShuffleRequest req) {
+  return reduce_by_key(
+      std::move(label), [](Record&, const Record&) { /* keep first */ }, req,
+      /*work_per_record=*/0.8);
+}
+
+DatasetPtr Dataset::cache() {
+  cached_ = true;
+  return shared_from_this();
+}
+
+bool Dataset::preserves_partitioning() const noexcept {
+  return preserves_partitioning_;
+}
+
+}  // namespace chopper::engine

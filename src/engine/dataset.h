@@ -1,0 +1,173 @@
+// The logical plan: an RDD-like lineage DAG of Datasets.
+//
+// A Dataset is an immutable description of a distributed collection — a
+// node in a DAG whose edges are narrow (map, filter, mapValues, sample,
+// mapPartitions) or wide (reduceByKey, groupByKey, join, cogroup,
+// repartition, sortByKey) dependencies. Nothing executes until an action
+// (Engine::count/collect/...) submits a job; the scheduler then cuts the
+// lineage into stages at wide dependencies, exactly like Spark's
+// DAGScheduler (paper Fig. 1).
+//
+// Each operator carries a `work_per_record` weight so the simulated cost
+// model can price compute-heavy operators (e.g. KMeans distance evaluation)
+// more than trivial projections.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/partition.h"
+#include "engine/partitioner.h"
+#include "engine/record.h"
+
+namespace chopper::engine {
+
+class Dataset;
+using DatasetPtr = std::shared_ptr<Dataset>;
+
+enum class OpKind {
+  kSource,
+  kMap,
+  kMapValues,     ///< key-preserving map: keeps any existing partitioning
+  kFlatMap,       ///< 0..n output records per input record
+  kFilter,
+  kMapPartitions, ///< whole-partition transform (key-preserving not assumed)
+  kSample,        ///< Bernoulli sample, key-preserving
+  kReduceByKey,
+  kGroupByKey,
+  kJoin,
+  kCoGroup,
+  kRepartition,
+  kSortByKey,
+  kUnion,         ///< wide in this engine: both inputs are re-bucketed
+};
+
+const char* to_string(OpKind kind) noexcept;
+bool is_wide(OpKind kind) noexcept;
+
+/// Generates the records of source partition `index` out of `count`.
+/// Must be deterministic in (index, count) for reproducibility.
+using SourceFn = std::function<Partition(std::size_t index, std::size_t count)>;
+using MapFn = std::function<Record(const Record&)>;
+using FlatMapFn = std::function<std::vector<Record>(const Record&)>;
+using FilterFn = std::function<bool(const Record&)>;
+using MapPartitionsFn = std::function<Partition(Partition&&)>;
+/// Merges `next` into the accumulator `acc` (same key).
+using ReduceFn = std::function<void(Record& acc, const Record& next)>;
+/// Produces join output records for one key given both sides' matches.
+using JoinFn = std::function<std::vector<Record>(
+    std::uint64_t key, std::span<const Record> left,
+    std::span<const Record> right)>;
+
+/// Partitioning request attached to a wide operator. The scheduler resolves
+/// it against the active PartitionPlan (CHOPPER's config file) at run time;
+/// `user_fixed` marks schemes the user pinned explicitly, which CHOPPER must
+/// leave intact (paper Sec. III-C) unless repartition-insertion pays off.
+struct ShuffleRequest {
+  std::optional<PartitionerKind> kind;       ///< none -> default (hash)
+  std::optional<std::size_t> num_partitions; ///< none -> default parallelism
+  bool user_fixed = false;
+};
+
+class Dataset : public std::enable_shared_from_this<Dataset> {
+ public:
+  // -- construction -------------------------------------------------------
+  /// Leaf dataset: `partitions` generator splits. `label` feeds the stage
+  /// signature, so give semantically distinct sources distinct labels.
+  static DatasetPtr source(std::string label, std::size_t partitions,
+                           SourceFn fn);
+
+  // -- narrow transformations ---------------------------------------------
+  DatasetPtr map(std::string label, MapFn fn, double work_per_record = 1.0);
+  DatasetPtr map_values(std::string label, MapFn fn,
+                        double work_per_record = 1.0);
+  DatasetPtr flat_map(std::string label, FlatMapFn fn,
+                      double work_per_record = 1.0);
+  DatasetPtr filter(std::string label, FilterFn fn,
+                    double work_per_record = 0.5);
+  DatasetPtr map_partitions(std::string label, MapPartitionsFn fn,
+                            double work_per_record = 1.0,
+                            bool preserves_partitioning = false);
+  /// Deterministic Bernoulli sample (seeded by label + partition index).
+  DatasetPtr sample(std::string label, double fraction, std::uint64_t seed);
+
+  // -- wide transformations -----------------------------------------------
+  DatasetPtr reduce_by_key(std::string label, ReduceFn fn,
+                           ShuffleRequest req = {},
+                           double work_per_record = 1.0);
+  DatasetPtr group_by_key(std::string label, ShuffleRequest req = {});
+  DatasetPtr join_with(const DatasetPtr& right, std::string label,
+                       ShuffleRequest req = {}, JoinFn fn = nullptr);
+  DatasetPtr cogroup_with(const DatasetPtr& right, std::string label,
+                          ShuffleRequest req = {}, JoinFn fn = nullptr);
+  DatasetPtr repartition(std::string label, ShuffleRequest req);
+  DatasetPtr sort_by_key(std::string label, ShuffleRequest req = {});
+  /// Set union (bag semantics: concatenates both inputs). Spark's union is
+  /// a narrow concatenation of partition lists; this engine re-buckets both
+  /// sides instead (a repartitioning union), which keeps the single-pipeline
+  /// stage model. Equivalent output, one extra shuffle.
+  DatasetPtr union_with(const DatasetPtr& other, std::string label,
+                        ShuffleRequest req = {});
+  /// Keep one record per key (sugar over reduceByKey keep-first).
+  DatasetPtr distinct(std::string label, ShuffleRequest req = {});
+
+  /// Mark for caching: the first materialization is retained by the block
+  /// manager and later jobs read it instead of recomputing the lineage.
+  DatasetPtr cache();
+
+  // -- introspection -------------------------------------------------------
+  std::size_t id() const noexcept { return id_; }
+  OpKind op() const noexcept { return op_; }
+  const std::string& label() const noexcept { return label_; }
+  const std::vector<DatasetPtr>& parents() const noexcept { return parents_; }
+  bool cached() const noexcept { return cached_; }
+  double work_per_record() const noexcept { return work_per_record_; }
+  const ShuffleRequest& shuffle_request() const noexcept { return shuffle_req_; }
+  std::size_t source_partitions() const noexcept { return source_partitions_; }
+  bool preserves_partitioning() const noexcept;
+
+  // Closures (empty when not applicable to the op kind).
+  const SourceFn& source_fn() const noexcept { return source_fn_; }
+  const MapFn& map_fn() const noexcept { return map_fn_; }
+  const FlatMapFn& flat_map_fn() const noexcept { return flat_map_fn_; }
+  const FilterFn& filter_fn() const noexcept { return filter_fn_; }
+  const MapPartitionsFn& map_partitions_fn() const noexcept {
+    return map_partitions_fn_;
+  }
+  const ReduceFn& reduce_fn() const noexcept { return reduce_fn_; }
+  const JoinFn& join_fn() const noexcept { return join_fn_; }
+  double sample_fraction() const noexcept { return sample_fraction_; }
+  std::uint64_t sample_seed() const noexcept { return sample_seed_; }
+
+ private:
+  Dataset() = default;
+  static DatasetPtr make(OpKind op, std::string label,
+                         std::vector<DatasetPtr> parents);
+
+  std::size_t id_ = 0;
+  OpKind op_ = OpKind::kSource;
+  std::string label_;
+  std::vector<DatasetPtr> parents_;
+  bool cached_ = false;
+  double work_per_record_ = 1.0;
+  ShuffleRequest shuffle_req_;
+  std::size_t source_partitions_ = 0;
+
+  SourceFn source_fn_;
+  MapFn map_fn_;
+  FlatMapFn flat_map_fn_;
+  FilterFn filter_fn_;
+  MapPartitionsFn map_partitions_fn_;
+  ReduceFn reduce_fn_;
+  JoinFn join_fn_;
+  double sample_fraction_ = 1.0;
+  std::uint64_t sample_seed_ = 0;
+  bool preserves_partitioning_ = false;
+};
+
+}  // namespace chopper::engine

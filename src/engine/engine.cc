@@ -1,0 +1,69 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace chopper::engine {
+
+Engine::Engine(ClusterSpec cluster, EngineOptions options)
+    : cluster_(std::move(cluster)),
+      options_(options),
+      timeline_(cluster_.num_nodes(), cluster_.total_slots(), [&] {
+        std::uint64_t mem = 0;
+        for (const auto& n : cluster_.nodes()) mem += n.memory_bytes;
+        return mem;
+      }()) {
+  // Interleaved slot ownership: round-robin over nodes, each node
+  // contributing one slot per round while it still has cores left. Placement
+  // `node_for` walks this list, which spreads consecutive partitions across
+  // nodes proportionally to their slot counts.
+  const std::size_t max_cores =
+      std::max_element(cluster_.nodes().begin(), cluster_.nodes().end(),
+                       [](const NodeSpec& a, const NodeSpec& b) {
+                         return a.cores < b.cores;
+                       })
+          ->cores;
+  for (std::size_t round = 0; round < max_cores; ++round) {
+    for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+      if (round < cluster_.node(n).cores) slot_owner_.push_back(n);
+    }
+  }
+
+  std::size_t threads = options_.host_threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(2, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<common::ThreadPool>(threads);
+}
+
+Engine::~Engine() = default;
+
+std::size_t Engine::node_for(std::size_t partition,
+                             std::size_t num_partitions) const {
+  (void)num_partitions;
+  return slot_owner_[partition % slot_owner_.size()];
+}
+
+JobResult Engine::count(const DatasetPtr& ds, std::string job_name) {
+  return run_job(ds, /*collect_records=*/false, std::move(job_name));
+}
+
+JobResult Engine::collect(const DatasetPtr& ds, std::string job_name) {
+  return run_job(ds, /*collect_records=*/true, std::move(job_name));
+}
+
+JobPlan Engine::describe_job(const DatasetPtr& ds) const {
+  return build_job_plan(ds, block_manager_);
+}
+
+void Engine::reset_metrics() {
+  metrics_.clear();
+  timeline_.clear();
+  sim_clock_ = 0.0;
+  next_job_id_ = 0;
+  next_stage_id_ = 0;
+}
+
+void Engine::uncache_all() { block_manager_.clear(); }
+
+}  // namespace chopper::engine

@@ -1,0 +1,159 @@
+// Engine: the minispark execution context (SparkContext analogue).
+//
+// Owns the cluster description, cost model, thread pool, shuffle and block
+// managers, metrics registry and the resource timeline. Actions (count /
+// collect) submit jobs: the lineage is cut into stages, stages execute in
+// topological order with a global barrier between them, and every stage
+// produces a StageMetrics row.
+//
+// Tasks run *for real* on a host thread pool (real records through real
+// partitioners); their measured work is then priced by the CostModel onto
+// the configured cluster to produce deterministic simulated times. See
+// DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/block_manager.h"
+#include "engine/cluster.h"
+#include "engine/cost_model.h"
+#include "engine/dataset.h"
+#include "engine/metrics.h"
+#include "engine/plan.h"
+#include "engine/shuffle.h"
+
+namespace chopper::engine {
+
+/// Spark-3-AQE-style runtime partition coalescing: when no plan provider
+/// overrides a stage's scheme, size the reduce side from the *observed* map
+/// output volume instead of the static default. Included as the modern
+/// baseline CHOPPER should be compared against (it post-dates the paper).
+struct AdaptiveCoalescing {
+  bool enabled = false;
+  /// Reduce partitions = clamp(ceil(map_output_bytes / target), min, max).
+  /// Bytes are compared after CostModel::data_scale rescaling, so the target
+  /// is expressed at the modeled system's scale (Spark's default is 64 MiB).
+  std::uint64_t target_partition_bytes = 64ULL << 20;
+  std::size_t min_partitions = 1;
+  std::size_t max_partitions = 10'000;
+};
+
+/// Deterministic fault injection for the simulated cluster. Failures never
+/// corrupt results (the real computation always completes); they model the
+/// *time* cost of Spark's task retries: each failed attempt burns
+/// `failed_attempt_fraction` of the task's duration before the retry.
+struct FaultInjection {
+  double task_failure_prob = 0.0;  ///< per-attempt failure probability
+  std::size_t max_attempts = 4;    ///< attempts before the job aborts
+  double failed_attempt_fraction = 0.6;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Speculative execution (spark.speculation): a task whose duration exceeds
+/// `multiplier` x the stage median is assumed to get a backup copy; its
+/// effective duration becomes min(original, median * multiplier + launch).
+/// This is what bounds straggler damage from skewed partitions.
+struct Speculation {
+  bool enabled = false;
+  double multiplier = 1.5;
+};
+
+struct EngineOptions {
+  /// Default number of partitions when neither the operator nor the active
+  /// partition plan specifies one (spark.default.parallelism). The paper's
+  /// vanilla baseline uses 300.
+  std::size_t default_parallelism = 300;
+  CostModel cost_model;
+  /// Host threads used to actually execute tasks (0 = hardware concurrency).
+  std::size_t host_threads = 0;
+  /// Record per-second utilization samples (Fig. 11-14).
+  bool record_timeline = true;
+  AdaptiveCoalescing adaptive;
+  FaultInjection faults;
+  Speculation speculation;
+};
+
+struct JobResult {
+  std::size_t job_id = 0;
+  std::string name;
+  double sim_time_s = 0.0;
+  double wall_time_s = 0.0;
+  std::uint64_t count = 0;           ///< for count actions
+  std::vector<Record> records;       ///< for collect actions
+  std::vector<std::size_t> stage_ids;
+};
+
+class Engine {
+ public:
+  explicit Engine(ClusterSpec cluster, EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // -- actions -------------------------------------------------------------
+  /// Count records of `ds` (materializes lineage as needed).
+  JobResult count(const DatasetPtr& ds, std::string job_name = "count");
+  /// Collect all records of `ds` to the driver.
+  JobResult collect(const DatasetPtr& ds, std::string job_name = "collect");
+
+  // -- partition planning (the CHOPPER hook) --------------------------------
+  void set_plan_provider(std::shared_ptr<PlanProvider> provider) {
+    plan_provider_ = std::move(provider);
+  }
+  std::shared_ptr<PlanProvider> plan_provider() const { return plan_provider_; }
+
+  /// Dry-run: the stage DAG the next job over `ds` would produce, without
+  /// executing anything. CHOPPER's optimizer uses this for Algorithm 3.
+  JobPlan describe_job(const DatasetPtr& ds) const;
+
+  // -- state ----------------------------------------------------------------
+  const ClusterSpec& cluster() const noexcept { return cluster_; }
+  const EngineOptions& options() const noexcept { return options_; }
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  ResourceTimeline& timeline() noexcept { return timeline_; }
+  BlockManager& block_manager() noexcept { return block_manager_; }
+
+  /// Current simulated time (advances as jobs run).
+  double sim_now() const noexcept { return sim_clock_; }
+
+  /// Node index a partition p of a P-partition stage is placed on:
+  /// deterministic, interleaved proportional to node slot counts.
+  std::size_t node_for(std::size_t partition, std::size_t num_partitions) const;
+
+  /// Clear metrics, timeline and the simulated clock (cache is kept so
+  /// back-to-back experiment runs can reuse generated inputs explicitly).
+  void reset_metrics();
+
+  /// Drop all cached datasets.
+  void uncache_all();
+
+  /// Implementation detail of run_job (defined in scheduler.cc); public so
+  /// file-local helpers there can name it.
+  struct JobContext;
+
+ private:
+  JobResult run_job(const DatasetPtr& root, bool collect_records,
+                    std::string job_name);
+
+  ClusterSpec cluster_;
+  EngineOptions options_;
+  std::vector<std::size_t> slot_owner_;  ///< interleaved node index per slot
+  std::unique_ptr<common::ThreadPool> pool_;
+  ShuffleManager shuffles_;
+  BlockManager block_manager_;
+  MetricsRegistry metrics_;
+  ResourceTimeline timeline_;
+  std::shared_ptr<PlanProvider> plan_provider_;
+  InsertedRepartitions inserted_repartitions_;
+  double sim_clock_ = 0.0;
+  std::size_t next_job_id_ = 0;
+  std::size_t next_stage_id_ = 0;
+};
+
+}  // namespace chopper::engine

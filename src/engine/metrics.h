@@ -1,0 +1,151 @@
+// Runtime metrics: the raw material CHOPPER's statistics collector consumes.
+//
+// Every executed stage produces a StageMetrics row with its signature,
+// input size, partition scheme, simulated and wall execution time, shuffle
+// read/write bytes and the per-task time distribution (for skew analysis).
+// A ResourceTimeline accumulates per-simulated-second utilization samples
+// (CPU slot occupancy, memory, network bytes, block-store transactions) to
+// reproduce the paper's Fig. 11-14.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/dataset.h"
+#include "engine/partitioner.h"
+
+namespace chopper::engine {
+
+struct TaskMetrics {
+  std::size_t task_index = 0;
+  std::size_t node = 0;
+  double sim_start = 0.0;
+  double sim_end = 0.0;
+  double compute_s = 0.0;     ///< CPU portion of the task
+  double fetch_s = 0.0;       ///< shuffle fetch portion
+  std::size_t attempts = 1;   ///< execution attempts (>1 under fault injection)
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t shuffle_read_remote = 0;
+  std::uint64_t shuffle_read_local = 0;
+
+  double duration() const noexcept { return sim_end - sim_start; }
+};
+
+struct StageMetrics {
+  std::size_t stage_id = 0;      ///< global, monotonically increasing
+  std::size_t job_id = 0;
+  std::uint64_t signature = 0;   ///< structural stage signature
+  std::string name;
+  bool is_shuffle_map = false;
+
+  std::size_t num_partitions = 0;
+  PartitionerKind partitioner = PartitionerKind::kHash;
+
+  // Structural information (for CHOPPER's DAG-level optimizer).
+  OpKind anchor_op = OpKind::kSource;       ///< wide op / source / cache anchor
+  std::vector<std::uint64_t> parent_signatures;
+  bool fixed_partitions = false;  ///< task count pinned by a cache dependency
+  bool user_fixed = false;        ///< user pinned the scheme explicitly
+
+  std::uint64_t input_records = 0;
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_records = 0;
+  std::uint64_t output_bytes = 0;
+  std::uint64_t shuffle_read_bytes = 0;   ///< local + remote
+  std::uint64_t shuffle_write_bytes = 0;
+
+  double sim_time_s = 0.0;   ///< simulated makespan on the cluster
+  double sim_start_s = 0.0;  ///< job-relative simulated start
+  double wall_time_s = 0.0;  ///< host wall time actually spent executing
+
+  std::vector<TaskMetrics> tasks;
+
+  /// max task duration / mean task duration; 1.0 == perfectly balanced.
+  double task_skew() const;
+
+  /// The paper's "shuffle data per stage" metric: max(read, write).
+  std::uint64_t shuffle_bytes() const noexcept {
+    return shuffle_read_bytes > shuffle_write_bytes ? shuffle_read_bytes
+                                                    : shuffle_write_bytes;
+  }
+};
+
+struct JobMetrics {
+  std::size_t job_id = 0;
+  std::string name;
+  double sim_time_s = 0.0;
+  double wall_time_s = 0.0;
+  std::vector<std::size_t> stage_ids;
+};
+
+/// Per-simulated-second utilization samples over the whole engine run.
+class ResourceTimeline {
+ public:
+  explicit ResourceTimeline(std::size_t num_nodes, std::size_t total_slots,
+                            std::uint64_t total_memory)
+      : num_nodes_(num_nodes),
+        total_slots_(total_slots),
+        total_memory_(total_memory) {}
+
+  /// Record one task's busy interval [start, end) of CPU activity.
+  void add_cpu_busy(double start, double end);
+  /// Attribute network bytes uniformly over [start, end).
+  void add_network(double start, double end, std::uint64_t bytes);
+  /// Record block-store/shuffle transactions at time t.
+  void add_transactions(double t, std::uint64_t count);
+  /// Record a memory-resident footprint over [start, end).
+  void add_memory(double start, double end, std::uint64_t bytes);
+
+  struct Sample {
+    double t = 0.0;
+    double cpu_pct = 0.0;     ///< average over cluster slots
+    double mem_pct = 0.0;
+    double packets_per_s = 0.0;
+    double transactions_per_s = 0.0;
+  };
+
+  /// Aggregate into `num_nodes`-averaged per-second samples.
+  std::vector<Sample> samples() const;
+
+  void clear();
+
+ private:
+  void ensure(double t_end) const;
+
+  std::size_t num_nodes_;
+  std::size_t total_slots_;
+  std::uint64_t total_memory_;
+  // Mutable second-indexed accumulators (ensure() grows them).
+  mutable std::vector<double> cpu_busy_s_;
+  mutable std::vector<double> net_bytes_;
+  mutable std::vector<double> transactions_;
+  mutable std::vector<double> mem_byte_seconds_;
+};
+
+/// Append-only registry owned by the engine.
+class MetricsRegistry {
+ public:
+  void add_stage(StageMetrics m) { stages_.push_back(std::move(m)); }
+  void add_job(JobMetrics m) { jobs_.push_back(std::move(m)); }
+
+  const std::vector<StageMetrics>& stages() const noexcept { return stages_; }
+  const std::vector<JobMetrics>& jobs() const noexcept { return jobs_; }
+
+  /// Total simulated time across all recorded jobs.
+  double total_sim_time() const;
+
+  void clear() {
+    stages_.clear();
+    jobs_.clear();
+  }
+
+ private:
+  std::vector<StageMetrics> stages_;
+  std::vector<JobMetrics> jobs_;
+};
+
+}  // namespace chopper::engine

@@ -1,0 +1,58 @@
+// A partition is the unit of parallelism: one task processes exactly one
+// partition (Spark's 1:1 task/partition contract, paper Sec. II-A).
+// Partitions own their records and maintain an exact byte count so the
+// shuffle manager and the cost model never have to rescan data.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/record.h"
+
+namespace chopper::engine {
+
+class Partition {
+ public:
+  Partition() = default;
+
+  void push(Record r) {
+    bytes_ += record_bytes(r);
+    records_.push_back(std::move(r));
+  }
+
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+  const std::vector<Record>& records() const noexcept { return records_; }
+  std::vector<Record>& mutable_records() noexcept { return records_; }
+
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  std::uint64_t bytes() const noexcept { return bytes_; }
+
+  /// Recompute the byte count after in-place mutation of records().
+  void recount_bytes() noexcept {
+    bytes_ = 0;
+    for (const auto& r : records_) bytes_ += record_bytes(r);
+  }
+
+  /// Append all records of `other` (moves them out).
+  void absorb(Partition&& other) {
+    bytes_ += other.bytes_;
+    if (records_.empty()) {
+      records_ = std::move(other.records_);
+    } else {
+      records_.insert(records_.end(),
+                      std::make_move_iterator(other.records_.begin()),
+                      std::make_move_iterator(other.records_.end()));
+    }
+    other.records_.clear();
+    other.bytes_ = 0;
+  }
+
+ private:
+  std::vector<Record> records_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace chopper::engine

@@ -1,0 +1,33 @@
+// The engine's record type.
+//
+// minispark processes key/value records: a 64-bit key (hash or range
+// partitionable) plus a numeric payload (feature vectors for ML workloads,
+// measures for SQL) and an `aux_bytes` count that models additional opaque
+// payload (strings, blobs) without actually storing it. Byte accounting —
+// which drives shuffle sizes and the simulated cost model — always includes
+// aux_bytes, so workloads can faithfully model wide rows cheaply.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace chopper::engine {
+
+struct Record {
+  std::uint64_t key = 0;
+  std::vector<double> values;
+  std::uint32_t aux_bytes = 0;
+
+  bool operator==(const Record&) const = default;
+};
+
+/// Serialized-size model for a record: key + payload doubles + opaque bytes
+/// + a fixed framing overhead (mirrors Spark's serialized tuple overhead).
+inline constexpr std::uint64_t kRecordFramingBytes = 16;
+
+inline std::uint64_t record_bytes(const Record& r) noexcept {
+  return kRecordFramingBytes + 8 + 8 * static_cast<std::uint64_t>(r.values.size()) +
+         r.aux_bytes;
+}
+
+}  // namespace chopper::engine

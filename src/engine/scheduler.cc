@@ -1,0 +1,882 @@
+// Job execution: the DAGScheduler + executors of minispark.
+//
+// Stages run in topological order with a global barrier between them
+// (paper Sec. I: "data processing frameworks usually employ a global
+// barrier between computation phases"). Each stage:
+//
+//   phase 1  tasks execute for real on the host thread pool: resolve input
+//            (source generator / cached blocks / shuffle fetch + wide
+//            merge), run the narrow operator chain, record measured work;
+//   phase 2  if the stage feeds wide consumers, bucket its output per
+//            consumer partitioner (map-side combine for reduceByKey,
+//            pass-through when already co-partitioned);
+//   phase 3  the measured work is priced by the CostModel and the tasks are
+//            list-scheduled onto the simulated cluster's slots, producing
+//            the stage's simulated makespan, task distribution and the
+//            resource-timeline samples.
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+
+namespace chopper::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Per-task measurements from the real execution, priced later.
+struct TaskWork {
+  std::uint64_t records_in = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t bytes_out = 0;
+  double work_units = 0.0;
+  /// Remote shuffle-fetch bytes aggregated by source node.
+  std::map<std::size_t, std::uint64_t> remote_fetch;
+  std::size_t remote_segments = 0;
+  std::uint64_t local_fetch_bytes = 0;
+  std::uint64_t shuffle_read_remote = 0;
+  std::uint64_t shuffle_read_local = 0;
+};
+
+/// Work-unit weights for engine-internal activities (relative to one
+/// "average record operation" == 1.0).
+constexpr double kSourceGenWork = 1.0;
+constexpr double kCacheReadWork = 0.15;
+constexpr double kBucketWork = 0.35;
+constexpr double kCombineWork = 0.6;
+
+// ---------------------------------------------------------------------------
+// Wide-dependency merges (executed at the start of the consuming stage).
+// ---------------------------------------------------------------------------
+
+Partition merge_reduce_by_key(std::vector<Partition>&& parts,
+                              const ReduceFn& fn) {
+  std::unordered_map<std::uint64_t, Record> acc;
+  for (auto& part : parts) {
+    for (auto& r : part.mutable_records()) {
+      auto [it, inserted] = acc.try_emplace(r.key, std::move(r));
+      if (!inserted) fn(it->second, r);
+    }
+  }
+  std::vector<std::uint64_t> keys;
+  keys.reserve(acc.size());
+  for (const auto& [k, v] : acc) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  Partition out;
+  out.reserve(keys.size());
+  for (const auto k : keys) out.push(std::move(acc.at(k)));
+  return out;
+}
+
+Partition merge_group_by_key(std::vector<Partition>&& parts) {
+  std::map<std::uint64_t, Record> acc;
+  for (auto& part : parts) {
+    for (auto& r : part.mutable_records()) {
+      auto [it, inserted] = acc.try_emplace(r.key, std::move(r));
+      if (!inserted) {
+        auto& g = it->second;
+        g.values.insert(g.values.end(), r.values.begin(), r.values.end());
+        g.aux_bytes += r.aux_bytes;
+      }
+    }
+  }
+  Partition out;
+  out.reserve(acc.size());
+  for (auto& [k, v] : acc) out.push(std::move(v));
+  return out;
+}
+
+Partition merge_join(Partition&& left, Partition&& right, const JoinFn& fn,
+                     bool cogroup) {
+  std::map<std::uint64_t, std::pair<std::vector<Record>, std::vector<Record>>>
+      groups;
+  for (auto& r : left.mutable_records()) {
+    groups[r.key].first.push_back(std::move(r));
+  }
+  for (auto& r : right.mutable_records()) {
+    groups[r.key].second.push_back(std::move(r));
+  }
+  Partition out;
+  for (auto& [key, sides] : groups) {
+    auto& [ls, rs] = sides;
+    if (!cogroup && (ls.empty() || rs.empty())) continue;  // inner join
+    if (fn) {
+      for (auto& rec : fn(key, ls, rs)) out.push(std::move(rec));
+      continue;
+    }
+    if (cogroup) {
+      Record g;
+      g.key = key;
+      for (const auto& l : ls) {
+        g.values.insert(g.values.end(), l.values.begin(), l.values.end());
+        g.aux_bytes += l.aux_bytes;
+      }
+      for (const auto& r : rs) {
+        g.values.insert(g.values.end(), r.values.begin(), r.values.end());
+        g.aux_bytes += r.aux_bytes;
+      }
+      out.push(std::move(g));
+    } else {
+      for (const auto& l : ls) {
+        for (const auto& r : rs) {
+          Record j;
+          j.key = key;
+          j.values.reserve(l.values.size() + r.values.size());
+          j.values.insert(j.values.end(), l.values.begin(), l.values.end());
+          j.values.insert(j.values.end(), r.values.begin(), r.values.end());
+          j.aux_bytes = l.aux_bytes + r.aux_bytes;
+          out.push(std::move(j));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Partition merge_concat(std::vector<Partition>&& parts) {
+  Partition out;
+  for (auto& p : parts) out.absorb(std::move(p));
+  return out;
+}
+
+Partition merge_sorted(std::vector<Partition>&& parts) {
+  Partition out = merge_concat(std::move(parts));
+  std::stable_sort(out.mutable_records().begin(), out.mutable_records().end(),
+                   [](const Record& a, const Record& b) { return a.key < b.key; });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Narrow operator chain.
+// ---------------------------------------------------------------------------
+
+Partition apply_narrow_op(const Dataset& op, Partition&& in, std::size_t task,
+                          TaskWork& tw) {
+  const auto n = static_cast<double>(in.size());
+  tw.work_units += n * op.work_per_record();
+  switch (op.op()) {
+    case OpKind::kMap:
+    case OpKind::kMapValues: {
+      Partition out;
+      out.reserve(in.size());
+      for (const auto& r : in.records()) out.push(op.map_fn()(r));
+      return out;
+    }
+    case OpKind::kFilter: {
+      Partition out;
+      for (const auto& r : in.records()) {
+        if (op.filter_fn()(r)) out.push(r);
+      }
+      return out;
+    }
+    case OpKind::kFlatMap: {
+      Partition out;
+      for (const auto& r : in.records()) {
+        for (auto& produced : op.flat_map_fn()(r)) out.push(std::move(produced));
+      }
+      return out;
+    }
+    case OpKind::kMapPartitions:
+      return op.map_partitions_fn()(std::move(in));
+    case OpKind::kSample: {
+      common::Xoshiro256 rng(
+          common::hash_combine(op.sample_seed(), task + 1));
+      Partition out;
+      for (const auto& r : in.records()) {
+        if (rng.next_double() < op.sample_fraction()) out.push(r);
+      }
+      return out;
+    }
+    default:
+      throw std::logic_error("apply_narrow_op: not a narrow op");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Job context.
+// ---------------------------------------------------------------------------
+
+struct Engine::JobContext {
+  JobPlan plan;
+  std::size_t job_id = 0;
+  std::string name;
+  bool collect_records = false;
+
+  struct StageRt {
+    std::optional<PartitionScheme> scheme;      ///< resolved (kShuffle/kSource)
+    std::shared_ptr<Partitioner> partitioner;   ///< reduce-side (kShuffle only)
+    std::size_t num_tasks = 0;
+    std::vector<std::size_t> task_node;
+    std::vector<Partition> output;
+    std::shared_ptr<Partitioner> output_partitioner;
+    /// producer stage index -> shuffle id written for this stage to read
+    std::unordered_map<std::size_t, std::size_t> shuffle_from_producer;
+  };
+  std::vector<StageRt> rt;
+
+  /// One partitioner instance per (kind, count) within the job: stages that
+  /// resolve to the same scheme share the same object (and for range
+  /// partitioners, the same sampled bounds), which is what makes equal
+  /// schemes actually co-partition — mirroring Spark reusing a Partitioner
+  /// across dependent RDDs.
+  std::map<std::pair<PartitionerKind, std::size_t>,
+           std::shared_ptr<Partitioner>>
+      partitioner_cache;
+
+  JobResult result;
+};
+
+/// Resolve the partition scheme of stage `s` (consulting the plan provider
+/// first, then the wide operator's request, then engine defaults). Memoized.
+static PartitionScheme resolve_scheme(Engine::JobContext& ctx, std::size_t s,
+                                      PlanProvider* provider,
+                                      std::size_t default_parallelism) {
+  auto& rt = ctx.rt[s];
+  if (rt.scheme) return *rt.scheme;
+  const StagePlan& plan = ctx.plan.stages[s];
+
+  // Synthesized repartition stages carry their scheme from the plan builder.
+  if (plan.forced_scheme) {
+    rt.scheme = plan.forced_scheme;
+    return *rt.scheme;
+  }
+
+  PartitionScheme scheme;
+  scheme.kind = PartitionerKind::kHash;
+  scheme.num_partitions = default_parallelism;
+
+  if (plan.input == StageInputKind::kShuffle) {
+    const auto& req = plan.anchor->shuffle_request();
+    if (req.kind) scheme.kind = *req.kind;
+    if (req.num_partitions) scheme.num_partitions = *req.num_partitions;
+  } else if (plan.input == StageInputKind::kSource) {
+    scheme.num_partitions = plan.anchor->source_partitions();
+  }
+
+  // The plan provider (CHOPPER's config file) overrides defaults, but never
+  // a user-fixed scheme and never a cache-determined task count.
+  const bool user_fixed = plan.input == StageInputKind::kShuffle &&
+                          plan.anchor->shuffle_request().user_fixed;
+  if (provider && !plan.fixed_partitions && !user_fixed) {
+    if (const auto o = provider->scheme_for(plan.signature)) {
+      scheme = *o;
+    }
+  }
+  if (scheme.num_partitions == 0) scheme.num_partitions = default_parallelism;
+  rt.scheme = scheme;
+  return scheme;
+}
+
+namespace {
+/// Evenly-strided deterministic key sample from materialized output.
+std::vector<std::uint64_t> sample_keys(const std::vector<Partition>& parts,
+                                       std::size_t per_partition = 32) {
+  std::vector<std::uint64_t> keys;
+  for (const auto& p : parts) {
+    if (p.empty()) continue;
+    const std::size_t stride = std::max<std::size_t>(1, p.size() / per_partition);
+    for (std::size_t i = 0; i < p.size(); i += stride) {
+      keys.push_back(p.records()[i].key);
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Engine::run_job
+// ---------------------------------------------------------------------------
+
+JobResult Engine::run_job(const DatasetPtr& root, bool collect_records,
+                          std::string job_name) {
+  const auto job_t0 = Clock::now();
+  JobContext ctx;
+  ctx.plan = build_job_plan(root, block_manager_, plan_provider_.get(),
+                            &inserted_repartitions_);
+  ctx.job_id = next_job_id_++;
+  ctx.name = std::move(job_name);
+  ctx.collect_records = collect_records;
+  ctx.rt.resize(ctx.plan.stages.size());
+
+  const double job_sim_start = sim_clock_;
+  JobMetrics job_metrics;
+  job_metrics.job_id = ctx.job_id;
+  job_metrics.name = ctx.name;
+
+  PlanProvider* provider = plan_provider_.get();
+  const CostModel& cm = options_.cost_model;
+
+  for (std::size_t s = 0; s < ctx.plan.stages.size(); ++s) {
+    const StagePlan& plan = ctx.plan.stages[s];
+    auto& rt = ctx.rt[s];
+    const auto stage_t0 = Clock::now();
+
+    StageMetrics sm;
+    sm.stage_id = next_stage_id_++;
+    sm.job_id = ctx.job_id;
+    sm.signature = plan.signature;
+    sm.name = plan.name;
+    sm.is_shuffle_map = !plan.consumers.empty();
+    sm.anchor_op = plan.anchor->op();
+    for (const std::size_t parent : plan.parent_stages) {
+      sm.parent_signatures.push_back(ctx.plan.stages[parent].signature);
+    }
+    sm.fixed_partitions = plan.fixed_partitions;
+    sm.user_fixed = plan.input == StageInputKind::kShuffle &&
+                    plan.anchor->shuffle_request().user_fixed;
+    job_metrics.stage_ids.push_back(sm.stage_id);
+
+    // ---- determine task count & placement --------------------------------
+    const CachedDataset* cached = nullptr;
+    switch (plan.input) {
+      case StageInputKind::kSource:
+        rt.num_tasks =
+            resolve_scheme(ctx, s, provider, options_.default_parallelism)
+                .num_partitions;
+        break;
+      case StageInputKind::kCache:
+        cached = block_manager_.get(plan.anchor->id());
+        if (cached == nullptr) {
+          throw std::logic_error("run_job: cache anchor not materialized: " +
+                                 plan.anchor->label());
+        }
+        rt.num_tasks = cached->partitions.size();
+        break;
+      case StageInputKind::kShuffle:
+        // The partitioner was built when the first producer wrote; producers
+        // precede us in topological order.
+        if (!rt.partitioner) {
+          throw std::logic_error("run_job: shuffle partitioner missing for " +
+                                 plan.name);
+        }
+        rt.num_tasks = rt.partitioner->num_partitions();
+        break;
+    }
+    rt.task_node.resize(rt.num_tasks);
+    for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+      rt.task_node[p] = node_for(p, rt.num_tasks);
+    }
+
+    // ---- phase 1: real execution ------------------------------------------
+    std::vector<TaskWork> work(rt.num_tasks);
+    rt.output.resize(rt.num_tasks);
+
+    // Cache-materialization snapshots for not-yet-cached chain nodes.
+    std::vector<const Dataset*> to_cache;
+    if (plan.anchor->cached() && !block_manager_.contains(plan.anchor->id()) &&
+        plan.input != StageInputKind::kCache) {
+      to_cache.push_back(plan.anchor);
+    }
+    for (const auto* op : plan.narrow_ops) {
+      if (op->cached() && !block_manager_.contains(op->id())) {
+        to_cache.push_back(op);
+      }
+    }
+    std::unordered_map<const Dataset*, std::vector<Partition>> cache_snapshots;
+    for (const auto* ds : to_cache) {
+      cache_snapshots[ds].resize(rt.num_tasks);
+    }
+
+    // Gather parent shuffle outputs (non-owning pointers; bucket columns are
+    // disjoint per task, so tasks can move them out without locking).
+    std::vector<ShuffleOutput*> parent_shuffles;
+    if (plan.input == StageInputKind::kShuffle) {
+      for (const std::size_t parent : plan.parent_stages) {
+        const auto it = rt.shuffle_from_producer.find(parent);
+        if (it == rt.shuffle_from_producer.end()) {
+          throw std::logic_error("run_job: missing parent shuffle for " +
+                                 plan.name);
+        }
+        parent_shuffles.push_back(&shuffles_.get_mutable(it->second));
+      }
+    }
+
+    common::parallel_for(*pool_, rt.num_tasks, [&](std::size_t p) {
+      TaskWork& tw = work[p];
+      Partition part;
+
+      switch (plan.input) {
+        case StageInputKind::kSource: {
+          part = plan.anchor->source_fn()(p, rt.num_tasks);
+          tw.records_in = part.size();
+          tw.bytes_in = part.bytes();
+          tw.work_units += static_cast<double>(part.size()) * kSourceGenWork;
+          break;
+        }
+        case StageInputKind::kCache: {
+          part.reserve(cached->partitions[p].size());
+          for (const auto& r : cached->partitions[p].records()) part.push(r);
+          tw.records_in = part.size();
+          tw.bytes_in = part.bytes();
+          tw.local_fetch_bytes += part.bytes();
+          tw.work_units += static_cast<double>(part.size()) * kCacheReadWork;
+          break;
+        }
+        case StageInputKind::kShuffle: {
+          const std::size_t dst = rt.task_node[p];
+          std::vector<Partition> sides;
+          sides.reserve(parent_shuffles.size());
+          for (ShuffleOutput* so : parent_shuffles) {
+            Partition side;
+            for (std::size_t m = 0; m < so->num_map_tasks; ++m) {
+              Partition& bucket = so->buckets[m][p];
+              const std::uint64_t b = bucket.bytes();
+              if (so->passthrough || so->map_node[m] == dst) {
+                tw.local_fetch_bytes += b;
+                tw.shuffle_read_local += b;
+              } else if (b > 0) {
+                tw.remote_fetch[so->map_node[m]] += b;
+                ++tw.remote_segments;
+                tw.shuffle_read_remote += b;
+              }
+              side.absorb(std::move(bucket));
+            }
+            tw.records_in += side.size();
+            tw.bytes_in += side.bytes();
+            sides.push_back(std::move(side));
+          }
+          tw.work_units +=
+              static_cast<double>(tw.records_in) * plan.anchor->work_per_record();
+          switch (plan.anchor->op()) {
+            case OpKind::kReduceByKey:
+              part = merge_reduce_by_key(std::move(sides),
+                                         plan.anchor->reduce_fn());
+              break;
+            case OpKind::kGroupByKey:
+              part = merge_group_by_key(std::move(sides));
+              break;
+            case OpKind::kJoin:
+              part = merge_join(std::move(sides[0]), std::move(sides[1]),
+                                plan.anchor->join_fn(), /*cogroup=*/false);
+              break;
+            case OpKind::kCoGroup:
+              part = merge_join(std::move(sides[0]), std::move(sides[1]),
+                                plan.anchor->join_fn(), /*cogroup=*/true);
+              break;
+            case OpKind::kRepartition:
+            case OpKind::kUnion:
+              part = merge_concat(std::move(sides));
+              break;
+            case OpKind::kSortByKey:
+              part = merge_sorted(std::move(sides));
+              break;
+            default:
+              throw std::logic_error("run_job: unexpected wide op");
+          }
+          break;
+        }
+      }
+
+      // Cache snapshot at the anchor point (before narrow ops).
+      if (auto it = cache_snapshots.find(plan.anchor);
+          it != cache_snapshots.end()) {
+        Partition copy;
+        copy.reserve(part.size());
+        for (const auto& r : part.records()) copy.push(r);
+        it->second[p] = std::move(copy);
+      }
+
+      for (const auto* op : plan.narrow_ops) {
+        part = apply_narrow_op(*op, std::move(part), p, tw);
+        if (auto it = cache_snapshots.find(op); it != cache_snapshots.end()) {
+          Partition copy;
+          copy.reserve(part.size());
+          for (const auto& r : part.records()) copy.push(r);
+          it->second[p] = std::move(copy);
+        }
+      }
+
+      tw.records_out = part.size();
+      tw.bytes_out = part.bytes();
+      rt.output[p] = std::move(part);
+    });
+
+    // Track the partitioning of this stage's output for the co-partition
+    // fast path: a shuffle input partitioner survives narrow ops that
+    // preserve partitioning.
+    if (plan.input == StageInputKind::kShuffle) {
+      rt.output_partitioner = rt.partitioner;
+    } else if (plan.input == StageInputKind::kCache) {
+      rt.output_partitioner = cached->partitioner;
+    }
+    for (const auto* op : plan.narrow_ops) {
+      if (!op->preserves_partitioning()) {
+        rt.output_partitioner = nullptr;
+        break;
+      }
+    }
+
+    // Commit cache materializations.
+    for (const auto* ds : to_cache) {
+      CachedDataset cd;
+      cd.partitions = std::move(cache_snapshots[ds]);
+      cd.placement = rt.task_node;
+      // The snapshot is partitioned like the stage output only if every op
+      // after the snapshot point... conservatively: anchor snapshots carry
+      // the input partitioner, later snapshots carry none unless all prior
+      // ops preserve partitioning; using the stage-level result is safe only
+      // for the last snapshot, so be conservative for intermediate ones.
+      cd.partitioner = (ds == plan.anchor && plan.input == StageInputKind::kShuffle)
+                           ? rt.partitioner
+                           : (!plan.narrow_ops.empty() &&
+                              ds == plan.narrow_ops.back())
+                                 ? rt.output_partitioner
+                                 : nullptr;
+      for (const auto& p : cd.partitions) cd.bytes += p.bytes();
+      block_manager_.put(ds->id(), std::move(cd));
+    }
+
+    // ---- phase 2: shuffle writes for consumers -----------------------------
+    std::vector<double> extra_work(rt.num_tasks, 0.0);
+    std::uint64_t stage_shuffle_write = 0;
+    std::uint64_t write_transactions = 0;
+    const bool keep_output = plan.is_result;
+
+    for (std::size_t ci = 0; ci < plan.consumers.size(); ++ci) {
+      const std::size_t consumer = plan.consumers[ci];
+      const StagePlan& cplan = ctx.plan.stages[consumer];
+      auto& crt = ctx.rt[consumer];
+      PartitionScheme scheme =
+          resolve_scheme(ctx, consumer, provider, options_.default_parallelism);
+      // Adaptive (AQE-style) coalescing: size the reduce side from observed
+      // map output volume when nothing pinned the scheme. Only the first
+      // producer re-sizes (later producers must agree with the partitioner
+      // already built).
+      const bool scheme_pinned =
+          (provider != nullptr &&
+           provider->scheme_for(cplan.signature).has_value()) ||
+          cplan.anchor->shuffle_request().num_partitions.has_value();
+      if (options_.adaptive.enabled && !scheme_pinned && !crt.partitioner) {
+        std::uint64_t out_bytes = 0;
+        for (const auto& part : rt.output) out_bytes += part.bytes();
+        const double modeled =
+            static_cast<double>(out_bytes) / cm.data_scale;
+        auto target = static_cast<std::size_t>(
+            modeled / static_cast<double>(
+                          options_.adaptive.target_partition_bytes) +
+            0.999);
+        target = std::clamp(target, options_.adaptive.min_partitions,
+                            options_.adaptive.max_partitions);
+        scheme.num_partitions = target;
+        ctx.rt[consumer].scheme = scheme;
+      }
+      if (!crt.partitioner) {
+        const auto cache_key = std::make_pair(scheme.kind, scheme.num_partitions);
+        const auto cached_part = ctx.partitioner_cache.find(cache_key);
+        if (cached_part != ctx.partitioner_cache.end()) {
+          crt.partitioner = cached_part->second;
+        } else {
+          std::vector<std::uint64_t> keys;
+          if (scheme.kind == PartitionerKind::kRange) {
+            keys = sample_keys(rt.output);
+          }
+          crt.partitioner = make_partitioner(scheme.kind, scheme.num_partitions,
+                                             std::move(keys));
+          ctx.partitioner_cache.emplace(cache_key, crt.partitioner);
+        }
+      }
+      const auto& target = crt.partitioner;
+      const std::size_t r_count = target->num_partitions();
+      const bool last_consumer = ci + 1 == plan.consumers.size();
+      const bool may_move = last_consumer && !keep_output;
+
+      ShuffleOutput so;
+      so.shuffle_id = shuffles_.next_id();
+      so.partitioner = target;
+      so.num_map_tasks = rt.num_tasks;
+      so.map_node = rt.task_node;
+      so.buckets.resize(rt.num_tasks);
+      for (auto& row : so.buckets) row.resize(r_count);
+
+      const bool passthrough = rt.output_partitioner &&
+                               rt.output_partitioner->equals(*target);
+      so.passthrough = passthrough;
+
+      const bool combine = cplan.anchor->op() == OpKind::kReduceByKey &&
+                           static_cast<bool>(cplan.anchor->reduce_fn());
+
+      common::parallel_for(*pool_, rt.num_tasks, [&](std::size_t m) {
+        auto& row = so.buckets[m];
+        Partition& out = rt.output[m];
+        if (passthrough) {
+          // Already partitioned correctly: bucket r == m, no repartitioning
+          // work, no framing overhead, reads will be node-local.
+          if (may_move) {
+            row[m] = std::move(out);
+          } else {
+            Partition copy;
+            copy.reserve(out.size());
+            for (const auto& r : out.records()) copy.push(r);
+            row[m] = std::move(copy);
+          }
+          return;
+        }
+        extra_work[m] +=
+            static_cast<double>(out.size()) * (combine ? kCombineWork : kBucketWork);
+        if (combine) {
+          // Map-side combine: one accumulator per (bucket, key).
+          std::vector<std::unordered_map<std::uint64_t, Record>> accs(r_count);
+          const auto& fn = cplan.anchor->reduce_fn();
+          for (const auto& rec : out.records()) {
+            auto& acc = accs[target->partition_of(rec.key)];
+            auto [it, inserted] = acc.try_emplace(rec.key, rec);
+            if (!inserted) fn(it->second, rec);
+          }
+          for (std::size_t r = 0; r < r_count; ++r) {
+            std::vector<std::uint64_t> keys;
+            keys.reserve(accs[r].size());
+            for (const auto& [k, v] : accs[r]) keys.push_back(k);
+            std::sort(keys.begin(), keys.end());
+            row[r].reserve(keys.size());
+            for (const auto k : keys) row[r].push(std::move(accs[r].at(k)));
+          }
+        } else {
+          for (const auto& rec : out.records()) {
+            row[target->partition_of(rec.key)].push(rec);
+          }
+          if (may_move) {
+            out = Partition();  // release source records
+          }
+        }
+      });
+
+      std::uint64_t bytes = 0, nonempty = 0;
+      for (const auto& row : so.buckets) {
+        for (const auto& b : row) {
+          bytes += b.bytes();
+          if (!b.empty()) ++nonempty;
+        }
+      }
+      if (!passthrough) {
+        bytes += nonempty * cm.bucket_header_bytes;
+      }
+      so.total_bytes = bytes;
+      stage_shuffle_write += bytes;
+      write_transactions += nonempty;
+
+      crt.shuffle_from_producer.emplace(s, so.shuffle_id);
+      shuffles_.put(std::move(so));
+    }
+
+    // Release output early when nobody else needs it.
+    if (!keep_output && !plan.consumers.empty()) {
+      rt.output.clear();
+      rt.output.shrink_to_fit();
+    }
+
+    // ---- phase 3: price the stage on the simulated cluster -----------------
+    sm.num_partitions = rt.num_tasks;
+    if (rt.partitioner) sm.partitioner = rt.partitioner->kind();
+    sm.tasks.resize(rt.num_tasks);
+
+    std::vector<std::vector<double>> slot_free(cluster_.num_nodes());
+    for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+      slot_free[n].assign(cluster_.node(n).cores, 0.0);
+    }
+    double makespan = 0.0;
+    // Measured work/bytes are rescaled to the modeled system's data volume
+    // before pricing (see CostModel::data_scale).
+    const double rescale = 1.0 / cm.data_scale;
+
+    // Optional NIC incast contention: concurrent fetchers share the link.
+    std::vector<double> node_fetch_share(cluster_.num_nodes(), 1.0);
+    if (cm.model_network_contention) {
+      std::vector<std::size_t> tasks_on_node(cluster_.num_nodes(), 0);
+      for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+        ++tasks_on_node[rt.task_node[p]];
+      }
+      for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+        node_fetch_share[n] = static_cast<double>(
+            std::max<std::size_t>(1, std::min(cluster_.node(n).cores,
+                                              tasks_on_node[n])));
+      }
+    }
+    std::vector<double> durations(rt.num_tasks, 0.0);
+    std::vector<double> fetch_portion(rt.num_tasks, 0.0);
+    std::vector<double> compute_portion(rt.num_tasks, 0.0);
+    for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+      const TaskWork& tw = work[p];
+      const std::size_t n = rt.task_node[p];
+      const NodeSpec& node = cluster_.node(n);
+
+      double fetch_s = tw.local_fetch_bytes * rescale / cm.local_read_bw;
+      for (const auto& [src, bytes] : tw.remote_fetch) {
+        const double bw = std::min(node.net_bw, cluster_.node(src).net_bw) /
+                          node_fetch_share[n];
+        fetch_s += static_cast<double>(bytes) * rescale / bw;
+      }
+      fetch_s += cm.fetch_latency_s * static_cast<double>(tw.remote_segments);
+
+      double compute_s =
+          (tw.work_units + extra_work[p]) * rescale * cm.sec_per_work_unit +
+          static_cast<double>(tw.bytes_in + tw.bytes_out) * rescale *
+              cm.sec_per_byte;
+      compute_s /= node.speed;
+
+      const double budget = static_cast<double>(node.memory_bytes) /
+                            static_cast<double>(node.cores) * cm.spill_fraction;
+      const double resident =
+          static_cast<double>(tw.bytes_in + tw.bytes_out) * rescale;
+      if (resident > budget) {
+        compute_s += (resident - budget) * cm.spill_amplification / cm.disk_bw;
+      }
+
+      double duration = cm.task_launch_s + fetch_s + compute_s;
+
+      // Deterministic fault injection: failed attempts burn a fraction of
+      // the duration before Spark-style retry.
+      if (options_.faults.task_failure_prob > 0.0) {
+        common::Xoshiro256 frng(common::hash_combine(
+            common::hash_combine(options_.faults.seed, sm.stage_id),
+            p + 1));
+        double total = 0.0;
+        std::size_t attempt = 1;
+        while (frng.next_double() < options_.faults.task_failure_prob) {
+          if (attempt >= options_.faults.max_attempts) {
+            throw std::runtime_error(
+                "task " + std::to_string(p) + " of stage " + plan.name +
+                " exceeded max attempts (injected faults)");
+          }
+          total += duration * options_.faults.failed_attempt_fraction;
+          ++attempt;
+        }
+        duration += total;
+        sm.tasks[p].attempts = attempt;
+      }
+      durations[p] = duration;
+      fetch_portion[p] = fetch_s;
+      compute_portion[p] = compute_s;
+    }
+
+    // Speculative execution bounds straggler damage: any task far above the
+    // stage median is assumed to get a backup copy.
+    if (options_.speculation.enabled && rt.num_tasks > 1) {
+      std::vector<double> sorted = durations;
+      std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                       sorted.end());
+      const double median = sorted[sorted.size() / 2];
+      const double cap =
+          median * options_.speculation.multiplier + cm.task_launch_s;
+      for (auto& d : durations) {
+        if (d > cap) d = cap;
+      }
+    }
+
+    for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+      const TaskWork& tw = work[p];
+      const std::size_t n = rt.task_node[p];
+      const double duration = durations[p];
+
+      // Earliest-available slot on the task's node.
+      auto& slots = slot_free[n];
+      auto slot = std::min_element(slots.begin(), slots.end());
+      const double start = *slot;
+      const double end = start + duration;
+      *slot = end;
+      makespan = std::max(makespan, end);
+
+      TaskMetrics& tm = sm.tasks[p];
+      tm.task_index = p;
+      tm.node = n;
+      tm.sim_start = start;
+      tm.sim_end = end;
+      tm.compute_s = compute_portion[p];
+      tm.fetch_s = fetch_portion[p];
+      tm.records_in = tw.records_in;
+      tm.records_out = tw.records_out;
+      tm.bytes_in = tw.bytes_in;
+      tm.bytes_out = tw.bytes_out;
+      tm.shuffle_read_remote = tw.shuffle_read_remote;
+      tm.shuffle_read_local = tw.shuffle_read_local;
+
+      sm.input_records += tw.records_in;
+      sm.input_bytes += tw.bytes_in;
+      sm.output_records += tw.records_out;
+      sm.output_bytes += tw.bytes_out;
+      sm.shuffle_read_bytes += tw.shuffle_read_remote + tw.shuffle_read_local;
+    }
+    sm.shuffle_write_bytes = stage_shuffle_write;
+    sm.sim_start_s = sim_clock_;
+    sm.sim_time_s = makespan;
+    sm.wall_time_s = seconds_since(stage_t0);
+
+    // ---- timeline samples ---------------------------------------------------
+    // Byte-valued samples are rescaled to the modeled system's volume, like
+    // the pricing above, so Fig. 12/13 read in paper-scale terms.
+    if (options_.record_timeline) {
+      const double t0 = sim_clock_;
+      for (const auto& tm : sm.tasks) {
+        timeline_.add_cpu_busy(t0 + tm.sim_start, t0 + tm.sim_end);
+        if (tm.shuffle_read_remote > 0) {
+          timeline_.add_network(
+              t0 + tm.sim_start, t0 + tm.sim_start + tm.fetch_s,
+              static_cast<std::uint64_t>(
+                  static_cast<double>(tm.shuffle_read_remote) * rescale));
+        }
+      }
+      timeline_.add_transactions(t0, write_transactions + rt.num_tasks);
+      timeline_.add_memory(
+          t0, t0 + std::max(makespan, 1e-9),
+          static_cast<std::uint64_t>(
+              static_cast<double>(sm.input_bytes + sm.output_bytes +
+                                  block_manager_.total_bytes()) *
+              rescale));
+    }
+
+    sim_clock_ += makespan;
+
+    // ---- result action -------------------------------------------------------
+    if (plan.is_result) {
+      if (ctx.collect_records) {
+        for (auto& part : rt.output) {
+          for (auto& r : part.mutable_records()) {
+            ctx.result.records.push_back(std::move(r));
+          }
+        }
+      }
+      for (const auto& tm : sm.tasks) ctx.result.count += tm.records_out;
+      rt.output.clear();
+    }
+
+    // ---- release consumed parent shuffles ------------------------------------
+    if (plan.input == StageInputKind::kShuffle) {
+      for (const std::size_t parent : plan.parent_stages) {
+        const auto it = rt.shuffle_from_producer.find(parent);
+        if (it != rt.shuffle_from_producer.end()) {
+          shuffles_.remove(it->second);
+          rt.shuffle_from_producer.erase(it);
+        }
+      }
+    }
+
+    metrics_.add_stage(std::move(sm));
+  }
+
+  ctx.result.job_id = ctx.job_id;
+  ctx.result.name = ctx.name;
+  ctx.result.sim_time_s = sim_clock_ - job_sim_start;
+  ctx.result.wall_time_s = seconds_since(job_t0);
+  ctx.result.stage_ids = job_metrics.stage_ids;
+
+  job_metrics.sim_time_s = ctx.result.sim_time_s;
+  job_metrics.wall_time_s = ctx.result.wall_time_s;
+  metrics_.add_job(std::move(job_metrics));
+  return std::move(ctx.result);
+}
+
+}  // namespace chopper::engine

@@ -1,0 +1,52 @@
+#include "engine/shuffle.h"
+
+#include <stdexcept>
+
+namespace chopper::engine {
+
+std::size_t ShuffleManager::next_id() {
+  std::lock_guard lock(mu_);
+  return next_id_++;
+}
+
+void ShuffleManager::put(ShuffleOutput out) {
+  std::lock_guard lock(mu_);
+  outputs_[out.shuffle_id] = std::move(out);
+}
+
+const ShuffleOutput& ShuffleManager::get(std::size_t shuffle_id) const {
+  std::lock_guard lock(mu_);
+  const auto it = outputs_.find(shuffle_id);
+  if (it == outputs_.end()) {
+    throw std::runtime_error("ShuffleManager: unknown shuffle id " +
+                             std::to_string(shuffle_id));
+  }
+  return it->second;
+}
+
+ShuffleOutput& ShuffleManager::get_mutable(std::size_t shuffle_id) {
+  std::lock_guard lock(mu_);
+  const auto it = outputs_.find(shuffle_id);
+  if (it == outputs_.end()) {
+    throw std::runtime_error("ShuffleManager: unknown shuffle id " +
+                             std::to_string(shuffle_id));
+  }
+  return it->second;
+}
+
+bool ShuffleManager::contains(std::size_t shuffle_id) const {
+  std::lock_guard lock(mu_);
+  return outputs_.count(shuffle_id) > 0;
+}
+
+void ShuffleManager::remove(std::size_t shuffle_id) {
+  std::lock_guard lock(mu_);
+  outputs_.erase(shuffle_id);
+}
+
+std::size_t ShuffleManager::count() const {
+  std::lock_guard lock(mu_);
+  return outputs_.size();
+}
+
+}  // namespace chopper::engine

@@ -1,0 +1,61 @@
+// Shuffle manager: stores map-side bucketed output between stages.
+//
+// A ShuffleMapStage with M tasks writing for a consumer with R partitions
+// produces an M x R grid of buckets. Byte accounting adds a fixed header per
+// non-empty bucket segment (serialized file framing), which is what makes
+// shuffle volume grow with the partition count (paper Fig. 4). When the
+// writer's output is already partitioned by an equal partitioner, the write
+// degenerates to a pass-through (bucket r == map index m) with no headers
+// and purely local reads — the co-partitioning fast path CHOPPER exploits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/partition.h"
+#include "engine/partitioner.h"
+
+namespace chopper::engine {
+
+struct ShuffleOutput {
+  std::size_t shuffle_id = 0;
+  std::shared_ptr<Partitioner> partitioner;  ///< reducer-side scheme
+  std::size_t num_map_tasks = 0;
+  /// buckets[m][r]: records map task m produced for reduce partition r.
+  std::vector<std::vector<Partition>> buckets;
+  /// node that executed map task m (for local-vs-remote fetch accounting).
+  std::vector<std::size_t> map_node;
+  std::uint64_t total_bytes = 0;  ///< includes per-bucket headers
+  bool passthrough = false;       ///< co-partitioned: no real shuffle happened
+};
+
+class ShuffleManager {
+ public:
+  /// Reserve an id for a shuffle about to be written.
+  std::size_t next_id();
+
+  void put(ShuffleOutput out);
+
+  /// Look up a stored shuffle. get_mutable is used by consuming stages:
+  /// tasks move records out of their own bucket column (column p belongs
+  /// exclusively to reduce task p, so no locking is needed across tasks).
+  const ShuffleOutput& get(std::size_t shuffle_id) const;
+  ShuffleOutput& get_mutable(std::size_t shuffle_id);
+
+  bool contains(std::size_t shuffle_id) const;
+
+  /// Drop a consumed shuffle's data to release memory.
+  void remove(std::size_t shuffle_id);
+
+  std::size_t count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t next_id_ = 1;
+  std::unordered_map<std::size_t, ShuffleOutput> outputs_;
+};
+
+}  // namespace chopper::engine

@@ -1,0 +1,151 @@
+#include "workloads/data_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace chopper::workloads {
+
+using common::hash_combine;
+using common::Xoshiro256;
+using engine::Partition;
+using engine::Record;
+
+namespace {
+/// Rows of partition `index` when `total` rows are split `count` ways.
+std::pair<std::size_t, std::size_t> slice(std::size_t total, std::size_t index,
+                                          std::size_t count) {
+  const std::size_t begin = total * index / count;
+  const std::size_t end = total * (index + 1) / count;
+  return {begin, end};
+}
+}  // namespace
+
+std::vector<std::vector<double>> gaussian_mixture_centers(
+    const GaussianMixtureSpec& spec) {
+  Xoshiro256 rng(hash_combine(spec.seed, 0xC3'11'7e'25));
+  std::vector<std::vector<double>> centers(spec.clusters);
+  for (auto& c : centers) {
+    c.resize(spec.dims);
+    for (auto& v : c) v = rng.next_normal(0.0, spec.cluster_spread);
+  }
+  return centers;
+}
+
+engine::SourceFn gaussian_mixture_source(GaussianMixtureSpec spec) {
+  auto centers = gaussian_mixture_centers(spec);
+  return [spec, centers = std::move(centers)](std::size_t index,
+                                              std::size_t count) {
+    const auto [begin, end] = slice(spec.total_points, index, count);
+    Partition out;
+    out.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      // Per-record stream: the generated dataset is identical no matter how
+      // it is split, so results are invariant under repartitioning.
+      Xoshiro256 rng(hash_combine(spec.seed, i));
+      const std::size_t c = rng.next_below(spec.clusters);
+      Record r;
+      r.key = i;
+      r.values.resize(spec.dims);
+      for (std::size_t d = 0; d < spec.dims; ++d) {
+        r.values[d] = centers[c][d] + rng.next_normal(0.0, spec.noise);
+      }
+      out.push(std::move(r));
+    }
+    return out;
+  };
+}
+
+engine::SourceFn correlated_rows_source(CorrelatedRowsSpec spec) {
+  // Fixed mixing matrix A (dims x latent_dims).
+  Xoshiro256 arng(hash_combine(spec.seed, 0xA11A));
+  std::vector<double> mix(spec.dims * spec.latent_dims);
+  for (auto& v : mix) v = arng.next_normal(0.0, 1.0);
+
+  return [spec, mix = std::move(mix)](std::size_t index, std::size_t count) {
+    const auto [begin, end] = slice(spec.total_rows, index, count);
+    Partition out;
+    out.reserve(end - begin);
+    std::vector<double> z(spec.latent_dims);
+    for (std::size_t i = begin; i < end; ++i) {
+      Xoshiro256 rng(hash_combine(spec.seed, i));
+      for (auto& v : z) v = rng.next_normal(0.0, 1.0);
+      Record r;
+      r.key = i;
+      r.values.resize(spec.dims);
+      for (std::size_t d = 0; d < spec.dims; ++d) {
+        double x = rng.next_normal(0.0, spec.noise);
+        for (std::size_t l = 0; l < spec.latent_dims; ++l) {
+          x += mix[d * spec.latent_dims + l] * z[l];
+        }
+        r.values[d] = x;
+      }
+      out.push(std::move(r));
+    }
+    return out;
+  };
+}
+
+engine::SourceFn fact_table_source(FactTableSpec spec) {
+  auto zipf =
+      std::make_shared<common::ZipfSampler>(spec.num_keys, spec.zipf_theta);
+  return [spec, zipf](std::size_t index, std::size_t count) {
+    const auto [begin, end] = slice(spec.total_rows, index, count);
+    Partition out;
+    out.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      Xoshiro256 rng(hash_combine(spec.seed, i));
+      Record r;
+      // Scramble the rank so "hot" keys are not numerically adjacent.
+      r.key = common::mix64((*zipf)(rng)) % spec.num_keys;
+      r.values = {rng.next_double() * 100.0,
+                  static_cast<double>(rng.next_below(5))};
+      r.aux_bytes = static_cast<std::uint32_t>(spec.payload_bytes);
+      out.push(std::move(r));
+    }
+    return out;
+  };
+}
+
+engine::SourceFn dim_table_source(DimTableSpec spec) {
+  return [spec](std::size_t index, std::size_t count) {
+    const auto [begin, end] = slice(spec.num_keys, index, count);
+    Partition out;
+    out.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      Xoshiro256 rng(hash_combine(spec.seed, i));
+      Record r;
+      r.key = common::mix64(i) % spec.num_keys;
+      r.values = {rng.next_double()};
+      r.aux_bytes = static_cast<std::uint32_t>(spec.payload_bytes);
+      out.push(std::move(r));
+    }
+    return out;
+  };
+}
+
+namespace {
+std::uint64_t row_bytes(std::size_t value_count, std::size_t aux) {
+  return engine::kRecordFramingBytes + 8 + 8 * value_count + aux;
+}
+}  // namespace
+
+std::uint64_t gaussian_mixture_bytes(const GaussianMixtureSpec& spec) {
+  return spec.total_points * row_bytes(spec.dims, 0);
+}
+
+std::uint64_t correlated_rows_bytes(const CorrelatedRowsSpec& spec) {
+  return spec.total_rows * row_bytes(spec.dims, 0);
+}
+
+std::uint64_t fact_table_bytes(const FactTableSpec& spec) {
+  return spec.total_rows * row_bytes(2, spec.payload_bytes);
+}
+
+std::uint64_t dim_table_bytes(const DimTableSpec& spec) {
+  return spec.num_keys * row_bytes(1, spec.payload_bytes);
+}
+
+}  // namespace chopper::workloads

@@ -1,0 +1,73 @@
+// Synthetic data generators standing in for SparkBench's generators:
+//  * Gaussian-mixture feature vectors (KMeans),
+//  * correlated feature rows (PCA),
+//  * fact/dimension tables with Zipf-skewed join keys (SQL).
+//
+// All generators are deterministic in (seed, partition index, partition
+// count); record payload sizes are chosen so byte accounting matches the
+// row widths the paper's inputs imply.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/dataset.h"
+
+namespace chopper::workloads {
+
+struct GaussianMixtureSpec {
+  std::size_t total_points = 100'000;
+  std::size_t dims = 16;
+  std::size_t clusters = 10;
+  double cluster_spread = 8.0;  ///< distance scale between cluster centers
+  double noise = 1.0;           ///< within-cluster stddev
+  std::uint64_t seed = 42;
+};
+
+/// SourceFn generating partition `index` of a Gaussian mixture. Record key
+/// is the global point id; values are the feature vector.
+engine::SourceFn gaussian_mixture_source(GaussianMixtureSpec spec);
+
+/// The mixture's true cluster centers (for workload logic and test oracles).
+std::vector<std::vector<double>> gaussian_mixture_centers(
+    const GaussianMixtureSpec& spec);
+
+struct CorrelatedRowsSpec {
+  std::size_t total_rows = 100'000;
+  std::size_t dims = 24;
+  std::size_t latent_dims = 4;  ///< true rank of the generating factors
+  double noise = 0.05;
+  std::uint64_t seed = 7;
+};
+
+/// Rows x = A z + noise with a fixed random mixing matrix A, giving data
+/// whose top-`latent_dims` principal components carry nearly all variance.
+engine::SourceFn correlated_rows_source(CorrelatedRowsSpec spec);
+
+struct FactTableSpec {
+  std::size_t total_rows = 400'000;
+  std::size_t num_keys = 20'000;   ///< distinct join keys
+  double zipf_theta = 0.8;         ///< key skew (0 = uniform)
+  std::size_t payload_bytes = 64;  ///< opaque per-row payload (aux_bytes)
+  std::uint64_t seed = 11;
+};
+
+/// Fact rows: key = join key (Zipf over [0, num_keys)), values = {measure1,
+/// measure2}, aux_bytes = payload.
+engine::SourceFn fact_table_source(FactTableSpec spec);
+
+struct DimTableSpec {
+  std::size_t num_keys = 20'000;
+  std::size_t payload_bytes = 96;
+  std::uint64_t seed = 13;
+};
+
+/// Dimension rows: one row per key, values = {attribute}, larger payload.
+engine::SourceFn dim_table_source(DimTableSpec spec);
+
+/// Approximate serialized size of the datasets (for Table I bookkeeping).
+std::uint64_t gaussian_mixture_bytes(const GaussianMixtureSpec& spec);
+std::uint64_t correlated_rows_bytes(const CorrelatedRowsSpec& spec);
+std::uint64_t fact_table_bytes(const FactTableSpec& spec);
+std::uint64_t dim_table_bytes(const DimTableSpec& spec);
+
+}  // namespace chopper::workloads

@@ -1,0 +1,49 @@
+// KMeans workload, mirroring the SparkBench job the paper profiles
+// (Sec. II-B, IV): 20 stages — a heavy input-load/cache stage (stage 0),
+// eleven lightweight sampling/initialization stages (stages 1-11, no
+// shuffle), three Lloyd iterations of map + reduceByKey pairs (stages
+// 12-17, the only shuffle stages, matching Fig. 4), and two final
+// assignment/summary stages (18-19).
+//
+// Iterations reuse identical operator labels, so all iteration-map stages
+// share one signature and all iteration-reduce stages share another —
+// CHOPPER therefore assigns stages 12-17 one scheme, as in Table III.
+#pragma once
+
+#include "workloads/data_gen.h"
+#include "workloads/workload.h"
+
+namespace chopper::workloads {
+
+struct KMeansParams {
+  GaussianMixtureSpec data;       ///< data.total_points is the scale-1 size
+  std::size_t k = 10;             ///< clusters to fit
+  std::size_t iterations = 3;     ///< Lloyd iterations (stage pairs 12-17)
+  std::size_t init_rounds = 11;   ///< sampling rounds (stages 1-11)
+  std::size_t source_partitions = 300;  ///< default input splits
+};
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centers;
+  double cost = 0.0;  ///< sum of squared distances at the final assignment
+};
+
+class KMeansWorkload final : public Workload {
+ public:
+  explicit KMeansWorkload(KMeansParams params = {});
+
+  const std::string& name() const override { return name_; }
+  std::uint64_t input_bytes(double scale) const override;
+  void run(engine::Engine& eng, double scale) const override;
+
+  /// Like run(), but returns the fitted model (for tests / examples).
+  KMeansResult run_with_result(engine::Engine& eng, double scale) const;
+
+  const KMeansParams& params() const noexcept { return params_; }
+
+ private:
+  KMeansParams params_;
+  std::string name_ = "kmeans";
+};
+
+}  // namespace chopper::workloads

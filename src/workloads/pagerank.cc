@@ -1,0 +1,151 @@
+#include "workloads/pagerank.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace chopper::workloads {
+
+using engine::Dataset;
+using engine::Partition;
+using engine::Record;
+
+namespace {
+
+/// Adjacency records: key = source page, values = out-neighbor ids.
+/// Out-neighbors follow a Zipf popularity distribution, giving the rank
+/// vector the heavy tail real graphs have. Deterministic per page.
+engine::SourceFn links_source(PageRankParams params, std::size_t pages) {
+  auto zipf = std::make_shared<common::ZipfSampler>(pages,
+                                                    params.popularity_theta);
+  return [params, pages, zipf](std::size_t index, std::size_t count) {
+    Partition out;
+    const std::size_t begin = pages * index / count;
+    const std::size_t end = pages * (index + 1) / count;
+    for (std::size_t page = begin; page < end; ++page) {
+      common::Xoshiro256 rng(common::hash_combine(params.seed, page));
+      Record r;
+      r.key = page;
+      const std::size_t degree =
+          1 + rng.next_below(2 * params.avg_out_degree - 1);
+      r.values.reserve(degree);
+      for (std::size_t d = 0; d < degree; ++d) {
+        // Scramble popularity rank into a page id.
+        r.values.push_back(static_cast<double>(
+            common::mix64((*zipf)(rng)) % pages));
+      }
+      out.push(std::move(r));
+    }
+    return out;
+  };
+}
+
+}  // namespace
+
+PageRankWorkload::PageRankWorkload(PageRankParams params) : params_(params) {}
+
+std::uint64_t PageRankWorkload::input_bytes(double scale) const {
+  const std::size_t pages = scaled_count(params_.num_pages, scale);
+  // key + ~avg_out_degree doubles per row.
+  return pages * (engine::kRecordFramingBytes + 8 +
+                  8 * params_.avg_out_degree);
+}
+
+void PageRankWorkload::run(engine::Engine& eng, double scale) const {
+  (void)run_with_result(eng, scale);
+}
+
+PageRankResult PageRankWorkload::run_with_result(engine::Engine& eng,
+                                                 double scale) const {
+  const std::size_t pages = scaled_count(params_.num_pages, scale);
+  const double damping = params_.damping;
+
+  // Stage 0: load + cache the adjacency lists.
+  auto links = Dataset::source("pr-links", params_.source_partitions,
+                               links_source(params_, pages))
+                   ->map_values(
+                       "parse-links", [](const Record& r) { return r; },
+                       /*work_per_record=*/20.0)
+                   ->cache();
+  eng.count(links, "pagerank-load");
+
+  // ranks starts uniform; it is re-created from the previous iteration's
+  // collect (driver-side round trip, as in the classic Spark example scaled
+  // down — the collect keeps the workload's job structure simple).
+  std::vector<double> ranks(pages, 1.0);
+
+  for (std::size_t iter = 0; iter < params_.iterations; ++iter) {
+    auto rank_ds = Dataset::source(
+        "pr-ranks", params_.source_partitions,
+        [pages, ranks](std::size_t index, std::size_t count) {
+          Partition p;
+          const std::size_t begin = pages * index / count;
+          const std::size_t end = pages * (index + 1) / count;
+          for (std::size_t i = begin; i < end; ++i) {
+            Record r;
+            r.key = i;
+            r.values = {ranks[i]};
+            p.push(std::move(r));
+          }
+          return p;
+        });
+
+    auto contributions =
+        links
+            ->join_with(rank_ds, "rank-join", {},
+                        [](std::uint64_t key, std::span<const Record> ls,
+                           std::span<const Record> rs) {
+                          // values = neighbors..., rank appended last.
+                          std::vector<Record> out;
+                          if (ls.empty() || rs.empty()) return out;
+                          Record j;
+                          j.key = key;
+                          j.values = ls.front().values;
+                          j.values.push_back(rs.front().values[0]);
+                          out.push_back(std::move(j));
+                          return out;
+                        })
+            ->flat_map(
+                "contribs",
+                [](const Record& r) {
+                  std::vector<Record> out;
+                  const std::size_t degree = r.values.size() - 1;
+                  if (degree == 0) return out;
+                  const double share = r.values.back() /
+                                       static_cast<double>(degree);
+                  out.reserve(degree);
+                  for (std::size_t d = 0; d < degree; ++d) {
+                    Record c;
+                    c.key = static_cast<std::uint64_t>(r.values[d]);
+                    c.values = {share};
+                    out.push_back(std::move(c));
+                  }
+                  return out;
+                },
+                /*work_per_record=*/4.0);
+
+    auto sums = contributions->reduce_by_key(
+        "rank-sum", [](Record& acc, const Record& next) {
+          acc.values[0] += next.values[0];
+        });
+    const auto result = eng.collect(sums, "pagerank-iter");
+
+    std::vector<double> next(pages, 1.0 - damping);
+    for (const auto& r : result.records) {
+      const auto page = static_cast<std::size_t>(r.key);
+      if (page < pages) next[page] += damping * r.values[0];
+    }
+    ranks = std::move(next);
+  }
+
+  PageRankResult out;
+  out.pages = pages;
+  for (const double r : ranks) {
+    out.total_rank += r;
+    out.max_rank = std::max(out.max_rank, r);
+  }
+  return out;
+}
+
+}  // namespace chopper::workloads

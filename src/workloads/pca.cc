@@ -1,0 +1,209 @@
+#include "workloads/pca.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/linalg.h"
+
+namespace chopper::workloads {
+
+using engine::Dataset;
+using engine::Partition;
+using engine::Record;
+
+PcaWorkload::PcaWorkload(PcaParams params) : params_(params) {
+  if (params_.components == 0 || params_.components > params_.data.dims) {
+    throw std::invalid_argument("PCA: components must be in [1, dims]");
+  }
+}
+
+std::uint64_t PcaWorkload::input_bytes(double scale) const {
+  CorrelatedRowsSpec s = params_.data;
+  s.total_rows = scaled_count(s.total_rows, scale);
+  return correlated_rows_bytes(s);
+}
+
+void PcaWorkload::run(engine::Engine& eng, double scale) const {
+  (void)run_with_result(eng, scale);
+}
+
+PcaResult PcaWorkload::run_with_result(engine::Engine& eng,
+                                       double scale) const {
+  CorrelatedRowsSpec spec = params_.data;
+  spec.total_rows = scaled_count(spec.total_rows, scale);
+  const std::size_t d = spec.dims;
+
+  // Stage 0: load + cache.
+  auto rows = Dataset::source("pca-input", params_.source_partitions,
+                              correlated_rows_source(spec))
+                  ->map_values(
+                      "parse", [](const Record& r) { return r; },
+                      /*work_per_record=*/40.0)
+                  ->cache();
+  eng.count(rows, "pca-load");
+
+  // Stages 1-2: column means.
+  std::vector<double> means(d, 0.0);
+  double total_rows = 0.0;
+  {
+    auto partials = rows->map_partitions(
+        "mean-partial",
+        [d](Partition&& in) {
+          Record sum;
+          sum.key = 0;
+          sum.values.assign(d + 1, 0.0);
+          for (const auto& r : in.records()) {
+            for (std::size_t i = 0; i < d; ++i) sum.values[i] += r.values[i];
+            sum.values[d] += 1.0;
+          }
+          Partition out;
+          out.push(std::move(sum));
+          return out;
+        },
+        /*work_per_record=*/static_cast<double>(d) * 0.2);
+    auto sums = partials->reduce_by_key(
+        "mean-sum", [](Record& acc, const Record& next) {
+          for (std::size_t i = 0; i < acc.values.size(); ++i) {
+            acc.values[i] += next.values[i];
+          }
+        });
+    auto result = eng.collect(sums, "pca-means");
+    if (!result.records.empty()) {
+      const auto& r = result.records.front();
+      total_rows = r.values[d];
+      if (total_rows > 0.0) {
+        for (std::size_t i = 0; i < d; ++i) means[i] = r.values[i] / total_rows;
+      }
+    }
+  }
+
+  // Stages 3-4: covariance. Each partition emits one partial record per
+  // covariance ROW (key = row index), so the reduce spreads over d keys
+  // instead of funneling everything into one task — the same shape MLlib's
+  // tree aggregation gives real Spark PCA.
+  common::Matrix cov(d, d);
+  {
+    auto partials = rows->map_partitions(
+        "cov-partial",
+        [d, means](Partition&& in) {
+          std::vector<std::vector<double>> row_sums(d,
+                                                    std::vector<double>(d, 0.0));
+          std::vector<double> centered(d);
+          for (const auto& r : in.records()) {
+            for (std::size_t i = 0; i < d; ++i) {
+              centered[i] = r.values[i] - means[i];
+            }
+            for (std::size_t i = 0; i < d; ++i) {
+              const double ci = centered[i];
+              for (std::size_t j = 0; j < d; ++j) {
+                row_sums[i][j] += ci * centered[j];
+              }
+            }
+          }
+          Partition out;
+          for (std::size_t i = 0; i < d; ++i) {
+            Record r;
+            r.key = i;
+            r.values = std::move(row_sums[i]);
+            out.push(std::move(r));
+          }
+          return out;
+        },
+        /*work_per_record=*/static_cast<double>(d * d) * 0.3);
+    auto sums = partials->reduce_by_key(
+        "cov-sum", [](Record& acc, const Record& next) {
+          for (std::size_t i = 0; i < acc.values.size(); ++i) {
+            acc.values[i] += next.values[i];
+          }
+        });
+    auto result = eng.collect(sums, "pca-cov");
+    if (total_rows > 1.0) {
+      for (const auto& r : result.records) {
+        const auto i = static_cast<std::size_t>(r.key);
+        if (i >= d) continue;
+        for (std::size_t j = 0; j < d; ++j) {
+          cov(i, j) = r.values[j] / (total_rows - 1.0);
+        }
+      }
+    }
+  }
+
+  // Driver-side eigen-decomposition (the paper's PCA does this in the
+  // driver as well — it is tiny compared to the distributed passes).
+  const auto eig = common::jacobi_eigen(cov);
+  PcaResult out;
+  out.eigenvalues.assign(eig.values.begin(),
+                         eig.values.begin() +
+                             static_cast<std::ptrdiff_t>(params_.components));
+  out.components.resize(params_.components);
+  for (std::size_t c = 0; c < params_.components; ++c) {
+    out.components[c].resize(d);
+    for (std::size_t i = 0; i < d; ++i) out.components[c][i] = eig.vectors(i, c);
+  }
+
+  // Stages 5..(5 + 2*iterations - 1): reconstruction-error refinement.
+  const auto& comps = out.components;
+  for (std::size_t iter = 0; iter < params_.iterations; ++iter) {
+    auto errors = rows->map(
+        "project",
+        [comps, means](const Record& r) {
+          // Residual norm after projecting onto the components.
+          std::vector<double> centered(r.values.size());
+          for (std::size_t i = 0; i < r.values.size(); ++i) {
+            centered[i] = r.values[i] - means[i];
+          }
+          double norm2 = 0.0;
+          for (const double v : centered) norm2 += v * v;
+          double captured = 0.0;
+          for (const auto& comp : comps) {
+            double dot = 0.0;
+            for (std::size_t i = 0; i < centered.size(); ++i) {
+              dot += centered[i] * comp[i];
+            }
+            captured += dot * dot;
+          }
+          Record e;
+          e.key = r.key % 64;  // spread across reducers
+          e.values = {std::max(0.0, norm2 - captured), 1.0};
+          return e;
+        },
+        /*work_per_record=*/static_cast<double>(d * params_.components) * 0.3);
+    auto sums = errors->reduce_by_key(
+        "error-sum", [](Record& acc, const Record& next) {
+          acc.values[0] += next.values[0];
+          acc.values[1] += next.values[1];
+        });
+    auto result = eng.collect(sums, "pca-iter");
+    double err = 0.0, n = 0.0;
+    for (const auto& r : result.records) {
+      err += r.values[0];
+      n += r.values[1];
+    }
+    out.reconstruction_error = n > 0.0 ? err / n : 0.0;
+  }
+
+  // Stage 11: final projection pass.
+  {
+    auto projected = rows->map_values(
+        "project-final",
+        [comps, means](const Record& r) {
+          Record p;
+          p.key = r.key;
+          p.values.reserve(comps.size());
+          for (const auto& comp : comps) {
+            double dot = 0.0;
+            for (std::size_t i = 0; i < r.values.size(); ++i) {
+              dot += (r.values[i] - means[i]) * comp[i];
+            }
+            p.values.push_back(dot);
+          }
+          return p;
+        },
+        /*work_per_record=*/static_cast<double>(d * params_.components) * 0.3);
+    eng.count(projected, "pca-project");
+  }
+
+  return out;
+}
+
+}  // namespace chopper::workloads

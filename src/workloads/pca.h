@@ -1,0 +1,49 @@
+// PCA workload (paper Sec. IV): compute- and network-intensive, iterative.
+//
+// Stage structure (12 stages):
+//   0      load + parse + cache
+//   1-2    column means        (map-partitions partial sums | reduce+collect)
+//   3-4    covariance matrix   (partial outer products      | reduce+collect)
+//          -> driver-side Jacobi eigen-decomposition
+//   5-10   three refinement iterations: project rows onto the current
+//          components and aggregate reconstruction error (map | reduce),
+//          identical labels so the three iterations share signatures
+//   11     final projection pass
+#pragma once
+
+#include "workloads/data_gen.h"
+#include "workloads/workload.h"
+
+namespace chopper::workloads {
+
+struct PcaParams {
+  CorrelatedRowsSpec data;
+  std::size_t components = 4;   ///< principal components to keep
+  std::size_t iterations = 3;   ///< refinement passes (stage pairs 5-10)
+  std::size_t source_partitions = 300;
+};
+
+struct PcaResult {
+  std::vector<double> eigenvalues;          ///< top `components`, descending
+  std::vector<std::vector<double>> components;  ///< row-major loadings
+  double reconstruction_error = 0.0;        ///< mean squared residual
+};
+
+class PcaWorkload final : public Workload {
+ public:
+  explicit PcaWorkload(PcaParams params = {});
+
+  const std::string& name() const override { return name_; }
+  std::uint64_t input_bytes(double scale) const override;
+  void run(engine::Engine& eng, double scale) const override;
+
+  PcaResult run_with_result(engine::Engine& eng, double scale) const;
+
+  const PcaParams& params() const noexcept { return params_; }
+
+ private:
+  PcaParams params_;
+  std::string name_ = "pca";
+};
+
+}  // namespace chopper::workloads

@@ -1,0 +1,63 @@
+// SQL workload (paper Sec. IV): count, aggregate and join over generated
+// tables — compute-intensive in the scan/aggregation phases and
+// shuffle-intensive in the join phase.
+//
+// Stage structure (5 stages, matching Fig. 9/10's stages 0-4):
+//   0  fact scan + WHERE filter            (shuffle write for GROUP BY)
+//   1  dimension scan + projection         (shuffle write for dedup)
+//   2  fact GROUP BY aggregation           (shuffle write for JOIN, left)
+//   3  dimension dedup/aggregation         (shuffle write for JOIN, right)
+//   4  JOIN + final projection + result
+//
+// Vanilla Spark behaviour is reproduced faithfully: the two aggregations
+// default to partition counts proportional to their input splits (as
+// Spark's defaultPartitioner does), so their schemes disagree and the join
+// must re-shuffle both sides. CHOPPER's Algorithm 3 groups stages 2-4 and
+// assigns them one scheme, turning the join into a co-partitioned (zero
+// shuffle) stage — the effect shown in Fig. 9/10.
+#pragma once
+
+#include "workloads/data_gen.h"
+#include "workloads/workload.h"
+
+namespace chopper::workloads {
+
+struct SqlParams {
+  FactTableSpec fact;
+  DimTableSpec dim;
+  double filter_selectivity = 0.8;  ///< fraction of fact rows kept by WHERE
+  std::size_t fact_partitions = 400;  ///< fact input splits (scale-1)
+  std::size_t dim_partitions = 120;   ///< dimension input splits
+  /// Default partition counts of the two aggregations, mimicking Spark's
+  /// split-proportional defaults. CHOPPER may override both.
+  std::size_t fact_agg_partitions = 400;
+  std::size_t dim_agg_partitions = 120;
+  /// Pin the aggregation schemes as user-specified (paper Sec. III-C):
+  /// CHOPPER must then leave them intact unless inserting an explicit
+  /// repartition wins by more than gamma. Used by the gamma ablation.
+  bool user_fixed_aggs = false;
+};
+
+struct SqlResult {
+  std::uint64_t joined_rows = 0;
+  double total_revenue = 0.0;
+};
+
+class SqlWorkload final : public Workload {
+ public:
+  explicit SqlWorkload(SqlParams params = {});
+
+  const std::string& name() const override { return name_; }
+  std::uint64_t input_bytes(double scale) const override;
+  void run(engine::Engine& eng, double scale) const override;
+
+  SqlResult run_with_result(engine::Engine& eng, double scale) const;
+
+  const SqlParams& params() const noexcept { return params_; }
+
+ private:
+  SqlParams params_;
+  std::string name_ = "sql";
+};
+
+}  // namespace chopper::workloads

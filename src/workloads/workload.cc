@@ -1,0 +1,13 @@
+#include "workloads/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chopper::workloads {
+
+std::size_t scaled_count(std::size_t base, double scale) {
+  const double v = std::max(1.0, std::round(static_cast<double>(base) * scale));
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace chopper::workloads

@@ -1,0 +1,38 @@
+// Common workload interface: a named, scalable job sequence over an Engine.
+//
+// `run(engine, scale)` builds the workload's datasets at `scale` times the
+// base input size and submits all of its jobs. Runs are deterministic in
+// (params, scale) and produce identical stage signatures on every run, so
+// CHOPPER plans trained on profiling runs apply to later runs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+
+namespace chopper::workloads {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Approximate input bytes at the given scale (Table I bookkeeping).
+  virtual std::uint64_t input_bytes(double scale) const = 0;
+
+  /// Build and execute all jobs on the engine.
+  virtual void run(engine::Engine& eng, double scale) const = 0;
+
+  /// Adapter for chopper::core::WorkloadRunner.
+  std::function<void(engine::Engine&, double)> runner() const {
+    return [this](engine::Engine& eng, double scale) { run(eng, scale); };
+  }
+};
+
+/// Clamp a scaled count to at least 1.
+std::size_t scaled_count(std::size_t base, double scale);
+
+}  // namespace chopper::workloads

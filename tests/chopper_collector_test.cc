@@ -1,0 +1,106 @@
+// Statistics collector: engine metrics -> workload DB observations.
+#include "chopper/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace chopper::core {
+namespace {
+
+engine::DatasetPtr two_stage_job() {
+  return engine::Dataset::source("gen", 4,
+                                 [](std::size_t index, std::size_t count) {
+                                   engine::Partition p;
+                                   const std::size_t total = 1000;
+                                   const std::size_t begin = total * index / count;
+                                   const std::size_t end =
+                                       total * (index + 1) / count;
+                                   for (std::size_t i = begin; i < end; ++i) {
+                                     engine::Record r;
+                                     r.key = i % 16;
+                                     r.values = {1.0};
+                                     p.push(std::move(r));
+                                   }
+                                   return p;
+                                 })
+      ->reduce_by_key("sum", [](engine::Record& acc,
+                                const engine::Record& next) {
+        acc.values[0] += next.values[0];
+      });
+}
+
+TEST(Collector, IngestsOneObservationPerStage) {
+  engine::EngineOptions opts;
+  opts.default_parallelism = 8;
+  opts.host_threads = 2;
+  engine::Engine eng(engine::ClusterSpec::uniform(2, 4), opts);
+  eng.count(two_stage_job());
+
+  WorkloadDb db;
+  StatsCollector collector(db);
+  const double input =
+      collector.ingest(eng.metrics(), "test", 0.0, /*is_default=*/true);
+
+  EXPECT_GT(input, 0.0);
+  EXPECT_EQ(db.total_observations(), 2u);
+  const auto dag = db.dag("test");
+  ASSERT_EQ(dag.size(), 2u);
+  EXPECT_EQ(dag[0].anchor_op, engine::OpKind::kSource);
+  EXPECT_EQ(dag[1].anchor_op, engine::OpKind::kReduceByKey);
+  ASSERT_EQ(dag[1].parents.size(), 1u);
+  EXPECT_EQ(*dag[1].parents.begin(), dag[0].signature);
+}
+
+TEST(Collector, MeasuresWorkloadInputFromSources) {
+  engine::EngineOptions opts;
+  opts.default_parallelism = 8;
+  opts.host_threads = 2;
+  engine::Engine eng(engine::ClusterSpec::uniform(2, 4), opts);
+  eng.count(two_stage_job());
+
+  WorkloadDb db;
+  StatsCollector collector(db);
+  const double measured = collector.ingest(eng.metrics(), "test", 0.0, false);
+  const double explicit_bytes = 12345.0;
+  const double given =
+      collector.ingest(eng.metrics(), "test2", explicit_bytes, false);
+  EXPECT_DOUBLE_EQ(given, explicit_bytes);
+  // Measured input equals the source stage's input bytes.
+  EXPECT_DOUBLE_EQ(measured,
+                   static_cast<double>(eng.metrics().stages()[0].input_bytes));
+}
+
+TEST(Collector, DefaultFlagPropagates) {
+  engine::EngineOptions opts;
+  opts.default_parallelism = 8;
+  opts.host_threads = 2;
+  engine::Engine eng(engine::ClusterSpec::uniform(2, 4), opts);
+  eng.count(two_stage_job());
+
+  WorkloadDb db;
+  StatsCollector collector(db);
+  collector.ingest(eng.metrics(), "w", 0.0, /*is_default=*/true);
+  const auto sig = db.dag("w")[1].signature;
+  EXPECT_DOUBLE_EQ(db.default_partitions("w", sig), 8.0);
+}
+
+TEST(Collector, RepeatedIngestAccumulates) {
+  engine::EngineOptions opts;
+  opts.default_parallelism = 8;
+  opts.host_threads = 2;
+  engine::Engine eng(engine::ClusterSpec::uniform(2, 4), opts);
+  eng.count(two_stage_job());
+
+  WorkloadDb db;
+  StatsCollector collector(db);
+  collector.ingest(eng.metrics(), "w", 0.0, true);
+  collector.ingest(eng.metrics(), "w", 0.0, false);
+  EXPECT_EQ(db.total_observations(), 4u);
+  // Structure merged, not duplicated.
+  EXPECT_EQ(db.dag("w").size(), 2u);
+  EXPECT_EQ(db.dag("w")[0].input_ratio_count, 2u);
+}
+
+}  // namespace
+}  // namespace chopper::core

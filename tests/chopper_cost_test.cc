@@ -1,0 +1,117 @@
+#include "chopper/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace chopper::core {
+namespace {
+
+StageModel trained_u_model() {
+  // texe = 1000/P + 0.01 P; shuffle = P * 1 KiB (linear growth, Fig. 4).
+  std::vector<Observation> data;
+  for (double p = 50; p <= 1200; p += 25) {
+    Observation o;
+    o.stage_input_bytes = 1e7;
+    o.num_partitions = p;
+    o.t_exe_s = 1000.0 / p + 0.01 * p;
+    o.shuffle_bytes = p * 1024.0;
+    data.push_back(o);
+  }
+  StageModel m;
+  m.fit(data, 1e-6);
+  return m;
+}
+
+TEST(StageCost, NormalizesAgainstDefaults) {
+  const auto m = trained_u_model();
+  CostWeights w{0.5, 0.5};
+  CostBaselines base;
+  base.texe_default = m.predict_texe(1e7, 300);
+  base.shuffle_default = m.predict_shuffle(1e7, 300);
+  // At the default configuration the cost is alpha + beta = 1 by definition.
+  EXPECT_NEAR(stage_cost(m, 1e7, 300, w, base), 1.0, 1e-6);
+}
+
+TEST(StageCost, ZeroShuffleBaselineDropsShuffleTerm) {
+  const auto m = trained_u_model();
+  CostWeights w{0.5, 0.5};
+  CostBaselines base;
+  base.texe_default = 1.0;
+  base.shuffle_default = 0.0;
+  const double c = stage_cost(m, 1e7, 300, w, base);
+  EXPECT_NEAR(c, 0.5 * m.predict_texe(1e7, 300), 1e-9);
+}
+
+TEST(StageCost, AlphaBetaWeighting) {
+  const auto m = trained_u_model();
+  CostBaselines base;
+  base.texe_default = m.predict_texe(1e7, 300);
+  base.shuffle_default = m.predict_shuffle(1e7, 300);
+  // Pure-beta cost prefers fewer partitions (shuffle grows with P).
+  const CostWeights beta_only{0.0, 1.0};
+  EXPECT_LT(stage_cost(m, 1e7, 100, beta_only, base),
+            stage_cost(m, 1e7, 900, beta_only, base));
+  // Pure-alpha cost follows the U-shaped time curve instead.
+  const CostWeights alpha_only{1.0, 0.0};
+  EXPECT_LT(stage_cost(m, 1e7, 300, alpha_only, base),
+            stage_cost(m, 1e7, 100, alpha_only, base));
+}
+
+TEST(CandidatePartitions, RespectsBoundsAndRounding) {
+  SearchSpace space;
+  space.min_partitions = 50;
+  space.max_partitions = 1000;
+  space.candidates = 24;
+  space.round_to = 10;
+  const auto cands = candidate_partitions(space);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_GE(cands.front(), 50u);
+  EXPECT_LE(cands.back(), 1000u);
+  for (std::size_t i = 1; i < cands.size(); ++i) {
+    EXPECT_LT(cands[i - 1], cands[i]);  // sorted, deduplicated
+  }
+  for (const auto c : cands) {
+    if (c > 50 && c < 1000) {
+      EXPECT_EQ(c % 10, 0u);
+    }
+  }
+}
+
+TEST(CandidatePartitions, DegenerateRangeYieldsSinglePoint) {
+  SearchSpace space;
+  space.min_partitions = 300;
+  space.max_partitions = 300;
+  const auto cands = candidate_partitions(space);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0], 300u);
+}
+
+TEST(GetMinPar, FindsInteriorMinimum) {
+  const auto m = trained_u_model();
+  CostWeights w{1.0, 0.0};
+  CostBaselines base{1.0, 0.0};
+  SearchSpace space;
+  space.min_partitions = 50;
+  space.max_partitions = 1200;
+  space.candidates = 64;
+  const auto res = get_min_par(m, 1e7, w, base, space);
+  // True optimum ~316; the grid + fit should land nearby.
+  EXPECT_GT(res.num_partitions, 150u);
+  EXPECT_LT(res.num_partitions, 550u);
+  EXPECT_GT(res.cost, 0.0);
+}
+
+TEST(GetMinPar, ShuffleWeightPullsOptimumDown) {
+  const auto m = trained_u_model();
+  CostBaselines base;
+  base.texe_default = m.predict_texe(1e7, 300);
+  base.shuffle_default = m.predict_shuffle(1e7, 300);
+  SearchSpace space;
+  space.min_partitions = 50;
+  space.max_partitions = 1200;
+  const auto time_only = get_min_par(m, 1e7, {1.0, 0.0}, base, space);
+  const auto balanced = get_min_par(m, 1e7, {0.5, 0.5}, base, space);
+  EXPECT_LE(balanced.num_partitions, time_only.num_partitions);
+}
+
+}  // namespace
+}  // namespace chopper::core

@@ -1,0 +1,139 @@
+#include "chopper/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace chopper::core {
+namespace {
+
+Observation obs(double d, double p, double texe, double shuffle) {
+  Observation o;
+  o.stage_input_bytes = d;
+  o.num_partitions = p;
+  o.t_exe_s = texe;
+  o.shuffle_bytes = shuffle;
+  return o;
+}
+
+TEST(ModelFeatures, ShapeAndIntercept) {
+  const auto f = model_features(0.0, 0.0);
+  EXPECT_EQ(f.size(), kNumFeatures);
+  EXPECT_DOUBLE_EQ(f.back(), 1.0);
+  for (std::size_t i = 0; i + 1 < f.size(); ++i) EXPECT_DOUBLE_EQ(f[i], 0.0);
+}
+
+TEST(ModelFeatures, MonotoneInInputs) {
+  const auto small = model_features(1 << 20, 100);
+  const auto big = model_features(100 << 20, 1000);
+  for (std::size_t i = 0; i + 1 < small.size(); ++i) {
+    EXPECT_LT(small[i], big[i]);
+  }
+}
+
+TEST(StageModel, UntrainedFallsBackToMeans) {
+  StageModel m;
+  std::vector<Observation> few = {obs(1e6, 100, 2.0, 500.0),
+                                  obs(2e6, 200, 4.0, 1500.0)};
+  m.fit(few, 1e-3);
+  EXPECT_FALSE(m.trained());
+  EXPECT_DOUBLE_EQ(m.predict_texe(5e6, 300), 3.0);     // mean
+  EXPECT_DOUBLE_EQ(m.predict_shuffle(5e6, 300), 1000.0);
+}
+
+TEST(StageModel, EmptyFitPredictsEpsilon) {
+  StageModel m;
+  m.fit({}, 1e-3);
+  EXPECT_GT(m.predict_texe(1e6, 100), 0.0);
+  EXPECT_DOUBLE_EQ(m.predict_shuffle(1e6, 100), 0.0);
+}
+
+TEST(StageModel, FitsLinearRelationship) {
+  // texe = 3 + 2*(D in MiB), shuffle = 1 MiB * (P in hundreds).
+  std::vector<Observation> data;
+  common::Xoshiro256 rng(1);
+  for (int i = 0; i < 40; ++i) {
+    const double d = (1.0 + rng.next_double() * 63.0) * 1048576.0;
+    const double p = 50.0 + rng.next_double() * 750.0;
+    data.push_back(obs(d, p, 3.0 + 2.0 * d / 1048576.0, p / 100.0 * 1048576.0));
+  }
+  StageModel m;
+  m.fit(data, 1e-6);
+  ASSERT_TRUE(m.trained());
+  EXPECT_NEAR(m.predict_texe(32.0 * 1048576.0, 400), 67.0, 1.5);
+  EXPECT_NEAR(m.predict_shuffle(32.0 * 1048576.0, 400) / 1048576.0, 4.0, 0.2);
+  EXPECT_LT(m.texe_fit_error(), 0.01);
+}
+
+TEST(StageModel, CapturesUShapedPartitionCurve) {
+  // texe = D/P term + 0.01*P overhead term -> interior minimum.
+  std::vector<Observation> data;
+  const double d = 64.0 * 1048576.0;
+  for (double p = 50; p <= 1000; p += 25) {
+    const double t = 1000.0 / p + 0.01 * p;
+    data.push_back(obs(d, p, t, 0.0));
+  }
+  StageModel m;
+  m.fit(data, 1e-6);
+  ASSERT_TRUE(m.trained());
+  // True minimum at p = sqrt(1000/0.01) ~ 316.
+  const double at100 = m.predict_texe(d, 100);
+  const double at300 = m.predict_texe(d, 300);
+  const double at900 = m.predict_texe(d, 900);
+  EXPECT_LT(at300, at100);
+  EXPECT_LT(at300, at900);
+}
+
+TEST(StageModel, ConstantInputColumnIsStable) {
+  // All observations share one D (a fixed-size dimension table): the D
+  // columns are constant and must fold into the intercept rather than blow
+  // up predictions at slightly different D.
+  std::vector<Observation> data;
+  for (double p = 100; p <= 800; p += 100) {
+    data.push_back(obs(8.0 * 1048576.0, p, 0.4 + p / 8000.0, 1000.0));
+  }
+  StageModel m;
+  m.fit(data, 1e-3);
+  ASSERT_TRUE(m.trained());
+  // Prediction at a 25% different D must stay in a sane range.
+  const double pred = m.predict_texe(10.0 * 1048576.0, 400);
+  EXPECT_GT(pred, 0.05);
+  EXPECT_LT(pred, 2.0);
+}
+
+TEST(StageModel, PredictionsNeverNegative) {
+  std::vector<Observation> data;
+  common::Xoshiro256 rng(2);
+  for (int i = 0; i < 30; ++i) {
+    data.push_back(obs(rng.next_double() * 1e8, 100 + rng.next_double() * 900,
+                       rng.next_double(), rng.next_double() * 100.0));
+  }
+  StageModel m;
+  m.fit(data, 1e-3);
+  for (double d = 0; d < 2e8; d += 2e7) {
+    for (double p = 10; p < 2000; p += 100) {
+      EXPECT_GT(m.predict_texe(d, p), 0.0);
+      EXPECT_GE(m.predict_shuffle(d, p), 0.0);
+    }
+  }
+}
+
+TEST(StageModel, RefitReplacesOldModel) {
+  std::vector<Observation> flat, steep;
+  for (double p = 100; p <= 800; p += 100) {
+    flat.push_back(obs(1e6, p, 1.0, 0.0));
+    steep.push_back(obs(1e6, p, p / 100.0, 0.0));
+  }
+  StageModel m;
+  m.fit(flat, 1e-3);
+  const double before = m.predict_texe(1e6, 800);
+  m.fit(steep, 1e-3);
+  const double after = m.predict_texe(1e6, 800);
+  EXPECT_NEAR(before, 1.0, 0.2);
+  EXPECT_GT(after, 5.0);
+}
+
+}  // namespace
+}  // namespace chopper::core

@@ -1,0 +1,305 @@
+// Algorithms 1-3 on synthetic workload DBs with known optima.
+#include "chopper/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace chopper::core {
+namespace {
+
+using engine::OpKind;
+using engine::PartitionerKind;
+
+/// Populate a stage whose texe follows 1000/P + c*P (interior optimum at
+/// sqrt(1000/c)) for the given partitioner and a much worse curve for the
+/// other one.
+void add_stage(WorkloadDb& db, const std::string& wl, std::uint64_t sig,
+               const std::string& name, OpKind op, double d,
+               PartitionerKind good_kind, double overhead_c,
+               std::set<std::uint64_t> parents = {}, bool fixed = false,
+               bool user_fixed = false) {
+  StageStructure st;
+  st.signature = sig;
+  st.name = name;
+  st.anchor_op = op;
+  st.parents = std::move(parents);
+  st.fixed_partitions = fixed;
+  st.user_fixed = user_fixed;
+  st.input_ratio_sum = 1.0;
+  st.input_ratio_count = 1;
+  st.dw_sum = d;
+  st.d_sum = d;
+  st.dw2_sum = d * d;
+  st.dwd_sum = d * d;
+  st.fit_count = 1;
+  db.add_structure(wl, st);
+
+  for (const auto kind : {PartitionerKind::kHash, PartitionerKind::kRange}) {
+    const double penalty = kind == good_kind ? 1.0 : 3.0;
+    for (double p = 50; p <= 1000; p += 50) {
+      Observation o;
+      o.workload = wl;
+      o.signature = sig;
+      o.partitioner = kind;
+      o.workload_input_bytes = d;
+      o.stage_input_bytes = d;
+      o.num_partitions = p;
+      o.t_exe_s = penalty * (1000.0 / p + overhead_c * p);
+      o.shuffle_bytes = 100.0 * p;
+      o.is_default = kind == PartitionerKind::kHash && p == 300;
+      db.add(o);
+    }
+  }
+}
+
+TEST(Algorithm1, PicksPartitionerWithLowerCost) {
+  WorkloadDb db;
+  add_stage(db, "w", 1, "stage", OpKind::kReduceByKey, 1e7,
+            PartitionerKind::kRange, 0.01);
+  Optimizer opt(db);
+  const auto choice = opt.get_stage_par("w", 1, 1e7);
+  EXPECT_EQ(choice.partitioner, PartitionerKind::kRange);
+  EXPECT_GT(choice.cost, 0.0);
+}
+
+TEST(Algorithm1, FindsInteriorOptimum) {
+  WorkloadDb db;
+  add_stage(db, "w", 1, "stage", OpKind::kReduceByKey, 1e7,
+            PartitionerKind::kHash, 0.01);  // optimum ~316
+  Optimizer opt(db);
+  const auto choice = opt.get_stage_par("w", 1, 1e7);
+  EXPECT_GT(choice.num_partitions, 150u);
+  EXPECT_LT(choice.num_partitions, 550u);
+}
+
+TEST(Algorithm1, ClampsToObservedRange) {
+  WorkloadDb db;
+  // Observations only cover P in [50, 1000]; a cubic fit may extrapolate a
+  // bogus minimum outside — the optimizer must not follow it.
+  add_stage(db, "w", 1, "stage", OpKind::kReduceByKey, 1e7,
+            PartitionerKind::kHash, 0.0001);  // optimum would be ~3162
+  OptimizerOptions options;
+  options.space.max_partitions = 100'000;
+  Optimizer opt(db, options);
+  const auto choice = opt.get_stage_par("w", 1, 1e7);
+  EXPECT_LE(choice.num_partitions, 1000u);
+  EXPECT_GE(choice.num_partitions, 50u);
+}
+
+TEST(Algorithm2, PlansEveryStageIndependently) {
+  WorkloadDb db;
+  add_stage(db, "w", 1, "a", OpKind::kSource, 1e7, PartitionerKind::kHash,
+            0.01);
+  add_stage(db, "w", 2, "b", OpKind::kReduceByKey, 1e7,
+            PartitionerKind::kHash, 0.0025, {1});  // optimum ~632
+  Optimizer opt(db);
+  const auto plan = opt.get_workload_par("w", 1e7);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].signature, 1u);
+  EXPECT_EQ(plan[1].signature, 2u);
+  // Different cost curves -> different counts.
+  EXPECT_NE(plan[0].num_partitions, plan[1].num_partitions);
+}
+
+TEST(Algorithm3, RegroupsJoinSubgraphs) {
+  WorkloadDb db;
+  add_stage(db, "w", 1, "scanA", OpKind::kSource, 1e7, PartitionerKind::kHash,
+            0.01);
+  add_stage(db, "w", 2, "aggA", OpKind::kReduceByKey, 1e7,
+            PartitionerKind::kHash, 0.01, {1});
+  add_stage(db, "w", 3, "scanB", OpKind::kSource, 1e7, PartitionerKind::kHash,
+            0.01);
+  add_stage(db, "w", 4, "aggB", OpKind::kReduceByKey, 1e7,
+            PartitionerKind::kHash, 0.01, {3});
+  add_stage(db, "w", 5, "join", OpKind::kJoin, 1e7, PartitionerKind::kHash,
+            0.01, {2, 4});
+  Optimizer opt(db);
+  const auto groups = opt.regroup_dag("w");
+  // {aggA, aggB, join} form one group; the two scans stay singletons.
+  std::size_t join_group = 0, singletons = 0;
+  for (const auto& g : groups) {
+    if (g.size() == 3) ++join_group;
+    if (g.size() == 1) ++singletons;
+  }
+  EXPECT_EQ(join_group, 1u);
+  EXPECT_EQ(singletons, 2u);
+}
+
+TEST(Algorithm3, GroupSharesOneScheme) {
+  WorkloadDb db;
+  add_stage(db, "w", 1, "scanA", OpKind::kSource, 1e7, PartitionerKind::kHash,
+            0.01);
+  // Members with *different* individual optima (0.01 -> ~316, 0.0025 -> ~632).
+  add_stage(db, "w", 2, "aggA", OpKind::kReduceByKey, 1e7,
+            PartitionerKind::kHash, 0.01, {1});
+  add_stage(db, "w", 3, "aggB", OpKind::kReduceByKey, 1e7,
+            PartitionerKind::kHash, 0.0025, {1});
+  add_stage(db, "w", 4, "join", OpKind::kJoin, 1e7, PartitionerKind::kHash,
+            0.01, {2, 3});
+  Optimizer opt(db);
+  const auto plan = opt.get_global_par("w", 1e7);
+  std::size_t grouped_p = 0;
+  PartitionerKind grouped_kind = PartitionerKind::kHash;
+  int members = 0;
+  for (const auto& ps : plan) {
+    if (ps.group < 0) continue;
+    ++members;
+    if (grouped_p == 0) {
+      grouped_p = ps.num_partitions;
+      grouped_kind = ps.partitioner;
+    } else {
+      EXPECT_EQ(ps.num_partitions, grouped_p);
+      EXPECT_EQ(ps.partitioner, grouped_kind);
+    }
+  }
+  EXPECT_EQ(members, 3);
+}
+
+TEST(Algorithm3, ChainedJoinsMergeIntoOneGroup) {
+  WorkloadDb db;
+  add_stage(db, "w", 1, "a", OpKind::kReduceByKey, 1e7, PartitionerKind::kHash,
+            0.01);
+  add_stage(db, "w", 2, "b", OpKind::kReduceByKey, 1e7, PartitionerKind::kHash,
+            0.01);
+  add_stage(db, "w", 3, "j1", OpKind::kJoin, 1e7, PartitionerKind::kHash, 0.01,
+            {1, 2});
+  add_stage(db, "w", 4, "c", OpKind::kReduceByKey, 1e7, PartitionerKind::kHash,
+            0.01);
+  add_stage(db, "w", 5, "j2", OpKind::kJoin, 1e7, PartitionerKind::kHash, 0.01,
+            {3, 4});
+  Optimizer opt(db);
+  const auto groups = opt.regroup_dag("w");
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 5u);
+}
+
+TEST(Algorithm3, FixedStageKeptWhenRepartitionDoesNotPay) {
+  WorkloadDb db;
+  // Default P (300) is already near the optimum: repartitioning can't win.
+  add_stage(db, "w", 1, "cached", OpKind::kSource, 1e7, PartitionerKind::kHash,
+            0.011, {}, /*fixed=*/true);
+  Optimizer opt(db);
+  const auto plan = opt.get_global_par("w", 1e7);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_TRUE(plan[0].fixed);
+  EXPECT_FALSE(plan[0].insert_repartition);
+  EXPECT_EQ(plan[0].num_partitions, 300u);  // the observed default
+}
+
+TEST(Algorithm3, FixedStageRepartitionedWhenBenefitExceedsGamma) {
+  WorkloadDb db;
+  // Make the default (P=300) catastrophically bad: steep overhead curve
+  // where the optimum sits at the low end of the grid.
+  StageStructure st;
+  st.signature = 1;
+  st.name = "cached";
+  st.anchor_op = OpKind::kSource;
+  st.fixed_partitions = true;
+  st.input_ratio_sum = 1.0;
+  st.input_ratio_count = 1;
+  st.dw_sum = st.d_sum = 1e7;
+  st.dw2_sum = st.dwd_sum = 1e14;
+  st.fit_count = 1;
+  db.add_structure("w", st);
+  for (const auto kind : {PartitionerKind::kHash, PartitionerKind::kRange}) {
+    for (double p = 50; p <= 1000; p += 50) {
+      Observation o;
+      o.workload = "w";
+      o.signature = 1;
+      o.partitioner = kind;
+      o.workload_input_bytes = 1e7;
+      o.stage_input_bytes = 1e7;
+      o.num_partitions = p;
+      o.t_exe_s = 1.0 + p * 0.2;  // monotone: low P far better
+      o.shuffle_bytes = 0.0;
+      o.is_default = kind == PartitionerKind::kHash && p == 300;
+      db.add(o);
+    }
+  }
+  OptimizerOptions options;
+  options.gamma = 1.5;
+  options.repartition_bw = 1e9;  // cheap repartition
+  Optimizer opt(db, options);
+  const auto plan = opt.get_global_par("w", 1e7);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_TRUE(plan[0].fixed);
+  EXPECT_TRUE(plan[0].insert_repartition);
+  EXPECT_LT(plan[0].num_partitions, 300u);
+}
+
+TEST(Algorithm3, HigherGammaSuppressesRepartition) {
+  // Same setup as above but with an extreme gamma: no insertion.
+  WorkloadDb db;
+  StageStructure st;
+  st.signature = 1;
+  st.name = "cached";
+  st.anchor_op = OpKind::kSource;
+  st.fixed_partitions = true;
+  st.input_ratio_sum = 1.0;
+  st.input_ratio_count = 1;
+  st.dw_sum = st.d_sum = 1e7;
+  st.dw2_sum = st.dwd_sum = 1e14;
+  st.fit_count = 1;
+  db.add_structure("w", st);
+  for (double p = 50; p <= 1000; p += 50) {
+    Observation o;
+    o.workload = "w";
+    o.signature = 1;
+    o.partitioner = PartitionerKind::kHash;
+    o.workload_input_bytes = 1e7;
+    o.stage_input_bytes = 1e7;
+    o.num_partitions = p;
+    o.t_exe_s = 1.0 + p * 0.2;
+    o.is_default = p == 300;
+    db.add(o);
+  }
+  OptimizerOptions options;
+  options.gamma = 1000.0;
+  Optimizer opt(db, options);
+  const auto plan = opt.get_global_par("w", 1e7);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_FALSE(plan[0].insert_repartition);
+}
+
+TEST(Algorithm3, UserFixedSchemeLeftIntact) {
+  WorkloadDb db;
+  add_stage(db, "w", 1, "pinned", OpKind::kReduceByKey, 1e7,
+            PartitionerKind::kHash, 0.011, {}, /*fixed=*/false,
+            /*user_fixed=*/true);
+  Optimizer opt(db);
+  const auto plan = opt.get_global_par("w", 1e7);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_TRUE(plan[0].fixed);
+}
+
+}  // namespace
+}  // namespace chopper::core
+// (appended) Negative paths and untrained-DB behaviour.
+namespace chopper::core {
+namespace {
+
+TEST(OptimizerNegative, UnknownWorkloadYieldsEmptyPlan) {
+  WorkloadDb db;
+  Optimizer opt(db);
+  EXPECT_TRUE(opt.get_workload_par("ghost", 1e6).empty());
+  EXPECT_TRUE(opt.get_global_par("ghost", 1e6).empty());
+  EXPECT_TRUE(opt.regroup_dag("ghost").empty());
+}
+
+TEST(OptimizerNegative, StructureWithoutObservationsStillPlans) {
+  WorkloadDb db;
+  StageStructure st;
+  st.signature = 1;
+  st.name = "never-profiled";
+  st.anchor_op = engine::OpKind::kReduceByKey;
+  db.add_structure("w", st);
+  Optimizer opt(db);
+  const auto plan = opt.get_global_par("w", 1e6);
+  ASSERT_EQ(plan.size(), 1u);
+  // Untrained models fall back to means; the choice must stay inside the
+  // configured search space.
+  EXPECT_GE(plan[0].num_partitions, opt.options().space.min_partitions);
+  EXPECT_LE(plan[0].num_partitions, opt.options().space.max_partitions);
+}
+
+}  // namespace
+}  // namespace chopper::core

@@ -1,0 +1,60 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace chopper::common {
+namespace {
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_EQ(mix64(0), mix64(0));
+}
+
+TEST(Mix64, DistinctInputsRarelyCollide) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 100'000; ++i) seen.insert(mix64(i));
+  // mix64 is bijective, so consecutive integers can never collide.
+  EXPECT_EQ(seen.size(), 100'000u);
+}
+
+TEST(Mix64, AvalanchesLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  const int trials = 256;
+  for (int t = 0; t < trials; ++t) {
+    const auto a = mix64(static_cast<std::uint64_t>(t));
+    const auto b = mix64(static_cast<std::uint64_t>(t) ^ 1ULL);
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double mean_flips = static_cast<double>(total_flips) / trials;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  const auto ab = hash_combine(hash_combine(0, 1), 2);
+  const auto ba = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashCombine, SeedSensitive) {
+  EXPECT_NE(hash_combine(1, 7), hash_combine(2, 7));
+}
+
+TEST(HashString, EmptyAndNonEmptyDiffer) {
+  EXPECT_NE(hash_string(""), hash_string("a"));
+  EXPECT_NE(hash_string("ab"), hash_string("ba"));
+  EXPECT_EQ(hash_string("stage:map"), hash_string("stage:map"));
+}
+
+TEST(HashBytes, MatchesStringView) {
+  const std::string s = "hello world";
+  EXPECT_EQ(hash_string(s),
+            hash_bytes(std::as_bytes(std::span(s.data(), s.size()))));
+}
+
+}  // namespace
+}  // namespace chopper::common

@@ -1,0 +1,169 @@
+#include "common/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace chopper::common {
+namespace {
+
+TEST(Matrix, IdentityAndMultiply) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const auto i3 = Matrix::identity(3);
+  EXPECT_EQ(a * i3, a);
+  const auto at = a.transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at(2, 1), 6.0);
+}
+
+TEST(Matrix, AddSubScale) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 2.0);
+  EXPECT_DOUBLE_EQ((a + b)(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ((b - a)(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(b.scaled(0.5)(0, 1), 1.0);
+}
+
+TEST(CholeskySolve, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [6,5] -> x = [1,1].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  const std::vector<double> b = {6, 5};
+  const auto x = cholesky_solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(CholeskySolve, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_solve(a, std::vector<double>{1, 1}),
+               std::runtime_error);
+}
+
+TEST(RidgeLeastSquares, RecoversLinearModel) {
+  // y = 2*x0 - 3*x1, exactly representable.
+  Xoshiro256 rng(42);
+  const std::size_t n = 200;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.next_normal();
+    x(i, 1) = rng.next_normal();
+    y[i] = 2.0 * x(i, 0) - 3.0 * x(i, 1);
+  }
+  const auto w = ridge_least_squares(x, y, 1e-8);
+  EXPECT_NEAR(w[0], 2.0, 1e-3);
+  EXPECT_NEAR(w[1], -3.0, 1e-3);
+}
+
+TEST(RidgeLeastSquares, RegularizationShrinksWeights) {
+  Xoshiro256 rng(1);
+  const std::size_t n = 50;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.next_normal();
+    y[i] = 5.0 * x(i, 0);
+  }
+  const auto small = ridge_least_squares(x, y, 1e-8);
+  const auto big = ridge_least_squares(x, y, 1e3);
+  EXPECT_GT(std::abs(small[0]), std::abs(big[0]));
+}
+
+TEST(RidgeLeastSquares, HandlesCollinearColumns) {
+  // Duplicate columns are singular for plain least squares; ridge succeeds.
+  Xoshiro256 rng(2);
+  const std::size_t n = 100;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = rng.next_normal();
+    x(i, 0) = v;
+    x(i, 1) = v;
+    y[i] = 4.0 * v;
+  }
+  const auto w = ridge_least_squares(x, y, 1e-6);
+  EXPECT_NEAR(w[0] + w[1], 4.0, 1e-3);
+}
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 1;
+  a(1, 1) = 5;
+  a(2, 2) = 3;
+  const auto res = jacobi_eigen(a);
+  ASSERT_EQ(res.values.size(), 3u);
+  EXPECT_NEAR(res.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(res.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(res.values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiEigen, KnownSymmetricMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  const auto res = jacobi_eigen(a);
+  EXPECT_NEAR(res.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(res.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(res.vectors(0, 0)), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::abs(res.vectors(1, 0)), std::sqrt(0.5), 1e-8);
+}
+
+TEST(JacobiEigen, ReconstructsMatrix) {
+  // A == V diag(l) V^T for a random symmetric A.
+  Xoshiro256 rng(3);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng.next_normal();
+    }
+  }
+  const auto res = jacobi_eigen(a);
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) l(i, i) = res.values[i];
+  const Matrix rebuilt = res.vectors * l * res.vectors.transpose();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(rebuilt(i, j), a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigen, EigenvaluesSumToTrace) {
+  Xoshiro256 rng(4);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) a(i, j) = a(j, i) = rng.next_double();
+    trace += a(i, i);
+  }
+  const auto res = jacobi_eigen(a);
+  double sum = 0.0;
+  for (const double v : res.values) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-9);
+}
+
+}  // namespace
+}  // namespace chopper::common

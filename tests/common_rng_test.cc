@@ -1,0 +1,122 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace chopper::common {
+namespace {
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, DoubleInUnitInterval) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Xoshiro, NextBelowCoversRange) {
+  Xoshiro256 rng(3);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.next_below(8)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);  // each bucket near 1000
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Xoshiro, NextInIsInclusive) {
+  Xoshiro256 rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, NormalHasExpectedMoments) {
+  Xoshiro256 rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_normal(3.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Xoshiro, ExponentialMeanMatchesRate) {
+  Xoshiro256 rng(6);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Xoshiro, ForkedStreamsAreIndependent) {
+  Xoshiro256 base(9);
+  auto a = base.fork(1);
+  auto b = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Zipf, Theta0IsUniformish) {
+  Xoshiro256 rng(10);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20'000; ++i) ++counts[zipf(rng)];
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LT(static_cast<double>(*mx) / *mn, 1.3);
+}
+
+TEST(Zipf, HighThetaConcentratesOnLowRanks) {
+  Xoshiro256 rng(11);
+  ZipfSampler zipf(1000, 1.2);
+  std::map<std::size_t, int> counts;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  // Rank 0 should dominate: more than 10% of all samples.
+  EXPECT_GT(counts[0], n / 10);
+}
+
+TEST(Zipf, SamplesStayInDomain) {
+  Xoshiro256 rng(12);
+  ZipfSampler zipf(37, 0.8);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(zipf(rng), 37u);
+}
+
+}  // namespace
+}  // namespace chopper::common

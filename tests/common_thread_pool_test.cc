@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace chopper::common {
+namespace {
+
+TEST(ThreadPool, ExecutesAllPostedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) pool.post([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SizeIsAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.post([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        ++counter;
+      });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("x");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, WorksWithMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 10'000, [&](std::size_t i) {
+    sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum.load(), 10'000L * 9'999L / 2);
+}
+
+TEST(ParallelFor, ReentrantAcrossSequentialCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> counter{0};
+    parallel_for(pool, 64, [&](std::size_t) { ++counter; });
+    ASSERT_EQ(counter.load(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace chopper::common

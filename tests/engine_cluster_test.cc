@@ -1,0 +1,94 @@
+#include "engine/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace chopper::engine {
+namespace {
+
+TEST(ClusterSpec, PaperPresetMatchesSection2B) {
+  const auto cluster = ClusterSpec::paper_heterogeneous();
+  ASSERT_EQ(cluster.num_nodes(), 5u);  // workers A-E; master F excluded
+  EXPECT_EQ(cluster.node(0).cores, 32u);
+  EXPECT_EQ(cluster.node(1).cores, 32u);
+  EXPECT_EQ(cluster.node(2).cores, 32u);
+  EXPECT_EQ(cluster.node(3).cores, 8u);
+  EXPECT_EQ(cluster.node(4).cores, 8u);
+  EXPECT_EQ(cluster.total_slots(), 112u);
+  // A-C on 10 Gbps, D-E on 1 Gbps.
+  EXPECT_GT(cluster.node(0).net_bw, cluster.node(3).net_bw * 5);
+  // D/E clock slightly faster per core (2.3 vs 2.0 GHz).
+  EXPECT_GT(cluster.node(3).speed, cluster.node(0).speed);
+}
+
+TEST(ClusterSpec, MemoryScaleShrinksExecutors) {
+  const auto full = ClusterSpec::paper_heterogeneous(1.0);
+  const auto scaled = ClusterSpec::paper_heterogeneous(0.01);
+  EXPECT_NEAR(static_cast<double>(scaled.node(0).memory_bytes),
+              static_cast<double>(full.node(0).memory_bytes) * 0.01, 1.0);
+}
+
+TEST(ClusterSpec, UniformPreset) {
+  const auto cluster = ClusterSpec::uniform(4, 8);
+  EXPECT_EQ(cluster.num_nodes(), 4u);
+  EXPECT_EQ(cluster.total_slots(), 32u);
+  EXPECT_DOUBLE_EQ(cluster.total_compute_rate(), 32.0);
+}
+
+TEST(ClusterSpec, ComputeRateWeightsSpeed) {
+  ClusterSpec cluster({{"a", 4, 2.0, 0, 1e9}, {"b", 4, 1.0, 0, 1e9}});
+  EXPECT_DOUBLE_EQ(cluster.total_compute_rate(), 12.0);
+}
+
+TEST(Placement, CoversAllNodesProportionally) {
+  Engine eng(ClusterSpec::paper_heterogeneous(), {});
+  std::vector<std::size_t> counts(5, 0);
+  const std::size_t partitions = 1120;  // 10x total slots
+  for (std::size_t p = 0; p < partitions; ++p) {
+    ++counts[eng.node_for(p, partitions)];
+  }
+  // Proportional to slots: A-C get 32/112 each, D-E get 8/112 each.
+  EXPECT_EQ(counts[0], 320u);
+  EXPECT_EQ(counts[3], 80u);
+}
+
+TEST(Placement, DeterministicAndSpread) {
+  Engine eng(ClusterSpec::uniform(3, 4), {});
+  EXPECT_EQ(eng.node_for(5, 100), eng.node_for(5, 100));
+  // Consecutive partitions land on different nodes (interleaved slots).
+  EXPECT_NE(eng.node_for(0, 12), eng.node_for(1, 12));
+}
+
+TEST(Simulation, HeterogeneousClusterSlowerThanEquivalentUniform) {
+  // Same total slot count, but the heterogeneous paper cluster has nodes
+  // behind 1 Gbps links; a shuffle-heavy job must not run faster there.
+  EngineOptions opts;
+  opts.default_parallelism = 112;
+  auto run_on = [&](const ClusterSpec& cluster) {
+    Engine eng(cluster, opts);
+    auto agg = Dataset::source("s", 112,
+                               [](std::size_t index, std::size_t count) {
+                                 Partition p;
+                                 const std::size_t total = 100'000;
+                                 const std::size_t begin = total * index / count;
+                                 const std::size_t end =
+                                     total * (index + 1) / count;
+                                 for (std::size_t i = begin; i < end; ++i) {
+                                   Record r;
+                                   r.key = i % 1000;
+                                   r.values = {1.0, 2.0, 3.0, 4.0};
+                                   p.push(std::move(r));
+                                 }
+                                 return p;
+                               })
+                   ->group_by_key("g");
+    return eng.count(agg).sim_time_s;
+  };
+  const double hetero = run_on(ClusterSpec::paper_heterogeneous());
+  const double uniform = run_on(ClusterSpec::uniform(5, 23, 1.25e9));  // ~112 slots
+  EXPECT_GE(hetero, uniform * 0.95);
+}
+
+}  // namespace
+}  // namespace chopper::engine

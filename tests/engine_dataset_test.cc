@@ -1,0 +1,148 @@
+#include "engine/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/record.h"
+
+namespace chopper::engine {
+namespace {
+
+SourceFn dummy_source() {
+  return [](std::size_t, std::size_t) { return Partition(); };
+}
+
+TEST(Record, ByteAccounting) {
+  Record r;
+  r.key = 1;
+  EXPECT_EQ(record_bytes(r), kRecordFramingBytes + 8);
+  r.values = {1.0, 2.0};
+  EXPECT_EQ(record_bytes(r), kRecordFramingBytes + 8 + 16);
+  r.aux_bytes = 100;
+  EXPECT_EQ(record_bytes(r), kRecordFramingBytes + 8 + 16 + 100);
+}
+
+TEST(Partition, PushTracksBytes) {
+  Partition p;
+  Record r;
+  r.values = {1.0};
+  const auto each = record_bytes(r);
+  p.push(r);
+  p.push(r);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.bytes(), 2 * each);
+}
+
+TEST(Partition, AbsorbMovesRecordsAndBytes) {
+  Partition a, b;
+  Record r;
+  r.values = {1.0};
+  a.push(r);
+  b.push(r);
+  b.push(r);
+  a.absorb(std::move(b));
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.bytes(), 0u);
+}
+
+TEST(Partition, RecountAfterMutation) {
+  Partition p;
+  Record r;
+  r.values = {1.0};
+  p.push(r);
+  p.mutable_records()[0].values.push_back(2.0);
+  p.recount_bytes();
+  EXPECT_EQ(p.bytes(), record_bytes(p.records()[0]));
+}
+
+TEST(Dataset, LineageStructure) {
+  auto src = Dataset::source("src", 4, dummy_source());
+  auto mapped = src->map("m", [](const Record& r) { return r; });
+  auto filtered = mapped->filter("f", [](const Record&) { return true; });
+  EXPECT_EQ(filtered->op(), OpKind::kFilter);
+  ASSERT_EQ(filtered->parents().size(), 1u);
+  EXPECT_EQ(filtered->parents()[0], mapped);
+  EXPECT_EQ(mapped->parents()[0], src);
+  EXPECT_EQ(src->parents().size(), 0u);
+  EXPECT_EQ(src->source_partitions(), 4u);
+}
+
+TEST(Dataset, IdsAreUnique) {
+  auto a = Dataset::source("a", 1, dummy_source());
+  auto b = Dataset::source("b", 1, dummy_source());
+  EXPECT_NE(a->id(), b->id());
+}
+
+TEST(Dataset, WideOpsAreWide) {
+  EXPECT_TRUE(is_wide(OpKind::kReduceByKey));
+  EXPECT_TRUE(is_wide(OpKind::kGroupByKey));
+  EXPECT_TRUE(is_wide(OpKind::kJoin));
+  EXPECT_TRUE(is_wide(OpKind::kCoGroup));
+  EXPECT_TRUE(is_wide(OpKind::kRepartition));
+  EXPECT_TRUE(is_wide(OpKind::kSortByKey));
+  EXPECT_FALSE(is_wide(OpKind::kMap));
+  EXPECT_FALSE(is_wide(OpKind::kFilter));
+  EXPECT_FALSE(is_wide(OpKind::kSource));
+  EXPECT_FALSE(is_wide(OpKind::kSample));
+}
+
+TEST(Dataset, PartitioningPreservationFlags) {
+  auto src = Dataset::source("s", 2, dummy_source());
+  EXPECT_FALSE(src->map("m", [](const Record& r) { return r; })
+                   ->preserves_partitioning());
+  EXPECT_TRUE(src->map_values("mv", [](const Record& r) { return r; })
+                  ->preserves_partitioning());
+  EXPECT_TRUE(src->filter("f", [](const Record&) { return true; })
+                  ->preserves_partitioning());
+  EXPECT_TRUE(src->sample("smp", 0.5, 1)->preserves_partitioning());
+  EXPECT_FALSE(src->map_partitions("mp", [](Partition&& p) { return std::move(p); })
+                   ->preserves_partitioning());
+  EXPECT_TRUE(src->map_partitions("mp2",
+                                  [](Partition&& p) { return std::move(p); },
+                                  1.0, /*preserves_partitioning=*/true)
+                  ->preserves_partitioning());
+}
+
+TEST(Dataset, JoinHasTwoParents) {
+  auto a = Dataset::source("a", 1, dummy_source());
+  auto b = Dataset::source("b", 1, dummy_source());
+  auto j = a->join_with(b, "j");
+  ASSERT_EQ(j->parents().size(), 2u);
+  EXPECT_EQ(j->parents()[0], a);
+  EXPECT_EQ(j->parents()[1], b);
+}
+
+TEST(Dataset, SortByKeyDefaultsToRangePartitioner) {
+  auto s = Dataset::source("s", 1, dummy_source())->sort_by_key("sort");
+  ASSERT_TRUE(s->shuffle_request().kind.has_value());
+  EXPECT_EQ(*s->shuffle_request().kind, PartitionerKind::kRange);
+}
+
+TEST(Dataset, ShuffleRequestRoundTrips) {
+  ShuffleRequest req;
+  req.kind = PartitionerKind::kRange;
+  req.num_partitions = 42;
+  req.user_fixed = true;
+  auto ds = Dataset::source("s", 1, dummy_source())
+                ->reduce_by_key("r", [](Record&, const Record&) {}, req);
+  EXPECT_EQ(*ds->shuffle_request().kind, PartitionerKind::kRange);
+  EXPECT_EQ(*ds->shuffle_request().num_partitions, 42u);
+  EXPECT_TRUE(ds->shuffle_request().user_fixed);
+}
+
+TEST(Dataset, CacheIsSticky) {
+  auto ds = Dataset::source("s", 1, dummy_source());
+  EXPECT_FALSE(ds->cached());
+  auto same = ds->cache();
+  EXPECT_EQ(same, ds);
+  EXPECT_TRUE(ds->cached());
+}
+
+TEST(Dataset, OpNames) {
+  EXPECT_STREQ(to_string(OpKind::kSource), "source");
+  EXPECT_STREQ(to_string(OpKind::kReduceByKey), "reduceByKey");
+  EXPECT_STREQ(to_string(OpKind::kCoGroup), "cogroup");
+}
+
+}  // namespace
+}  // namespace chopper::engine

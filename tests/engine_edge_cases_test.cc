@@ -1,0 +1,367 @@
+// Edge cases and failure-mode behaviour of the engine.
+#include <gtest/gtest.h>
+
+#include "chopper/config_plan.h"
+#include "engine/engine.h"
+
+namespace chopper::engine {
+namespace {
+
+EngineOptions small_options() {
+  EngineOptions o;
+  o.default_parallelism = 6;
+  o.host_threads = 2;
+  return o;
+}
+
+SourceFn empty_source() {
+  return [](std::size_t, std::size_t) { return Partition(); };
+}
+
+SourceFn one_record_source() {
+  return [](std::size_t index, std::size_t) {
+    Partition p;
+    if (index == 0) {
+      Record r;
+      r.key = 42;
+      r.values = {1.0};
+      p.push(std::move(r));
+    }
+    return p;
+  };
+}
+
+TEST(EdgeCases, EmptyDatasetThroughFullPipeline) {
+  Engine eng(ClusterSpec::uniform(2, 2), small_options());
+  auto ds = Dataset::source("empty", 4, empty_source())
+                ->map("m", [](const Record& r) { return r; })
+                ->reduce_by_key("r", [](Record&, const Record&) {})
+                ->filter("f", [](const Record&) { return true; });
+  const auto result = eng.collect(ds);
+  EXPECT_EQ(result.records.size(), 0u);
+  EXPECT_EQ(eng.metrics().stages().size(), 2u);
+}
+
+TEST(EdgeCases, EmptyJoinSides) {
+  Engine eng(ClusterSpec::uniform(2, 2), small_options());
+  auto a = Dataset::source("a", 2, empty_source());
+  auto b = Dataset::source("b", 2, one_record_source());
+  EXPECT_EQ(eng.count(a->join_with(b, "j")).count, 0u);
+  EXPECT_EQ(eng.count(b->cogroup_with(a, "cg")).count, 1u);
+}
+
+TEST(EdgeCases, SinglePartitionSingleRecord) {
+  Engine eng(ClusterSpec::uniform(1, 1), small_options());
+  ShuffleRequest req;
+  req.num_partitions = 1;
+  auto ds = Dataset::source("one", 1, one_record_source())
+                ->reduce_by_key("r", [](Record& acc, const Record& next) {
+                  acc.values[0] += next.values[0];
+                }, req);
+  const auto result = eng.collect(ds);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].key, 42u);
+}
+
+TEST(EdgeCases, MorePartitionsThanRecords) {
+  Engine eng(ClusterSpec::uniform(2, 4), small_options());
+  ShuffleRequest req;
+  req.num_partitions = 100;
+  auto ds = Dataset::source("one", 3, one_record_source())
+                ->repartition("rep", req);
+  const auto result = eng.collect(ds);
+  EXPECT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(eng.metrics().stages().back().num_partitions, 100u);
+}
+
+TEST(EdgeCases, SampleFractionZeroAndOne) {
+  Engine eng(ClusterSpec::uniform(2, 2), small_options());
+  auto src = Dataset::source("s", 2, [](std::size_t, std::size_t) {
+    Partition p;
+    for (int i = 0; i < 50; ++i) {
+      Record r;
+      r.key = static_cast<std::uint64_t>(i);
+      p.push(std::move(r));
+    }
+    return p;
+  });
+  EXPECT_EQ(eng.count(src->sample("none", 0.0, 1)).count, 0u);
+  EXPECT_EQ(eng.count(src->sample("all", 1.0, 1)).count, 100u);
+}
+
+TEST(EdgeCases, ChainedShufflesAcrossThreeStages) {
+  Engine eng(ClusterSpec::uniform(2, 4), small_options());
+  auto ds = Dataset::source("s", 4,
+                            [](std::size_t index, std::size_t count) {
+                              Partition p;
+                              const std::size_t total = 300;
+                              for (std::size_t i = total * index / count;
+                                   i < total * (index + 1) / count; ++i) {
+                                Record r;
+                                r.key = i % 30;
+                                r.values = {1.0};
+                                p.push(std::move(r));
+                              }
+                              return p;
+                            })
+                ->reduce_by_key("first", [](Record& acc, const Record& next) {
+                  acc.values[0] += next.values[0];
+                })
+                ->map("rekey",
+                      [](const Record& r) {
+                        Record out = r;
+                        out.key = r.key % 5;
+                        return out;
+                      })
+                ->reduce_by_key("second", [](Record& acc, const Record& next) {
+                  acc.values[0] += next.values[0];
+                });
+  const auto result = eng.collect(ds);
+  ASSERT_EQ(result.records.size(), 5u);
+  double total = 0.0;
+  for (const auto& r : result.records) total += r.values[0];
+  EXPECT_DOUBLE_EQ(total, 300.0);
+  EXPECT_EQ(eng.metrics().stages().size(), 3u);
+}
+
+TEST(EdgeCases, CachedWideOutputReused) {
+  Engine eng(ClusterSpec::uniform(2, 4), small_options());
+  auto agg = Dataset::source("s", 4,
+                             [](std::size_t index, std::size_t count) {
+                               Partition p;
+                               const std::size_t total = 200;
+                               for (std::size_t i = total * index / count;
+                                    i < total * (index + 1) / count; ++i) {
+                                 Record r;
+                                 r.key = i % 10;
+                                 r.values = {1.0};
+                                 p.push(std::move(r));
+                               }
+                               return p;
+                             })
+                 ->reduce_by_key("agg", [](Record& acc, const Record& next) {
+                   acc.values[0] += next.values[0];
+                 })
+                 ->cache();
+  eng.count(agg, "materialize");
+  const auto stages_before = eng.metrics().stages().size();
+  eng.count(agg->filter("f", [](const Record&) { return true; }), "reuse");
+  // The reuse job reads the cache: exactly one more stage, no shuffle.
+  ASSERT_EQ(eng.metrics().stages().size(), stages_before + 1);
+  EXPECT_EQ(eng.metrics().stages().back().shuffle_bytes(), 0u);
+  EXPECT_EQ(eng.metrics().stages().back().anchor_op, OpKind::kReduceByKey);
+  EXPECT_TRUE(eng.metrics().stages().back().fixed_partitions);
+}
+
+TEST(EdgeCases, CachedReduceOutputCopartitionsLaterJoin) {
+  // A cached reduceByKey output carries its partitioner; a later join that
+  // resolves to the same scheme must read it without any shuffle work.
+  EngineOptions opts = small_options();
+  opts.default_parallelism = 8;
+  Engine eng(ClusterSpec::uniform(2, 4), opts);
+  auto gen = [](std::size_t index, std::size_t count) {
+    Partition p;
+    const std::size_t total = 200;
+    for (std::size_t i = total * index / count;
+         i < total * (index + 1) / count; ++i) {
+      Record r;
+      r.key = i % 20;
+      r.values = {1.0};
+      p.push(std::move(r));
+    }
+    return p;
+  };
+  ShuffleRequest req;
+  req.num_partitions = 8;
+  auto left = Dataset::source("l", 4, gen)
+                  ->reduce_by_key("laff", [](Record& acc, const Record& next) {
+                    acc.values[0] += next.values[0];
+                  }, req)
+                  ->cache();
+  eng.count(left, "materialize");
+
+  auto right = Dataset::source("r", 4, gen)
+                   ->reduce_by_key("raff", [](Record& acc, const Record& next) {
+                     acc.values[0] += next.values[0];
+                   }, req);
+  ShuffleRequest join_req;
+  join_req.num_partitions = 8;
+  eng.count(left->join_with(right, "j", join_req), "join");
+
+  const auto& join_stage = eng.metrics().stages().back();
+  ASSERT_EQ(join_stage.anchor_op, OpKind::kJoin);
+  std::uint64_t remote = 0;
+  for (const auto& t : join_stage.tasks) remote += t.shuffle_read_remote;
+  EXPECT_EQ(remote, 0u);
+}
+
+TEST(EdgeCases, PlanProviderRangeSchemeOnSourceIsIgnoredGracefully) {
+  // A provider forcing range on a source stage only affects the count
+  // (sources have no reduce-side partitioner).
+  Engine eng(ClusterSpec::uniform(2, 2), small_options());
+  common::KvConfig cfg;
+  auto probe = Dataset::source("probe", 2, one_record_source());
+  const auto plan = eng.describe_job(probe);
+  cfg.set("stage." + std::to_string(plan.stages[0].signature) + ".partitioner",
+          "range");
+  cfg.set_int("stage." + std::to_string(plan.stages[0].signature) + ".partitions",
+              11);
+  eng.set_plan_provider(std::make_shared<core::ConfigPlanProvider>(cfg));
+  eng.count(Dataset::source("probe", 2, one_record_source()));
+  EXPECT_EQ(eng.metrics().stages()[0].num_partitions, 11u);
+}
+
+TEST(EdgeCases, DescribeJobDoesNotExecute) {
+  Engine eng(ClusterSpec::uniform(2, 2), small_options());
+  int calls = 0;
+  auto ds = Dataset::source("probe", 2,
+                            [&calls](std::size_t, std::size_t) {
+                              ++calls;
+                              return Partition();
+                            })
+                ->group_by_key("g");
+  const auto plan = eng.describe_job(ds);
+  EXPECT_EQ(plan.stages.size(), 2u);
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(eng.metrics().stages().empty());
+}
+
+}  // namespace
+}  // namespace chopper::engine
+// (appended) Repartition insertion through the plan provider.
+namespace chopper::engine {
+namespace {
+
+TEST(RepartitionInsertion, SplicesStageInFrontOfCachedRead) {
+  EngineOptions opts;
+  opts.default_parallelism = 6;
+  opts.host_threads = 2;
+  Engine eng(ClusterSpec::uniform(2, 4), opts);
+  auto cached = Dataset::source("big", 6,
+                                [](std::size_t, std::size_t) {
+                                  Partition p;
+                                  for (int i = 0; i < 200; ++i) {
+                                    Record r;
+                                    r.key = static_cast<std::uint64_t>(i);
+                                    r.values = {1.0};
+                                    p.push(std::move(r));
+                                  }
+                                  return p;
+                                })
+                    ->cache();
+  eng.count(cached, "materialize");
+
+  auto job = [&] {
+    return cached->map_values("heavy", [](const Record& r) { return r; });
+  };
+
+  // Without a plan: the cache pins the stage at 6 partitions.
+  eng.count(job(), "before");
+  ASSERT_EQ(eng.metrics().stages().back().num_partitions, 6u);
+
+  // Plan: insert a repartition to 24 in front of that (fixed) stage.
+  const auto sig = eng.metrics().stages().back().signature;
+  common::KvConfig cfg;
+  cfg.set("stage." + std::to_string(sig) + ".partitioner", "hash");
+  cfg.set_int("stage." + std::to_string(sig) + ".partitions", 24);
+  cfg.set_int("stage." + std::to_string(sig) + ".repartition", 1);
+  eng.set_plan_provider(std::make_shared<core::ConfigPlanProvider>(cfg));
+
+  const auto stages_before = eng.metrics().stages().size();
+  const auto result = eng.count(job(), "after");
+  EXPECT_EQ(result.count, 1200u);  // 6 partitions x 200 records, unchanged
+
+  // One extra stage (the inserted shuffle pair), and the read side now runs
+  // at 24 partitions.
+  ASSERT_EQ(eng.metrics().stages().size(), stages_before + 2);
+  const auto& writer = eng.metrics().stages()[stages_before];
+  const auto& reader = eng.metrics().stages()[stages_before + 1];
+  EXPECT_EQ(writer.num_partitions, 6u);        // cache read stays pinned
+  EXPECT_GT(writer.shuffle_write_bytes, 0u);   // but now shuffle-writes
+  EXPECT_EQ(reader.num_partitions, 24u);       // inserted repartition target
+  EXPECT_EQ(reader.anchor_op, OpKind::kRepartition);
+}
+
+TEST(RepartitionInsertion, NotAppliedWithoutTheMark) {
+  EngineOptions opts;
+  opts.default_parallelism = 6;
+  opts.host_threads = 2;
+  Engine eng(ClusterSpec::uniform(2, 4), opts);
+  auto cached = Dataset::source("small", 4,
+                                [](std::size_t, std::size_t) {
+                                  Partition p;
+                                  Record r;
+                                  p.push(std::move(r));
+                                  return p;
+                                })
+                    ->cache();
+  eng.count(cached, "materialize");
+  eng.count(cached->filter("f", [](const Record&) { return true; }), "probe");
+  const auto sig = eng.metrics().stages().back().signature;
+
+  common::KvConfig cfg;  // scheme present but no repartition mark
+  cfg.set("stage." + std::to_string(sig) + ".partitioner", "hash");
+  cfg.set_int("stage." + std::to_string(sig) + ".partitions", 16);
+  eng.set_plan_provider(std::make_shared<core::ConfigPlanProvider>(cfg));
+
+  const auto n = eng.metrics().stages().size();
+  eng.count(cached->filter("f", [](const Record&) { return true; }), "again");
+  ASSERT_EQ(eng.metrics().stages().size(), n + 1);  // no extra stage
+  EXPECT_EQ(eng.metrics().stages().back().num_partitions, 4u);  // still pinned
+}
+
+}  // namespace
+}  // namespace chopper::engine
+// (appended) Inserted repartitions are cached and reused across jobs.
+namespace chopper::engine {
+namespace {
+
+TEST(RepartitionInsertion, MaterializedOnceAcrossJobs) {
+  EngineOptions opts;
+  opts.default_parallelism = 6;
+  opts.host_threads = 2;
+  Engine eng(ClusterSpec::uniform(2, 4), opts);
+  auto cached = Dataset::source("links", 6,
+                                [](std::size_t, std::size_t) {
+                                  Partition p;
+                                  for (int i = 0; i < 100; ++i) {
+                                    Record r;
+                                    r.key = static_cast<std::uint64_t>(i);
+                                    r.values = {1.0};
+                                    p.push(std::move(r));
+                                  }
+                                  return p;
+                                })
+                    ->cache();
+  eng.count(cached, "materialize");
+
+  auto job = [&] {
+    return cached->map_values("use", [](const Record& r) { return r; });
+  };
+  eng.count(job(), "probe");
+  const auto sig = eng.metrics().stages().back().signature;
+
+  common::KvConfig cfg;
+  cfg.set("stage." + std::to_string(sig) + ".partitioner", "hash");
+  cfg.set_int("stage." + std::to_string(sig) + ".partitions", 12);
+  cfg.set_int("stage." + std::to_string(sig) + ".repartition", 1);
+  eng.set_plan_provider(std::make_shared<core::ConfigPlanProvider>(cfg));
+
+  // First planned job: pays the inserted shuffle (2 stages).
+  const auto n0 = eng.metrics().stages().size();
+  eng.count(job(), "iter-1");
+  ASSERT_EQ(eng.metrics().stages().size(), n0 + 2);
+
+  // Second planned job: reads the cached repartitioned data (1 stage, no
+  // shuffle, still 12 partitions).
+  const auto n1 = eng.metrics().stages().size();
+  const auto result = eng.count(job(), "iter-2");
+  ASSERT_EQ(eng.metrics().stages().size(), n1 + 1);
+  const auto& reuse = eng.metrics().stages().back();
+  EXPECT_EQ(reuse.num_partitions, 12u);
+  EXPECT_EQ(reuse.shuffle_bytes(), 0u);
+  EXPECT_EQ(result.count, 600u);
+}
+
+}  // namespace
+}  // namespace chopper::engine

@@ -1,0 +1,203 @@
+// End-to-end engine execution tests: jobs over sources, narrow chains,
+// every wide dependency, caching, co-partitioning and the plan provider.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "engine/engine.h"
+
+namespace chopper::engine {
+namespace {
+
+/// n records per partition, key = global index, value = key as double.
+SourceFn iota_source(std::size_t total) {
+  return [total](std::size_t index, std::size_t count) {
+    Partition p;
+    const std::size_t begin = total * index / count;
+    const std::size_t end = total * (index + 1) / count;
+    for (std::size_t i = begin; i < end; ++i) {
+      Record r;
+      r.key = i;
+      r.values = {static_cast<double>(i)};
+      p.push(std::move(r));
+    }
+    return p;
+  };
+}
+
+EngineOptions small_options() {
+  EngineOptions o;
+  o.default_parallelism = 8;
+  o.host_threads = 4;
+  return o;
+}
+
+TEST(EngineExecution, CountSource) {
+  Engine eng(ClusterSpec::uniform(2, 4), small_options());
+  auto ds = Dataset::source("iota", 4, iota_source(1000));
+  const auto result = eng.count(ds);
+  EXPECT_EQ(result.count, 1000u);
+  EXPECT_GT(result.sim_time_s, 0.0);
+}
+
+TEST(EngineExecution, MapFilterPipeline) {
+  Engine eng(ClusterSpec::uniform(2, 4), small_options());
+  auto ds = Dataset::source("iota", 4, iota_source(100))
+                ->map("double",
+                      [](const Record& r) {
+                        Record out = r;
+                        out.values[0] *= 2.0;
+                        return out;
+                      })
+                ->filter("even", [](const Record& r) { return r.key % 2 == 0; });
+  const auto result = eng.collect(ds);
+  EXPECT_EQ(result.records.size(), 50u);
+  for (const auto& r : result.records) {
+    EXPECT_EQ(r.key % 2, 0u);
+    EXPECT_DOUBLE_EQ(r.values[0], 2.0 * static_cast<double>(r.key));
+  }
+}
+
+TEST(EngineExecution, ReduceByKeySumsPerKey) {
+  Engine eng(ClusterSpec::uniform(2, 4), small_options());
+  auto ds = Dataset::source("iota", 4, iota_source(1000))
+                ->map("bucket",
+                      [](const Record& r) {
+                        Record out;
+                        out.key = r.key % 10;
+                        out.values = {1.0};
+                        return out;
+                      })
+                ->reduce_by_key("count", [](Record& acc, const Record& next) {
+                  acc.values[0] += next.values[0];
+                });
+  const auto result = eng.collect(ds);
+  ASSERT_EQ(result.records.size(), 10u);
+  double total = 0.0;
+  for (const auto& r : result.records) total += r.values[0];
+  EXPECT_DOUBLE_EQ(total, 1000.0);
+}
+
+TEST(EngineExecution, JoinMatchesKeys) {
+  Engine eng(ClusterSpec::uniform(2, 4), small_options());
+  auto left = Dataset::source("left", 3, iota_source(100));
+  auto right = Dataset::source("right", 2, iota_source(50))
+                   ->map("tag", [](const Record& r) {
+                     Record out = r;
+                     out.values = {100.0 + static_cast<double>(r.key)};
+                     return out;
+                   });
+  auto joined = left->join_with(right, "join");
+  const auto result = eng.collect(joined);
+  // Inner join: only keys 0..49 match.
+  EXPECT_EQ(result.records.size(), 50u);
+  for (const auto& r : result.records) {
+    ASSERT_EQ(r.values.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.values[0], static_cast<double>(r.key));
+    EXPECT_DOUBLE_EQ(r.values[1], 100.0 + static_cast<double>(r.key));
+  }
+}
+
+TEST(EngineExecution, CacheAvoidsRecomputation) {
+  Engine eng(ClusterSpec::uniform(2, 4), small_options());
+  std::atomic<int> generations{0};
+  auto ds = Dataset::source("gen", 4,
+                            [&generations](std::size_t index, std::size_t count) {
+                              ++generations;
+                              Partition p;
+                              Record r;
+                              r.key = index;
+                              r.values = {static_cast<double>(count)};
+                              p.push(std::move(r));
+                              return p;
+                            })
+                ->cache();
+  eng.count(ds, "first");
+  const int after_first = generations.load();
+  EXPECT_EQ(after_first, 4);
+  eng.count(ds, "second");
+  EXPECT_EQ(generations.load(), after_first);  // served from cache
+  EXPECT_TRUE(eng.block_manager().contains(ds->id()));
+}
+
+TEST(EngineExecution, PlanProviderControlsPartitionCounts) {
+  class FixedProvider : public PlanProvider {
+   public:
+    explicit FixedProvider(std::size_t n) : n_(n) {}
+    std::optional<PartitionScheme> scheme_for(std::uint64_t) override {
+      return PartitionScheme{PartitionerKind::kHash, n_};
+    }
+
+   private:
+    std::size_t n_;
+  };
+
+  Engine eng(ClusterSpec::uniform(2, 4), small_options());
+  eng.set_plan_provider(std::make_shared<FixedProvider>(13));
+  auto ds = Dataset::source("iota", 4, iota_source(100))
+                ->map("key",
+                      [](const Record& r) {
+                        Record out = r;
+                        out.key = r.key % 7;
+                        return out;
+                      })
+                ->reduce_by_key("sum", [](Record& acc, const Record& next) {
+                  acc.values[0] += next.values[0];
+                });
+  eng.count(ds);
+  ASSERT_EQ(eng.metrics().stages().size(), 2u);
+  EXPECT_EQ(eng.metrics().stages()[0].num_partitions, 13u);  // source overridden
+  EXPECT_EQ(eng.metrics().stages()[1].num_partitions, 13u);  // reduce overridden
+}
+
+TEST(EngineExecution, CopartitionedJoinHasNoShuffle) {
+  // Both join inputs are reduceByKey outputs with the same explicit scheme;
+  // the join partitioner matches, so its shuffle is a pass-through.
+  Engine eng(ClusterSpec::uniform(2, 4), small_options());
+  ShuffleRequest req;
+  req.num_partitions = 8;
+  auto mk = [&](const char* name) {
+    return Dataset::source(name, 4, iota_source(200))
+        ->reduce_by_key(
+            std::string(name) + "-agg",
+            [](Record& acc, const Record& next) {
+              acc.values[0] += next.values[0];
+            },
+            req);
+  };
+  ShuffleRequest join_req;
+  join_req.num_partitions = 8;
+  auto joined = mk("a")->join_with(mk("b"), "join", join_req);
+  eng.collect(joined);
+
+  // The join stage is the last one; its shuffle read must be all-local.
+  const auto& stages = eng.metrics().stages();
+  const auto& join_stage = stages.back();
+  EXPECT_EQ(join_stage.anchor_op, OpKind::kJoin);
+  std::uint64_t remote = 0;
+  for (const auto& t : join_stage.tasks) remote += t.shuffle_read_remote;
+  EXPECT_EQ(remote, 0u);
+}
+
+TEST(EngineExecution, SimulatedTimeIsDeterministic) {
+  auto run_once = [] {
+    Engine eng(ClusterSpec::paper_heterogeneous(0.01), small_options());
+    auto ds = Dataset::source("iota", 40, iota_source(20000))
+                  ->map("k",
+                        [](const Record& r) {
+                          Record out = r;
+                          out.key = r.key % 100;
+                          return out;
+                        })
+                  ->reduce_by_key("sum", [](Record& acc, const Record& next) {
+                    acc.values[0] += next.values[0];
+                  });
+    return eng.count(ds).sim_time_s;
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace chopper::engine

@@ -1,0 +1,170 @@
+#include "engine/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace chopper::engine {
+namespace {
+
+// ---- parameterized over partition counts (property-style sweep) ----------
+
+class PartitionerSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionerSweep, HashStaysInRange) {
+  const std::size_t n = GetParam();
+  HashPartitioner part(n);
+  common::Xoshiro256 rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(part.partition_of(rng()), n);
+  }
+}
+
+TEST_P(PartitionerSweep, HashBalancesRandomKeys) {
+  const std::size_t n = GetParam();
+  HashPartitioner part(n);
+  common::Xoshiro256 rng(2);
+  std::vector<double> loads(n, 0.0);
+  const std::size_t samples = 2000 * n;
+  for (std::size_t i = 0; i < samples; ++i) ++loads[part.partition_of(rng())];
+  EXPECT_LT(common::imbalance(loads), 1.25);
+}
+
+TEST_P(PartitionerSweep, RangeFromSampleStaysInRange) {
+  const std::size_t n = GetParam();
+  common::Xoshiro256 rng(3);
+  std::vector<std::uint64_t> sample(512);
+  for (auto& k : sample) k = rng();
+  const auto part = RangePartitioner::from_sample(n, sample);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(part->partition_of(rng()), n);
+  }
+}
+
+TEST_P(PartitionerSweep, RangePreservesKeyOrderAcrossPartitions) {
+  const std::size_t n = GetParam();
+  common::Xoshiro256 rng(4);
+  std::vector<std::uint64_t> sample(512);
+  for (auto& k : sample) k = rng();
+  const auto part = RangePartitioner::from_sample(n, sample);
+  // partition_of must be monotone in the key.
+  std::uint64_t prev_key = 0;
+  std::size_t prev_p = part->partition_of(0);
+  for (int i = 1; i < 2000; ++i) {
+    const std::uint64_t key = prev_key + rng.next_below(1ULL << 52);
+    const std::size_t p = part->partition_of(key);
+    EXPECT_GE(p, prev_p) << "key order violated";
+    prev_key = key;
+    prev_p = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PartitionerSweep,
+                         ::testing::Values(1, 2, 7, 64, 300, 2048));
+
+// ---- targeted behaviours ---------------------------------------------------
+
+TEST(HashPartitioner, SameKeySamePartition) {
+  HashPartitioner part(100);
+  EXPECT_EQ(part.partition_of(12345), part.partition_of(12345));
+}
+
+TEST(HashPartitioner, HotKeysPileUp) {
+  // All identical keys land in exactly one partition — the skew hazard the
+  // paper attributes to hash partitioning of datasets with hot keys.
+  HashPartitioner part(50);
+  const std::size_t p = part.partition_of(777);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(part.partition_of(777), p);
+}
+
+TEST(HashPartitioner, Equality) {
+  HashPartitioner a(10), b(10), c(11);
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+}
+
+TEST(RangePartitioner, BoundsDefineBuckets) {
+  RangePartitioner part(3, {10, 20});
+  EXPECT_EQ(part.partition_of(0), 0u);
+  EXPECT_EQ(part.partition_of(10), 0u);  // inclusive upper bound
+  EXPECT_EQ(part.partition_of(11), 1u);
+  EXPECT_EQ(part.partition_of(20), 1u);
+  EXPECT_EQ(part.partition_of(21), 2u);
+  EXPECT_EQ(part.partition_of(~0ULL), 2u);
+}
+
+TEST(RangePartitioner, EmptySampleSpreadsUniformly) {
+  const auto part = RangePartitioner::from_sample(4, {});
+  std::vector<double> loads(4, 0.0);
+  common::Xoshiro256 rng(5);
+  for (int i = 0; i < 40'000; ++i) ++loads[part->partition_of(rng())];
+  EXPECT_LT(common::imbalance(loads), 1.1);
+}
+
+TEST(RangePartitioner, BalancedOnSampledDistribution) {
+  // Sampling the actual (skewed) key distribution yields balanced ranges —
+  // the property that makes range partitioning content-sensitive.
+  common::Xoshiro256 rng(6);
+  std::vector<std::uint64_t> keys(50'000);
+  for (auto& k : keys) {
+    // Quadratic skew toward small keys.
+    const double u = rng.next_double();
+    k = static_cast<std::uint64_t>(u * u * 1e9);
+  }
+  std::vector<std::uint64_t> sample(keys.begin(), keys.begin() + 2000);
+  const auto part = RangePartitioner::from_sample(16, sample);
+  std::vector<double> loads(16, 0.0);
+  for (const auto k : keys) ++loads[part->partition_of(k)];
+  EXPECT_LT(common::imbalance(loads), 1.5);
+}
+
+TEST(RangePartitioner, SkewedWhenSampleMismatchesData) {
+  // A range partitioner built for one distribution can badly skew another —
+  // paper Sec. III-B: "A range partition scheme that distributes a RDD
+  // evenly is likely to partition another RDD into a highly-skewed
+  // distribution."
+  std::vector<std::uint64_t> low_sample(1000);
+  for (std::size_t i = 0; i < low_sample.size(); ++i) {
+    low_sample[i] = i;  // sampled data lives in [0, 1000)
+  }
+  const auto part = RangePartitioner::from_sample(8, low_sample);
+  // Actual data lives far above the sampled range -> everything lands in
+  // the last partition.
+  std::vector<double> loads(8, 0.0);
+  common::Xoshiro256 rng(7);
+  for (int i = 0; i < 8000; ++i) {
+    ++loads[part->partition_of(1'000'000 + rng.next_below(1000))];
+  }
+  EXPECT_DOUBLE_EQ(loads[7], 8000.0);
+}
+
+TEST(RangePartitioner, EqualityRequiresSameBounds) {
+  RangePartitioner a(3, {10, 20});
+  RangePartitioner b(3, {10, 20});
+  RangePartitioner c(3, {10, 21});
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+  HashPartitioner h(3);
+  EXPECT_FALSE(a.equals(h));
+  EXPECT_FALSE(h.equals(a));
+}
+
+TEST(MakePartitioner, Factory) {
+  const auto h = make_partitioner(PartitionerKind::kHash, 5);
+  EXPECT_EQ(h->kind(), PartitionerKind::kHash);
+  EXPECT_EQ(h->num_partitions(), 5u);
+  const auto r = make_partitioner(PartitionerKind::kRange, 5, {1, 2, 3});
+  EXPECT_EQ(r->kind(), PartitionerKind::kRange);
+  EXPECT_EQ(r->num_partitions(), 5u);
+}
+
+TEST(PartitionerKindNames, RoundTrip) {
+  EXPECT_STREQ(to_string(PartitionerKind::kHash), "hash");
+  EXPECT_STREQ(to_string(PartitionerKind::kRange), "range");
+}
+
+}  // namespace
+}  // namespace chopper::engine

@@ -1,0 +1,139 @@
+#include "workloads/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace chopper::workloads {
+namespace {
+
+KMeansParams small_params() {
+  KMeansParams p;
+  p.data.total_points = 6'000;
+  p.data.dims = 4;
+  p.data.clusters = 4;
+  p.data.cluster_spread = 30.0;
+  p.data.noise = 0.5;
+  p.k = 4;
+  p.iterations = 3;
+  p.init_rounds = 4;
+  p.source_partitions = 24;
+  return p;
+}
+
+engine::EngineOptions small_engine() {
+  engine::EngineOptions o;
+  o.default_parallelism = 24;
+  o.host_threads = 4;
+  return o;
+}
+
+TEST(KMeans, ProducesTwentyStageStructure) {
+  KMeansParams p = small_params();
+  p.init_rounds = 11;  // the paper's structure: 1 + 11 + 6 + 2 = 20 stages
+  KMeansWorkload wl(p);
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  wl.run(eng, 1.0);
+  EXPECT_EQ(eng.metrics().stages().size(), 20u);
+}
+
+TEST(KMeans, OnlyIterationStagesShuffle) {
+  KMeansParams p = small_params();
+  p.init_rounds = 11;
+  KMeansWorkload wl(p);
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  wl.run(eng, 1.0);
+  const auto& stages = eng.metrics().stages();
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const bool iterative = s >= 12 && s <= 17;  // paper Fig. 4
+    if (iterative) {
+      EXPECT_GT(stages[s].shuffle_bytes(), 0u) << "stage " << s;
+    } else {
+      EXPECT_EQ(stages[s].shuffle_bytes(), 0u) << "stage " << s;
+    }
+  }
+}
+
+TEST(KMeans, IterationStagesShareSignatures) {
+  KMeansWorkload wl(small_params());
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  wl.run(eng, 1.0);
+  const auto& stages = eng.metrics().stages();
+  // Collect the reduce-stage signatures: all iterations must agree.
+  std::set<std::uint64_t> reduce_sigs, map_sigs;
+  for (const auto& s : stages) {
+    if (s.anchor_op == engine::OpKind::kReduceByKey) {
+      reduce_sigs.insert(s.signature);
+    }
+    if (s.name.find("map:assign") != std::string::npos) {
+      map_sigs.insert(s.signature);
+    }
+  }
+  EXPECT_EQ(reduce_sigs.size(), 1u);
+  EXPECT_EQ(map_sigs.size(), 1u);
+}
+
+TEST(KMeans, RecoversWellSeparatedCenters) {
+  KMeansParams p = small_params();
+  KMeansWorkload wl(p);
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  const auto result = wl.run_with_result(eng, 1.0);
+  ASSERT_EQ(result.centers.size(), p.k);
+
+  // Every true center must have a fitted center nearby (clusters are
+  // separated by ~spread >> noise).
+  const auto truth = gaussian_mixture_centers(p.data);
+  for (const auto& t : truth) {
+    double best = 1e300;
+    for (const auto& c : result.centers) {
+      double d2 = 0.0;
+      for (std::size_t i = 0; i < p.data.dims; ++i) {
+        const double d = c[i] - t[i];
+        d2 += d * d;
+      }
+      best = std::min(best, d2);
+    }
+    EXPECT_LT(std::sqrt(best), 3.0) << "no fitted center near a true center";
+  }
+  EXPECT_GT(result.cost, 0.0);
+}
+
+TEST(KMeans, CostDecreasesWithIterations) {
+  KMeansParams base = small_params();
+  base.iterations = 1;
+  KMeansParams more = small_params();
+  more.iterations = 4;
+  engine::Engine e1(engine::ClusterSpec::uniform(3, 4), small_engine());
+  engine::Engine e2(engine::ClusterSpec::uniform(3, 4), small_engine());
+  const auto r1 = KMeansWorkload(base).run_with_result(e1, 1.0);
+  const auto r4 = KMeansWorkload(more).run_with_result(e2, 1.0);
+  EXPECT_LE(r4.cost, r1.cost * 1.0001);
+}
+
+TEST(KMeans, ScaleScalesInput) {
+  KMeansWorkload wl(small_params());
+  EXPECT_NEAR(static_cast<double>(wl.input_bytes(0.5)),
+              static_cast<double>(wl.input_bytes(1.0)) * 0.5,
+              static_cast<double>(wl.input_bytes(1.0)) * 0.01);
+}
+
+TEST(KMeans, CachedInputMaterializedOnce) {
+  KMeansWorkload wl(small_params());
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  wl.run(eng, 1.0);
+  // Exactly one source stage in the whole run: everything else reads cache.
+  std::size_t source_stages = 0;
+  for (const auto& s : eng.metrics().stages()) {
+    source_stages += s.anchor_op == engine::OpKind::kSource;
+  }
+  EXPECT_EQ(source_stages, 1u);
+}
+
+TEST(KMeans, RejectsZeroK) {
+  KMeansParams p = small_params();
+  p.k = 0;
+  EXPECT_THROW(KMeansWorkload{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chopper::workloads

@@ -1,0 +1,109 @@
+#include "workloads/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include "chopper/chopper.h"
+
+namespace chopper::workloads {
+namespace {
+
+PageRankParams small_params() {
+  PageRankParams p;
+  p.num_pages = 2'000;
+  p.avg_out_degree = 6;
+  p.iterations = 3;
+  p.source_partitions = 16;
+  return p;
+}
+
+engine::EngineOptions small_engine() {
+  engine::EngineOptions o;
+  o.default_parallelism = 16;
+  o.host_threads = 4;
+  return o;
+}
+
+TEST(PageRank, RankMassIsConserved) {
+  PageRankWorkload wl(small_params());
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  const auto result = wl.run_with_result(eng, 1.0);
+  EXPECT_EQ(result.pages, 2'000u);
+  // Sum of ranks stays near N: contributions redistribute, damping renorms.
+  // Dangling mass (pages nobody links to keep base rank) makes this
+  // approximate; it must stay within a few percent.
+  EXPECT_NEAR(result.total_rank, 2'000.0, 2'000.0 * 0.20);
+  EXPECT_GT(result.max_rank, 1.0);  // popular pages accumulate rank
+}
+
+TEST(PageRank, PopularPagesRankHigher) {
+  PageRankParams p = small_params();
+  p.popularity_theta = 1.0;  // strong skew
+  PageRankWorkload wl(p);
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  const auto result = wl.run_with_result(eng, 1.0);
+  // With Zipf in-links the hottest page collects far more than average.
+  EXPECT_GT(result.max_rank, 10.0);
+}
+
+TEST(PageRank, IterationStagesShareSignatures) {
+  PageRankWorkload wl(small_params());
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  wl.run(eng, 1.0);
+  std::set<std::uint64_t> join_sigs;
+  std::size_t join_stages = 0;
+  for (const auto& s : eng.metrics().stages()) {
+    if (s.anchor_op == engine::OpKind::kJoin) {
+      join_sigs.insert(s.signature);
+      ++join_stages;
+    }
+  }
+  EXPECT_EQ(join_stages, 3u);
+  EXPECT_EQ(join_sigs.size(), 1u);
+}
+
+TEST(PageRank, ChopperCopartitionsTheIterativeJoin) {
+  const auto cluster = engine::ClusterSpec::paper_heterogeneous(0.001);
+  core::ChopperOptions opts;
+  opts.engine_options = small_engine();
+  opts.engine_options.default_parallelism = 48;
+  opts.profile_partitions = {16, 32, 48, 96};
+  opts.profile_fractions = {0.5, 1.0};
+  opts.profile_both_partitioners = false;
+  opts.optimizer.space.min_partitions = 8;
+  opts.optimizer.space.max_partitions = 128;
+
+  PageRankParams p = small_params();
+  p.source_partitions = 48;
+  PageRankWorkload wl(p);
+
+  core::Chopper chopper(cluster, opts);
+  const double input = chopper.profile(wl.name(), wl.runner(), 1.0);
+  const auto plan = chopper.plan(wl.name(), input);
+
+  // The join subgraph must be grouped.
+  int grouped = 0;
+  for (const auto& ps : plan) grouped += ps.group >= 0;
+  EXPECT_GE(grouped, 2);
+
+  auto eng = chopper.make_engine();
+  eng->set_plan_provider(chopper.make_provider(plan));
+  const auto tuned = wl.run_with_result(*eng, 1.0);
+
+  engine::Engine vanilla(cluster, opts.engine_options);
+  const auto base = wl.run_with_result(vanilla, 1.0);
+
+  // Same answer, and the optimized run is not slower.
+  EXPECT_NEAR(tuned.total_rank, base.total_rank, 1e-6 * base.total_rank);
+  EXPECT_LE(eng->metrics().total_sim_time(),
+            vanilla.metrics().total_sim_time() * 1.05);
+}
+
+TEST(PageRank, ScaleChangesPageCount) {
+  PageRankWorkload wl(small_params());
+  engine::Engine eng(engine::ClusterSpec::uniform(2, 4), small_engine());
+  const auto result = wl.run_with_result(eng, 0.5);
+  EXPECT_EQ(result.pages, 1'000u);
+}
+
+}  // namespace
+}  // namespace chopper::workloads

@@ -1,0 +1,99 @@
+#include "workloads/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace chopper::workloads {
+namespace {
+
+PcaParams small_params() {
+  PcaParams p;
+  p.data.total_rows = 5'000;
+  p.data.dims = 10;
+  p.data.latent_dims = 3;
+  p.data.noise = 0.02;
+  p.components = 3;
+  p.iterations = 2;
+  p.source_partitions = 16;
+  return p;
+}
+
+engine::EngineOptions small_engine() {
+  engine::EngineOptions o;
+  o.default_parallelism = 16;
+  o.host_threads = 4;
+  return o;
+}
+
+TEST(Pca, StageStructure) {
+  PcaParams p = small_params();
+  p.iterations = 3;
+  PcaWorkload wl(p);
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  wl.run(eng, 1.0);
+  // 1 load + 2 means + 2 cov + 3*2 refinement + 1 projection = 12 stages.
+  EXPECT_EQ(eng.metrics().stages().size(), 12u);
+}
+
+TEST(Pca, TopComponentsCaptureLatentFactors) {
+  PcaWorkload wl(small_params());
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  const auto result = wl.run_with_result(eng, 1.0);
+  ASSERT_EQ(result.eigenvalues.size(), 3u);
+  // Eigenvalues must be positive and descending.
+  EXPECT_GT(result.eigenvalues[2], 0.0);
+  EXPECT_GE(result.eigenvalues[0], result.eigenvalues[1]);
+  EXPECT_GE(result.eigenvalues[1], result.eigenvalues[2]);
+  // The data has rank ~3 + tiny noise: the residual after 3 components is
+  // close to the noise floor.
+  EXPECT_LT(result.reconstruction_error, 0.1);
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+  PcaWorkload wl(small_params());
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  const auto result = wl.run_with_result(eng, 1.0);
+  for (std::size_t a = 0; a < result.components.size(); ++a) {
+    for (std::size_t b = a; b < result.components.size(); ++b) {
+      const double dot = std::inner_product(result.components[a].begin(),
+                                            result.components[a].end(),
+                                            result.components[b].begin(), 0.0);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(Pca, ResultInvariantUnderPartitioning) {
+  // The distributed covariance must not depend on how data is partitioned.
+  auto run_at = [&](std::size_t parallelism) {
+    PcaParams p = small_params();
+    p.source_partitions = parallelism;
+    engine::EngineOptions o = small_engine();
+    o.default_parallelism = parallelism;
+    engine::Engine eng(engine::ClusterSpec::uniform(3, 4), o);
+    return PcaWorkload(p).run_with_result(eng, 1.0);
+  };
+  const auto a = run_at(8);
+  const auto b = run_at(31);
+  for (std::size_t i = 0; i < a.eigenvalues.size(); ++i) {
+    EXPECT_NEAR(a.eigenvalues[i], b.eigenvalues[i],
+                1e-6 * std::abs(a.eigenvalues[i]) + 1e-9);
+  }
+}
+
+TEST(Pca, RejectsInvalidComponentCount) {
+  PcaParams p = small_params();
+  p.components = 0;
+  EXPECT_THROW(PcaWorkload{p}, std::invalid_argument);
+  p.components = p.data.dims + 1;
+  EXPECT_THROW(PcaWorkload{p}, std::invalid_argument);
+}
+
+TEST(Pca, InputBytesScales) {
+  PcaWorkload wl(small_params());
+  EXPECT_GT(wl.input_bytes(2.0), wl.input_bytes(1.0));
+}
+
+}  // namespace
+}  // namespace chopper::workloads

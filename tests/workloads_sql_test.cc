@@ -1,0 +1,116 @@
+#include "workloads/sql.h"
+
+#include <gtest/gtest.h>
+
+namespace chopper::workloads {
+namespace {
+
+SqlParams small_params() {
+  SqlParams p;
+  p.fact.total_rows = 20'000;
+  p.fact.num_keys = 1'500;
+  p.fact.zipf_theta = 0.8;
+  p.dim.num_keys = 1'500;
+  p.fact_partitions = 24;
+  p.dim_partitions = 8;
+  p.fact_agg_partitions = 24;
+  p.dim_agg_partitions = 8;
+  return p;
+}
+
+engine::EngineOptions small_engine() {
+  engine::EngineOptions o;
+  o.default_parallelism = 16;
+  o.host_threads = 4;
+  return o;
+}
+
+TEST(Sql, FiveStageStructure) {
+  SqlWorkload wl(small_params());
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  wl.run(eng, 1.0);
+  const auto& stages = eng.metrics().stages();
+  ASSERT_EQ(stages.size(), 5u);
+  // Exactly one join stage, and it is the last (result) stage.
+  EXPECT_EQ(stages.back().anchor_op, engine::OpKind::kJoin);
+}
+
+TEST(Sql, JoinOutputBoundedByDistinctKeys) {
+  SqlParams p = small_params();
+  SqlWorkload wl(p);
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  const auto result = wl.run_with_result(eng, 1.0);
+  EXPECT_GT(result.joined_rows, 0u);
+  EXPECT_LE(result.joined_rows, p.fact.num_keys);
+  EXPECT_GT(result.total_revenue, 0.0);
+}
+
+TEST(Sql, FilterSelectivityShrinksJoin) {
+  SqlParams loose = small_params();
+  loose.filter_selectivity = 1.0;
+  SqlParams tight = small_params();
+  tight.filter_selectivity = 0.2;
+  engine::Engine e1(engine::ClusterSpec::uniform(3, 4), small_engine());
+  engine::Engine e2(engine::ClusterSpec::uniform(3, 4), small_engine());
+  const auto all = SqlWorkload(loose).run_with_result(e1, 1.0);
+  const auto some = SqlWorkload(tight).run_with_result(e2, 1.0);
+  EXPECT_GT(all.joined_rows, some.joined_rows);
+}
+
+TEST(Sql, ResultInvariantUnderPartitioning) {
+  auto run_at = [&](std::size_t fact_parts, std::size_t agg_parts) {
+    SqlParams p = small_params();
+    p.fact_partitions = fact_parts;
+    p.fact_agg_partitions = agg_parts;
+    engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+    return SqlWorkload(p).run_with_result(eng, 1.0);
+  };
+  const auto a = run_at(24, 24);
+  const auto b = run_at(7, 40);
+  EXPECT_EQ(a.joined_rows, b.joined_rows);
+  EXPECT_NEAR(a.total_revenue, b.total_revenue,
+              1e-6 * std::abs(a.total_revenue));
+}
+
+TEST(Sql, MismatchedAggSchemesForceJoinShuffle) {
+  // Defaults mimic Spark's split-proportional partition counts: 24 vs 8,
+  // join at default 16 -> every side must reshuffle.
+  SqlWorkload wl(small_params());
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  wl.run(eng, 1.0);
+  const auto& join_stage = eng.metrics().stages().back();
+  EXPECT_GT(join_stage.shuffle_read_bytes, 0u);
+}
+
+TEST(Sql, AlignedAggSchemesMakeJoinLocal) {
+  SqlParams p = small_params();
+  p.fact_agg_partitions = 16;
+  p.dim_agg_partitions = 16;  // both match default parallelism (16)
+  SqlWorkload wl(p);
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  wl.run(eng, 1.0);
+  const auto& join_stage = eng.metrics().stages().back();
+  std::uint64_t remote = 0;
+  for (const auto& t : join_stage.tasks) remote += t.shuffle_read_remote;
+  EXPECT_EQ(remote, 0u);  // co-partitioned: pass-through reads only
+}
+
+TEST(Sql, UserFixedFlagPropagatesToMetrics) {
+  SqlParams p = small_params();
+  p.user_fixed_aggs = true;
+  SqlWorkload wl(p);
+  engine::Engine eng(engine::ClusterSpec::uniform(3, 4), small_engine());
+  wl.run(eng, 1.0);
+  std::size_t user_fixed = 0;
+  for (const auto& s : eng.metrics().stages()) user_fixed += s.user_fixed;
+  EXPECT_EQ(user_fixed, 2u);  // both aggregations
+}
+
+TEST(Sql, InputBytesCountsBothTables) {
+  SqlWorkload wl(small_params());
+  EXPECT_GT(wl.input_bytes(1.0),
+            dim_table_bytes(small_params().dim));
+}
+
+}  // namespace
+}  // namespace chopper::workloads

@@ -1,0 +1,245 @@
+// chopperctl — command-line driver for the CHOPPER reproduction.
+//
+//   chopperctl profile --workload kmeans|pca|sql [--scale S] [--db FILE]
+//       Run the profiling sweep and store observations in the DB file.
+//
+//   chopperctl plan --workload W --db FILE [--scale S] [--naive] [--out FILE]
+//       Compute the (Algorithm 3, or Algorithm 2 with --naive) plan from a
+//       previously saved DB and print/save the Fig. 6 configuration.
+//
+//   chopperctl run --workload W [--conf FILE] [--scale S] [--speculation]
+//                  [--aqe]
+//       Execute the workload — vanilla by default, with a CHOPPER config if
+//       --conf is given — and print the per-stage metrics.
+//
+//   chopperctl inspect --db FILE
+//       Summarize a workload DB: observations and stage DAGs.
+//
+// The cluster and workload presets match the bench harness (the paper's
+// heterogeneous 5-worker cluster, Table-I-proportional inputs).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "chopper/chopper.h"
+#include "common/logging.h"
+#include "harness.h"
+
+using namespace chopper;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+};
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) return std::nullopt;
+    flag = flag.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.flags[flag] = argv[++i];
+    } else {
+      args.flags[flag] = "1";  // boolean flag
+    }
+  }
+  return args;
+}
+
+std::unique_ptr<workloads::Workload> make_workload(const std::string& name,
+                                                   bool tiny) {
+  // --tiny shrinks inputs ~20x for smoke tests and CI.
+  if (name == "kmeans") {
+    auto p = bench::kmeans_params();
+    if (tiny) {
+      p.data.total_points /= 20;
+      p.init_rounds = 3;
+    }
+    return std::make_unique<workloads::KMeansWorkload>(p);
+  }
+  if (name == "pca") {
+    auto p = bench::pca_params();
+    if (tiny) p.data.total_rows /= 20;
+    return std::make_unique<workloads::PcaWorkload>(p);
+  }
+  if (name == "sql") {
+    auto p = bench::sql_params();
+    if (tiny) {
+      p.fact.total_rows /= 20;
+      p.fact.num_keys /= 20;
+      p.dim.num_keys /= 20;
+    }
+    return std::make_unique<workloads::SqlWorkload>(p);
+  }
+  return nullptr;
+}
+
+core::ChopperOptions chopper_options(bool tiny) {
+  auto o = bench::chopper_options();
+  if (tiny) {
+    o.profile_partitions = {100, 200, 300};
+    o.profile_fractions = {1.0};
+    o.profile_both_partitioners = false;
+  }
+  return o;
+}
+
+void print_stages(const engine::Engine& eng) {
+  bench::Table table(
+      {"stage", "name", "P", "partitioner", "time(s)", "shuffle(KB)", "skew"});
+  for (const auto& s : eng.metrics().stages()) {
+    std::string name = s.name;
+    if (name.size() > 48) name = name.substr(0, 45) + "...";
+    table.add_row({std::to_string(s.stage_id), name,
+                   std::to_string(s.num_partitions),
+                   engine::to_string(s.partitioner),
+                   bench::Table::num(s.sim_time_s, 3),
+                   bench::Table::num(
+                       static_cast<double>(s.shuffle_bytes()) / 1024.0, 1),
+                   bench::Table::num(s.task_skew(), 2)});
+  }
+  table.print();
+  std::printf("total simulated time: %.2fs\n", eng.metrics().total_sim_time());
+}
+
+int cmd_profile(const Args& args) {
+  const auto wl = make_workload(args.get("workload"), args.has("tiny"));
+  if (!wl) {
+    std::fprintf(stderr, "unknown --workload (kmeans|pca|sql)\n");
+    return 2;
+  }
+  const double scale = args.get_double("scale", 1.0);
+  core::Chopper chopper(bench::bench_cluster(), chopper_options(args.has("tiny")));
+  const std::string db_path = args.get("db", wl->name() + ".chopperdb");
+  const double input = chopper.profile(wl->name(), wl->runner(), scale);
+  chopper.save_db(db_path);
+  std::printf("profiled %s at scale %.2f (input %.1f MB) -> %s (%zu observations)\n",
+              wl->name().c_str(), scale, input / 1048576.0, db_path.c_str(),
+              chopper.db().total_observations());
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const auto wl = make_workload(args.get("workload"), args.has("tiny"));
+  if (!wl) {
+    std::fprintf(stderr, "unknown --workload (kmeans|pca|sql)\n");
+    return 2;
+  }
+  core::Chopper chopper(bench::bench_cluster(), chopper_options(args.has("tiny")));
+  chopper.load_db(args.get("db", wl->name() + ".chopperdb"));
+  const double scale = args.get_double("scale", 1.0);
+  const auto input = static_cast<double>(wl->input_bytes(scale));
+  const auto plan = args.has("naive") ? chopper.plan_naive(wl->name(), input)
+                                      : chopper.plan(wl->name(), input);
+  const auto cfg = chopper.plan_config(plan);
+  if (args.has("out")) {
+    cfg.save(args.get("out"));
+    std::printf("plan written to %s\n", args.get("out").c_str());
+  }
+  bench::Table table({"stage", "partitioner", "partitions", "cost", "notes"});
+  for (const auto& ps : plan) {
+    std::string name = ps.name;
+    if (name.size() > 50) name = name.substr(0, 47) + "...";
+    std::string notes;
+    if (ps.fixed) notes += "fixed ";
+    if (ps.insert_repartition) notes += "repartition ";
+    if (ps.group >= 0) notes += "group#" + std::to_string(ps.group);
+    table.add_row({name, engine::to_string(ps.partitioner),
+                   std::to_string(ps.num_partitions),
+                   bench::Table::num(ps.cost, 3), notes});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const auto wl = make_workload(args.get("workload"), args.has("tiny"));
+  if (!wl) {
+    std::fprintf(stderr, "unknown --workload (kmeans|pca|sql)\n");
+    return 2;
+  }
+  engine::EngineOptions opts = bench::vanilla_options();
+  if (args.has("speculation")) opts.speculation.enabled = true;
+  if (args.has("aqe")) {
+    opts.adaptive.enabled = true;
+    opts.adaptive.target_partition_bytes = 24ULL << 20;
+    opts.adaptive.min_partitions = 8;
+  }
+  engine::Engine eng(bench::bench_cluster(), opts);
+  if (args.has("conf")) {
+    auto provider = std::make_shared<core::ConfigPlanProvider>();
+    provider->reload(args.get("conf"));
+    eng.set_plan_provider(provider);
+    std::printf("running %s with plan %s (%zu stage schemes)\n",
+                wl->name().c_str(), args.get("conf").c_str(), provider->size());
+  } else {
+    std::printf("running %s vanilla (default parallelism %zu)\n",
+                wl->name().c_str(), opts.default_parallelism);
+  }
+  wl->run(eng, args.get_double("scale", 1.0));
+  print_stages(eng);
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  if (!args.has("db")) {
+    std::fprintf(stderr, "inspect requires --db FILE\n");
+    return 2;
+  }
+  const auto db = core::WorkloadDb::load(args.get("db"));
+  std::printf("%zu observations\n", db.total_observations());
+  for (const auto& wl : db.workloads()) {
+    std::printf("workload %s:\n", wl.c_str());
+    for (const auto& st : db.dag(wl)) {
+      std::printf("  sig=%020llu %-55s op=%s%s%s parents=%zu\n",
+                  static_cast<unsigned long long>(st.signature),
+                  st.name.substr(0, 55).c_str(),
+                  engine::to_string(st.anchor_op),
+                  st.fixed_partitions ? " [fixed]" : "",
+                  st.user_fixed ? " [user]" : "", st.parents.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::set_log_level(common::LogLevel::kInfo);
+  const auto args = parse(argc, argv);
+  if (!args) {
+    std::fprintf(stderr,
+                 "usage: chopperctl profile|plan|run|inspect [--flags]\n"
+                 "see the header of tools/chopperctl.cc for details\n");
+    return 2;
+  }
+  try {
+    if (args->command == "profile") return cmd_profile(*args);
+    if (args->command == "plan") return cmd_plan(*args);
+    if (args->command == "run") return cmd_run(*args);
+    if (args->command == "inspect") return cmd_inspect(*args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", args->command.c_str());
+  return 2;
+}

@@ -1,0 +1,20 @@
+# Drives chopperctl through profile -> plan -> run at --tiny scale.
+execute_process(COMMAND ${CTL} profile --workload sql --tiny
+                        --db ${WORKDIR}/e2e.chopperdb
+                RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "profile failed: ${rc1}")
+endif()
+execute_process(COMMAND ${CTL} plan --workload sql --tiny
+                        --db ${WORKDIR}/e2e.chopperdb
+                        --out ${WORKDIR}/e2e.conf
+                RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "plan failed: ${rc2}")
+endif()
+execute_process(COMMAND ${CTL} run --workload sql --tiny
+                        --conf ${WORKDIR}/e2e.conf
+                RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0)
+  message(FATAL_ERROR "run failed: ${rc3}")
+endif()
