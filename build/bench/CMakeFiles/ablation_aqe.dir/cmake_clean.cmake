@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aqe.dir/ablation_aqe.cc.o"
+  "CMakeFiles/ablation_aqe.dir/ablation_aqe.cc.o.d"
+  "ablation_aqe"
+  "ablation_aqe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aqe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_copartition.dir/ablation_copartition.cc.o"
+  "CMakeFiles/ablation_copartition.dir/ablation_copartition.cc.o.d"
+  "ablation_copartition"
+  "ablation_copartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_copartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pagerank.dir/ext_pagerank.cc.o"
+  "CMakeFiles/ext_pagerank.dir/ext_pagerank.cc.o.d"
+  "ext_pagerank"
+  "ext_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sql_stages.dir/fig10_sql_stages.cc.o"
+  "CMakeFiles/fig10_sql_stages.dir/fig10_sql_stages.cc.o.d"
+  "fig10_sql_stages"
+  "fig10_sql_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sql_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

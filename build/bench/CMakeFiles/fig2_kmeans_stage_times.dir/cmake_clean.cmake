@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_kmeans_stage_times.dir/fig2_kmeans_stage_times.cc.o"
+  "CMakeFiles/fig2_kmeans_stage_times.dir/fig2_kmeans_stage_times.cc.o.d"
+  "fig2_kmeans_stage_times"
+  "fig2_kmeans_stage_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_kmeans_stage_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stage0_partitions.dir/fig3_stage0_partitions.cc.o"
+  "CMakeFiles/fig3_stage0_partitions.dir/fig3_stage0_partitions.cc.o.d"
+  "fig3_stage0_partitions"
+  "fig3_stage0_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stage0_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

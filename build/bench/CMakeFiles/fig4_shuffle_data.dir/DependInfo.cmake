@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_shuffle_data.cc" "bench/CMakeFiles/fig4_shuffle_data.dir/fig4_shuffle_data.cc.o" "gcc" "bench/CMakeFiles/fig4_shuffle_data.dir/fig4_shuffle_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chopper/CMakeFiles/chopper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/chopper_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/chopper_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chopper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

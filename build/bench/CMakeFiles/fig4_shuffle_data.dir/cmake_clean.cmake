@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_shuffle_data.dir/fig4_shuffle_data.cc.o"
+  "CMakeFiles/fig4_shuffle_data.dir/fig4_shuffle_data.cc.o.d"
+  "fig4_shuffle_data"
+  "fig4_shuffle_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_shuffle_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_overall.dir/fig7_overall.cc.o"
+  "CMakeFiles/fig7_overall.dir/fig7_overall.cc.o.d"
+  "fig7_overall"
+  "fig7_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sql_shuffle.dir/fig9_sql_shuffle.cc.o"
+  "CMakeFiles/fig9_sql_shuffle.dir/fig9_sql_shuffle.cc.o.d"
+  "fig9_sql_shuffle"
+  "fig9_sql_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sql_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_engine_ops.dir/micro_engine_ops.cc.o"
+  "CMakeFiles/micro_engine_ops.dir/micro_engine_ops.cc.o.d"
+  "micro_engine_ops"
+  "micro_engine_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_engine_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

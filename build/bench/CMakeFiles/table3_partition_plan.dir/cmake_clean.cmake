@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_partition_plan.dir/table3_partition_plan.cc.o"
+  "CMakeFiles/table3_partition_plan.dir/table3_partition_plan.cc.o.d"
+  "table3_partition_plan"
+  "table3_partition_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_partition_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_replan.dir/dynamic_replan.cpp.o"
+  "CMakeFiles/dynamic_replan.dir/dynamic_replan.cpp.o.d"
+  "dynamic_replan"
+  "dynamic_replan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_replan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_autotune.dir/kmeans_autotune.cpp.o"
+  "CMakeFiles/kmeans_autotune.dir/kmeans_autotune.cpp.o.d"
+  "kmeans_autotune"
+  "kmeans_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_pipeline.dir/pca_pipeline.cpp.o"
+  "CMakeFiles/pca_pipeline.dir/pca_pipeline.cpp.o.d"
+  "pca_pipeline"
+  "pca_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

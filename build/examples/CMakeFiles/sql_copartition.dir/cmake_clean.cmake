@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_copartition.dir/sql_copartition.cpp.o"
+  "CMakeFiles/sql_copartition.dir/sql_copartition.cpp.o.d"
+  "sql_copartition"
+  "sql_copartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_copartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chopper/chopper.cc" "src/chopper/CMakeFiles/chopper_core.dir/chopper.cc.o" "gcc" "src/chopper/CMakeFiles/chopper_core.dir/chopper.cc.o.d"
+  "/root/repo/src/chopper/collector.cc" "src/chopper/CMakeFiles/chopper_core.dir/collector.cc.o" "gcc" "src/chopper/CMakeFiles/chopper_core.dir/collector.cc.o.d"
+  "/root/repo/src/chopper/config_plan.cc" "src/chopper/CMakeFiles/chopper_core.dir/config_plan.cc.o" "gcc" "src/chopper/CMakeFiles/chopper_core.dir/config_plan.cc.o.d"
+  "/root/repo/src/chopper/cost.cc" "src/chopper/CMakeFiles/chopper_core.dir/cost.cc.o" "gcc" "src/chopper/CMakeFiles/chopper_core.dir/cost.cc.o.d"
+  "/root/repo/src/chopper/model.cc" "src/chopper/CMakeFiles/chopper_core.dir/model.cc.o" "gcc" "src/chopper/CMakeFiles/chopper_core.dir/model.cc.o.d"
+  "/root/repo/src/chopper/optimizer.cc" "src/chopper/CMakeFiles/chopper_core.dir/optimizer.cc.o" "gcc" "src/chopper/CMakeFiles/chopper_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/chopper/workload_db.cc" "src/chopper/CMakeFiles/chopper_core.dir/workload_db.cc.o" "gcc" "src/chopper/CMakeFiles/chopper_core.dir/workload_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/chopper_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chopper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopper_core.dir/chopper.cc.o"
+  "CMakeFiles/chopper_core.dir/chopper.cc.o.d"
+  "CMakeFiles/chopper_core.dir/collector.cc.o"
+  "CMakeFiles/chopper_core.dir/collector.cc.o.d"
+  "CMakeFiles/chopper_core.dir/config_plan.cc.o"
+  "CMakeFiles/chopper_core.dir/config_plan.cc.o.d"
+  "CMakeFiles/chopper_core.dir/cost.cc.o"
+  "CMakeFiles/chopper_core.dir/cost.cc.o.d"
+  "CMakeFiles/chopper_core.dir/model.cc.o"
+  "CMakeFiles/chopper_core.dir/model.cc.o.d"
+  "CMakeFiles/chopper_core.dir/optimizer.cc.o"
+  "CMakeFiles/chopper_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/chopper_core.dir/workload_db.cc.o"
+  "CMakeFiles/chopper_core.dir/workload_db.cc.o.d"
+  "libchopper_core.a"
+  "libchopper_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopper_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

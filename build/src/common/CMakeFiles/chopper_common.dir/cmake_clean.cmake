@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopper_common.dir/kv_config.cc.o"
+  "CMakeFiles/chopper_common.dir/kv_config.cc.o.d"
+  "CMakeFiles/chopper_common.dir/linalg.cc.o"
+  "CMakeFiles/chopper_common.dir/linalg.cc.o.d"
+  "CMakeFiles/chopper_common.dir/logging.cc.o"
+  "CMakeFiles/chopper_common.dir/logging.cc.o.d"
+  "CMakeFiles/chopper_common.dir/stats.cc.o"
+  "CMakeFiles/chopper_common.dir/stats.cc.o.d"
+  "CMakeFiles/chopper_common.dir/thread_pool.cc.o"
+  "CMakeFiles/chopper_common.dir/thread_pool.cc.o.d"
+  "libchopper_common.a"
+  "libchopper_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopper_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

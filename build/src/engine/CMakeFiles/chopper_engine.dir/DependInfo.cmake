@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/block_manager.cc" "src/engine/CMakeFiles/chopper_engine.dir/block_manager.cc.o" "gcc" "src/engine/CMakeFiles/chopper_engine.dir/block_manager.cc.o.d"
+  "/root/repo/src/engine/cluster.cc" "src/engine/CMakeFiles/chopper_engine.dir/cluster.cc.o" "gcc" "src/engine/CMakeFiles/chopper_engine.dir/cluster.cc.o.d"
+  "/root/repo/src/engine/dataset.cc" "src/engine/CMakeFiles/chopper_engine.dir/dataset.cc.o" "gcc" "src/engine/CMakeFiles/chopper_engine.dir/dataset.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/chopper_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/chopper_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "src/engine/CMakeFiles/chopper_engine.dir/metrics.cc.o" "gcc" "src/engine/CMakeFiles/chopper_engine.dir/metrics.cc.o.d"
+  "/root/repo/src/engine/partitioner.cc" "src/engine/CMakeFiles/chopper_engine.dir/partitioner.cc.o" "gcc" "src/engine/CMakeFiles/chopper_engine.dir/partitioner.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/chopper_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/chopper_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/scheduler.cc" "src/engine/CMakeFiles/chopper_engine.dir/scheduler.cc.o" "gcc" "src/engine/CMakeFiles/chopper_engine.dir/scheduler.cc.o.d"
+  "/root/repo/src/engine/shuffle.cc" "src/engine/CMakeFiles/chopper_engine.dir/shuffle.cc.o" "gcc" "src/engine/CMakeFiles/chopper_engine.dir/shuffle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chopper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

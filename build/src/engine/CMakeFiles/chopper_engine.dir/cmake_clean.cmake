@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopper_engine.dir/block_manager.cc.o"
+  "CMakeFiles/chopper_engine.dir/block_manager.cc.o.d"
+  "CMakeFiles/chopper_engine.dir/cluster.cc.o"
+  "CMakeFiles/chopper_engine.dir/cluster.cc.o.d"
+  "CMakeFiles/chopper_engine.dir/dataset.cc.o"
+  "CMakeFiles/chopper_engine.dir/dataset.cc.o.d"
+  "CMakeFiles/chopper_engine.dir/engine.cc.o"
+  "CMakeFiles/chopper_engine.dir/engine.cc.o.d"
+  "CMakeFiles/chopper_engine.dir/metrics.cc.o"
+  "CMakeFiles/chopper_engine.dir/metrics.cc.o.d"
+  "CMakeFiles/chopper_engine.dir/partitioner.cc.o"
+  "CMakeFiles/chopper_engine.dir/partitioner.cc.o.d"
+  "CMakeFiles/chopper_engine.dir/plan.cc.o"
+  "CMakeFiles/chopper_engine.dir/plan.cc.o.d"
+  "CMakeFiles/chopper_engine.dir/scheduler.cc.o"
+  "CMakeFiles/chopper_engine.dir/scheduler.cc.o.d"
+  "CMakeFiles/chopper_engine.dir/shuffle.cc.o"
+  "CMakeFiles/chopper_engine.dir/shuffle.cc.o.d"
+  "libchopper_engine.a"
+  "libchopper_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopper_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

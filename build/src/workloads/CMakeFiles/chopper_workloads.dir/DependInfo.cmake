@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/data_gen.cc" "src/workloads/CMakeFiles/chopper_workloads.dir/data_gen.cc.o" "gcc" "src/workloads/CMakeFiles/chopper_workloads.dir/data_gen.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/chopper_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/chopper_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/workloads/CMakeFiles/chopper_workloads.dir/pagerank.cc.o" "gcc" "src/workloads/CMakeFiles/chopper_workloads.dir/pagerank.cc.o.d"
+  "/root/repo/src/workloads/pca.cc" "src/workloads/CMakeFiles/chopper_workloads.dir/pca.cc.o" "gcc" "src/workloads/CMakeFiles/chopper_workloads.dir/pca.cc.o.d"
+  "/root/repo/src/workloads/sql.cc" "src/workloads/CMakeFiles/chopper_workloads.dir/sql.cc.o" "gcc" "src/workloads/CMakeFiles/chopper_workloads.dir/sql.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/chopper_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/chopper_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/chopper_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chopper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

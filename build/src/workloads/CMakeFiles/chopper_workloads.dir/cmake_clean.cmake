@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopper_workloads.dir/data_gen.cc.o"
+  "CMakeFiles/chopper_workloads.dir/data_gen.cc.o.d"
+  "CMakeFiles/chopper_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/chopper_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/chopper_workloads.dir/pagerank.cc.o"
+  "CMakeFiles/chopper_workloads.dir/pagerank.cc.o.d"
+  "CMakeFiles/chopper_workloads.dir/pca.cc.o"
+  "CMakeFiles/chopper_workloads.dir/pca.cc.o.d"
+  "CMakeFiles/chopper_workloads.dir/sql.cc.o"
+  "CMakeFiles/chopper_workloads.dir/sql.cc.o.d"
+  "CMakeFiles/chopper_workloads.dir/workload.cc.o"
+  "CMakeFiles/chopper_workloads.dir/workload.cc.o.d"
+  "libchopper_workloads.a"
+  "libchopper_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopper_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopper_collector_test.dir/chopper_collector_test.cc.o"
+  "CMakeFiles/chopper_collector_test.dir/chopper_collector_test.cc.o.d"
+  "chopper_collector_test"
+  "chopper_collector_test.pdb"
+  "chopper_collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopper_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopper_config_plan_test.dir/chopper_config_plan_test.cc.o"
+  "CMakeFiles/chopper_config_plan_test.dir/chopper_config_plan_test.cc.o.d"
+  "chopper_config_plan_test"
+  "chopper_config_plan_test.pdb"
+  "chopper_config_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopper_config_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopper_cost_test.dir/chopper_cost_test.cc.o"
+  "CMakeFiles/chopper_cost_test.dir/chopper_cost_test.cc.o.d"
+  "chopper_cost_test"
+  "chopper_cost_test.pdb"
+  "chopper_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopper_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

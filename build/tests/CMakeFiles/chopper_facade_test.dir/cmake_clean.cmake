@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopper_facade_test.dir/chopper_facade_test.cc.o"
+  "CMakeFiles/chopper_facade_test.dir/chopper_facade_test.cc.o.d"
+  "chopper_facade_test"
+  "chopper_facade_test.pdb"
+  "chopper_facade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopper_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopper_model_test.dir/chopper_model_test.cc.o"
+  "CMakeFiles/chopper_model_test.dir/chopper_model_test.cc.o.d"
+  "chopper_model_test"
+  "chopper_model_test.pdb"
+  "chopper_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopper_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

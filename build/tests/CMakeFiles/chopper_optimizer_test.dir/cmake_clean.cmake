@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopper_optimizer_test.dir/chopper_optimizer_test.cc.o"
+  "CMakeFiles/chopper_optimizer_test.dir/chopper_optimizer_test.cc.o.d"
+  "chopper_optimizer_test"
+  "chopper_optimizer_test.pdb"
+  "chopper_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopper_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopper_workload_db_test.dir/chopper_workload_db_test.cc.o"
+  "CMakeFiles/chopper_workload_db_test.dir/chopper_workload_db_test.cc.o.d"
+  "chopper_workload_db_test"
+  "chopper_workload_db_test.pdb"
+  "chopper_workload_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopper_workload_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_linalg_test.dir/common_linalg_test.cc.o"
+  "CMakeFiles/common_linalg_test.dir/common_linalg_test.cc.o.d"
+  "common_linalg_test"
+  "common_linalg_test.pdb"
+  "common_linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

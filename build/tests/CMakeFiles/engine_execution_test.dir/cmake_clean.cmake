@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_execution_test.dir/engine_execution_test.cc.o"
+  "CMakeFiles/engine_execution_test.dir/engine_execution_test.cc.o.d"
+  "engine_execution_test"
+  "engine_execution_test.pdb"
+  "engine_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

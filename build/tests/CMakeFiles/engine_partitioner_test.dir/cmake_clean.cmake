@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_partitioner_test.dir/engine_partitioner_test.cc.o"
+  "CMakeFiles/engine_partitioner_test.dir/engine_partitioner_test.cc.o.d"
+  "engine_partitioner_test"
+  "engine_partitioner_test.pdb"
+  "engine_partitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

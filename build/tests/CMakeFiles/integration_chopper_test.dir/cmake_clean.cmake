@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_chopper_test.dir/integration_chopper_test.cc.o"
+  "CMakeFiles/integration_chopper_test.dir/integration_chopper_test.cc.o.d"
+  "integration_chopper_test"
+  "integration_chopper_test.pdb"
+  "integration_chopper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_chopper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

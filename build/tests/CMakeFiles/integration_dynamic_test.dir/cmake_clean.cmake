@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_dynamic_test.dir/integration_dynamic_test.cc.o"
+  "CMakeFiles/integration_dynamic_test.dir/integration_dynamic_test.cc.o.d"
+  "integration_dynamic_test"
+  "integration_dynamic_test.pdb"
+  "integration_dynamic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

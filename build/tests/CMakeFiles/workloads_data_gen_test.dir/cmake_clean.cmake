@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_data_gen_test.dir/workloads_data_gen_test.cc.o"
+  "CMakeFiles/workloads_data_gen_test.dir/workloads_data_gen_test.cc.o.d"
+  "workloads_data_gen_test"
+  "workloads_data_gen_test.pdb"
+  "workloads_data_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_data_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

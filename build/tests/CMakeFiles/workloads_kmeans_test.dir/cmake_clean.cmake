@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_kmeans_test.dir/workloads_kmeans_test.cc.o"
+  "CMakeFiles/workloads_kmeans_test.dir/workloads_kmeans_test.cc.o.d"
+  "workloads_kmeans_test"
+  "workloads_kmeans_test.pdb"
+  "workloads_kmeans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_pagerank_test.dir/workloads_pagerank_test.cc.o"
+  "CMakeFiles/workloads_pagerank_test.dir/workloads_pagerank_test.cc.o.d"
+  "workloads_pagerank_test"
+  "workloads_pagerank_test.pdb"
+  "workloads_pagerank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_pagerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

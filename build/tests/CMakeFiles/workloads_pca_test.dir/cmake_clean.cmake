@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_pca_test.dir/workloads_pca_test.cc.o"
+  "CMakeFiles/workloads_pca_test.dir/workloads_pca_test.cc.o.d"
+  "workloads_pca_test"
+  "workloads_pca_test.pdb"
+  "workloads_pca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_pca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

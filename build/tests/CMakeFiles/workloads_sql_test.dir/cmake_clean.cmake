@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_sql_test.dir/workloads_sql_test.cc.o"
+  "CMakeFiles/workloads_sql_test.dir/workloads_sql_test.cc.o.d"
+  "workloads_sql_test"
+  "workloads_sql_test.pdb"
+  "workloads_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopperctl.dir/chopperctl.cc.o"
+  "CMakeFiles/chopperctl.dir/chopperctl.cc.o.d"
+  "chopperctl"
+  "chopperctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopperctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

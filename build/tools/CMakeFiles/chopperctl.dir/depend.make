@@ -1,0 +1,2 @@
+# Empty dependencies file for chopperctl.
+# This may be replaced when dependencies are built.

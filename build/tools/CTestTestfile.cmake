@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(chopperctl_usage "/root/repo/build/tools/chopperctl")
+set_tests_properties(chopperctl_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(chopperctl_bad_workload "/root/repo/build/tools/chopperctl" "run" "--workload" "nope")
+set_tests_properties(chopperctl_bad_workload PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(chopperctl_end_to_end "/usr/bin/cmake" "-DCTL=/root/repo/build/tools/chopperctl" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/e2e_test.cmake")
+set_tests_properties(chopperctl_end_to_end PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
