@@ -91,10 +91,12 @@ class Chopper {
   WorkloadDb& db() noexcept { return db_; }
 
   /// Persist / restore the workload DB (profiling results survive restarts,
-  /// paper Sec. III-B).
+  /// paper Sec. III-B). Tolerant loads skip corrupt records with a warning
+  /// and degrade an unreadable file to an empty DB (= no plan) instead of
+  /// failing the run.
   void save_db(const std::string& path) const { db_.save(path); }
-  void load_db(const std::string& path) {
-    db_ = WorkloadDb::load(path, options_.ridge_lambda);
+  void load_db(const std::string& path, bool tolerant = false) {
+    db_ = WorkloadDb::load(path, options_.ridge_lambda, tolerant);
   }
 
   Optimizer& optimizer() noexcept { return optimizer_; }

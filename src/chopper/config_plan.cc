@@ -79,8 +79,8 @@ void ConfigPlanProvider::update(const common::KvConfig& config) {
   plan_ = std::move(parsed);
 }
 
-void ConfigPlanProvider::reload(const std::string& path) {
-  update(common::KvConfig::load(path));
+void ConfigPlanProvider::reload(const std::string& path, bool tolerant) {
+  update(common::KvConfig::load(path, tolerant));
 }
 
 std::size_t ConfigPlanProvider::size() const {

@@ -58,8 +58,10 @@ class ConfigPlanProvider final : public engine::PlanProvider {
 
   /// Replace the whole plan (dynamic update).
   void update(const common::KvConfig& config);
-  /// Reload from a config file (throws on unreadable file).
-  void reload(const std::string& path);
+  /// Reload from a config file. Strict mode throws on an unreadable file or
+  /// malformed line; tolerant mode skips bad lines with a logged warning and
+  /// treats an unreadable file as an empty plan.
+  void reload(const std::string& path, bool tolerant = false);
 
   std::size_t size() const;
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/logging.h"
+
 namespace chopper::core {
 
 namespace {
@@ -247,67 +249,64 @@ void WorkloadDb::save(const std::string& path) const {
   }
 }
 
-WorkloadDb WorkloadDb::load(const std::string& path, double ridge_lambda) {
+namespace {
+/// Next tab-separated field of a record; throws when the record is short.
+std::string next_field(std::istringstream& ls) {
+  std::string field;
+  if (!std::getline(ls, field, '\t')) {
+    throw std::runtime_error("truncated record");
+  }
+  return field;
+}
+}  // namespace
+
+WorkloadDb WorkloadDb::load(const std::string& path, double ridge_lambda,
+                            bool tolerant) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("WorkloadDb: cannot read " + path);
+  if (!is) {
+    if (tolerant) {
+      LOG_WARN << "WorkloadDb: cannot read " << path
+               << "; continuing with an empty DB (no plan will be produced)";
+      return WorkloadDb(ridge_lambda);
+    }
+    throw std::runtime_error("WorkloadDb: cannot read " + path);
+  }
   WorkloadDb db(ridge_lambda);
   std::string line;
-  while (std::getline(is, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
+  std::size_t line_no = 0;
+  const auto parse_line = [&db](const std::string& l) {
+    std::istringstream ls(l);
     std::string tag;
     std::getline(ls, tag, '\t');
     if (tag == "obs") {
       Observation o;
-      std::string kind, is_default;
-      std::string field;
-      std::getline(ls, o.workload, '\t');
-      std::getline(ls, field, '\t');
-      o.signature = std::stoull(field);
-      std::getline(ls, kind, '\t');
-      o.partitioner = kind_from_string(kind);
-      std::getline(ls, field, '\t');
-      o.workload_input_bytes = std::stod(field);
-      std::getline(ls, field, '\t');
-      o.stage_input_bytes = std::stod(field);
-      std::getline(ls, field, '\t');
-      o.num_partitions = std::stod(field);
-      std::getline(ls, field, '\t');
-      o.t_exe_s = std::stod(field);
-      std::getline(ls, field, '\t');
-      o.shuffle_bytes = std::stod(field);
-      std::getline(ls, is_default, '\t');
-      o.is_default = is_default == "1";
+      o.workload = next_field(ls);
+      o.signature = std::stoull(next_field(ls));
+      o.partitioner = kind_from_string(next_field(ls));
+      o.workload_input_bytes = std::stod(next_field(ls));
+      o.stage_input_bytes = std::stod(next_field(ls));
+      o.num_partitions = std::stod(next_field(ls));
+      o.t_exe_s = std::stod(next_field(ls));
+      o.shuffle_bytes = std::stod(next_field(ls));
+      o.is_default = next_field(ls) == "1";
       db.add(std::move(o));
     } else if (tag == "stage") {
-      std::string workload, field;
       StageStructure s;
-      std::getline(ls, workload, '\t');
-      std::getline(ls, field, '\t');
-      s.signature = std::stoull(field);
-      std::getline(ls, s.name, '\t');
-      std::getline(ls, field, '\t');
-      s.anchor_op = static_cast<engine::OpKind>(std::stoi(field));
-      std::getline(ls, field, '\t');
-      s.fixed_partitions = field == "1";
-      std::getline(ls, field, '\t');
-      s.user_fixed = field == "1";
-      std::getline(ls, field, '\t');
-      s.input_ratio_sum = std::stod(field);
-      std::getline(ls, field, '\t');
-      s.input_ratio_count = std::stoull(field);
-      std::getline(ls, field, '\t');
-      s.dw_sum = std::stod(field);
-      std::getline(ls, field, '\t');
-      s.d_sum = std::stod(field);
-      std::getline(ls, field, '\t');
-      s.dw2_sum = std::stod(field);
-      std::getline(ls, field, '\t');
-      s.dwd_sum = std::stod(field);
-      std::getline(ls, field, '\t');
-      s.fit_count = std::stoull(field);
-      std::getline(ls, field, '\t');
-      const auto order = static_cast<std::size_t>(std::stoull(field));
+      const std::string workload = next_field(ls);
+      s.signature = std::stoull(next_field(ls));
+      s.name = next_field(ls);
+      s.anchor_op = static_cast<engine::OpKind>(std::stoi(next_field(ls)));
+      s.fixed_partitions = next_field(ls) == "1";
+      s.user_fixed = next_field(ls) == "1";
+      s.input_ratio_sum = std::stod(next_field(ls));
+      s.input_ratio_count = std::stoull(next_field(ls));
+      s.dw_sum = std::stod(next_field(ls));
+      s.d_sum = std::stod(next_field(ls));
+      s.dw2_sum = std::stod(next_field(ls));
+      s.dwd_sum = std::stod(next_field(ls));
+      s.fit_count = std::stoull(next_field(ls));
+      const auto order = static_cast<std::size_t>(std::stoull(next_field(ls)));
+      std::string field;
       while (std::getline(ls, field, '\t')) {
         if (!field.empty()) s.parents.insert(std::stoull(field));
       }
@@ -317,6 +316,20 @@ WorkloadDb WorkloadDb::load(const std::string& path, double ridge_lambda) {
       db.next_order_ = std::max(db.next_order_, order + 1);
     } else {
       throw std::runtime_error("WorkloadDb: unknown record tag: " + tag);
+    }
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (tolerant) {
+      try {
+        parse_line(line);
+      } catch (const std::exception& e) {
+        LOG_WARN << "WorkloadDb: skipping corrupt record at " << path << ":"
+                 << line_no << " (" << e.what() << ")";
+      }
+    } else {
+      parse_line(line);
     }
   }
   return db;

@@ -126,7 +126,12 @@ class WorkloadDb {
 
   // -- persistence ------------------------------------------------------------
   void save(const std::string& path) const;
-  static WorkloadDb load(const std::string& path, double ridge_lambda = 1e-3);
+  /// Strict mode (default) throws on an unreadable file or corrupt record.
+  /// Tolerant mode degrades instead: corrupt records are skipped with a
+  /// logged warning, and an unreadable file yields an empty DB — the planner
+  /// then simply produces no plan rather than crashing the run.
+  static WorkloadDb load(const std::string& path, double ridge_lambda = 1e-3,
+                         bool tolerant = false);
 
  private:
   struct ModelKey {

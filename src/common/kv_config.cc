@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/logging.h"
+
 namespace chopper::common {
 
 namespace {
@@ -95,7 +97,7 @@ std::string KvConfig::to_string() const {
   return os.str();
 }
 
-KvConfig KvConfig::parse(const std::string& text) {
+KvConfig KvConfig::parse(const std::string& text, bool tolerant) {
   KvConfig cfg;
   std::istringstream is(text);
   std::string line;
@@ -106,6 +108,11 @@ KvConfig KvConfig::parse(const std::string& text) {
     if (t.empty() || t[0] == '#') continue;
     const auto eq = t.find('=');
     if (eq == std::string::npos) {
+      if (tolerant) {
+        LOG_WARN << "KvConfig: skipping malformed line " << line_no << ": "
+                 << t;
+        continue;
+      }
       throw std::runtime_error("KvConfig: malformed line " +
                                std::to_string(line_no) + ": " + t);
     }
@@ -120,12 +127,19 @@ void KvConfig::save(const std::string& path) const {
   os << to_string();
 }
 
-KvConfig KvConfig::load(const std::string& path) {
+KvConfig KvConfig::load(const std::string& path, bool tolerant) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("KvConfig: cannot read " + path);
+  if (!is) {
+    if (tolerant) {
+      LOG_WARN << "KvConfig: cannot read " << path
+               << "; continuing with an empty config";
+      return KvConfig{};
+    }
+    throw std::runtime_error("KvConfig: cannot read " + path);
+  }
   std::ostringstream buf;
   buf << is.rdbuf();
-  return parse(buf.str());
+  return parse(buf.str(), tolerant);
 }
 
 }  // namespace chopper::common

@@ -44,12 +44,15 @@ class KvConfig {
   std::string to_string() const;
 
   /// Parse from text. Blank lines and `#...` comments are skipped.
-  /// Throws std::runtime_error on malformed lines (missing '=').
-  static KvConfig parse(const std::string& text);
+  /// Strict mode (default) throws std::runtime_error on malformed lines
+  /// (missing '='); tolerant mode logs a warning and skips them instead, so
+  /// one corrupt line cannot take down a whole run.
+  static KvConfig parse(const std::string& text, bool tolerant = false);
 
-  /// File round-trip. load throws std::runtime_error if unreadable.
+  /// File round-trip. load throws std::runtime_error if unreadable (strict)
+  /// or returns an empty config with a logged warning (tolerant).
   void save(const std::string& path) const;
-  static KvConfig load(const std::string& path);
+  static KvConfig load(const std::string& path, bool tolerant = false);
 
  private:
   std::vector<std::pair<std::string, std::string>> entries_;

@@ -4,6 +4,9 @@ namespace chopper::engine {
 
 void BlockManager::put(std::size_t dataset_id, CachedDataset data) {
   std::lock_guard lock(mu_);
+  if (data.available.size() != data.partitions.size()) {
+    data.available.assign(data.partitions.size(), 1);
+  }
   cache_[dataset_id] = std::make_unique<CachedDataset>(std::move(data));
 }
 
@@ -18,6 +21,12 @@ const CachedDataset* BlockManager::get(std::size_t dataset_id) const {
   return it == cache_.end() ? nullptr : it->second.get();
 }
 
+CachedDataset* BlockManager::get_mutable(std::size_t dataset_id) {
+  std::lock_guard lock(mu_);
+  const auto it = cache_.find(dataset_id);
+  return it == cache_.end() ? nullptr : it->second.get();
+}
+
 void BlockManager::remove(std::size_t dataset_id) {
   std::lock_guard lock(mu_);
   cache_.erase(dataset_id);
@@ -26,6 +35,23 @@ void BlockManager::remove(std::size_t dataset_id) {
 void BlockManager::clear() {
   std::lock_guard lock(mu_);
   cache_.clear();
+}
+
+LossReport BlockManager::invalidate_node(std::size_t node) {
+  std::lock_guard lock(mu_);
+  LossReport report;
+  for (auto& [id, data] : cache_) {
+    for (std::size_t p = 0; p < data->partitions.size(); ++p) {
+      if (data->placement[p] != node || !data->available[p]) continue;
+      const std::uint64_t b = data->partitions[p].bytes();
+      report.lost_bytes += b;
+      ++report.lost_tasks;
+      data->bytes -= b;
+      data->partitions[p] = Partition();
+      data->available[p] = 0;
+    }
+  }
+  return report;
 }
 
 std::uint64_t BlockManager::total_bytes() const {

@@ -2,6 +2,11 @@
 // placement, standing in for Spark's BlockManager + the HDFS storage layer.
 // Iterative workloads (KMeans, PCA) cache their input once and every later
 // job reads the cached blocks instead of regenerating lineage.
+//
+// Fault tolerance: `placement[p]` records which node holds partition p. When
+// a node dies, `invalidate_node` drops the partitions it held and marks them
+// unavailable; `lineage` keeps the cached dataset's DAG node alive so the
+// scheduler can recompute exactly the lost partitions (see scheduler.cc).
 #pragma once
 
 #include <cstdint>
@@ -11,16 +16,40 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/fault.h"
 #include "engine/partition.h"
 #include "engine/partitioner.h"
 
 namespace chopper::engine {
 
+class Dataset;
+
 struct CachedDataset {
   std::vector<Partition> partitions;
   std::vector<std::size_t> placement;        ///< node index per partition
+  /// available[p] == 0: partition p was on a node that died and must be
+  /// recomputed from lineage before it can be read. Sized like `partitions`
+  /// (put() initializes it to all-available when left empty).
+  std::vector<char> available;
   std::shared_ptr<Partitioner> partitioner;  ///< may be null (no known scheme)
+  /// The dataset node this materialization snapshots. Owning: keeps the
+  /// lineage DAG alive for block recovery after the user drops their handle.
+  std::shared_ptr<Dataset> lineage;
   std::uint64_t bytes = 0;
+
+  bool complete() const noexcept {
+    for (const char a : available) {
+      if (!a) return false;
+    }
+    return true;
+  }
+  std::vector<std::size_t> missing() const {
+    std::vector<std::size_t> out;
+    for (std::size_t p = 0; p < available.size(); ++p) {
+      if (!available[p]) out.push_back(p);
+    }
+    return out;
+  }
 };
 
 class BlockManager {
@@ -29,8 +58,14 @@ class BlockManager {
   bool contains(std::size_t dataset_id) const;
   /// Returns nullptr when absent. The pointer stays valid until remove/clear.
   const CachedDataset* get(std::size_t dataset_id) const;
+  /// Mutable access for block recovery (scheduler-internal).
+  CachedDataset* get_mutable(std::size_t dataset_id);
   void remove(std::size_t dataset_id);
   void clear();
+
+  /// Node `node` died: drop the cached partitions it held and mark them
+  /// unavailable. Returns what was destroyed.
+  LossReport invalidate_node(std::size_t node);
 
   std::uint64_t total_bytes() const;
   std::size_t count() const;

@@ -34,14 +34,43 @@ Engine::Engine(ClusterSpec cluster, EngineOptions options)
     threads = std::max<std::size_t>(2, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<common::ThreadPool>(threads);
+  reset_failure_state();
 }
 
 Engine::~Engine() = default;
 
+void Engine::reset_failure_state() {
+  node_alive_.assign(cluster_.num_nodes(), 1);
+  failure_state_.assign(options_.failure_schedule.failures.size(),
+                        FailureState{});
+}
+
+std::size_t Engine::alive_node_count() const noexcept {
+  std::size_t n = 0;
+  for (const char a : node_alive_) n += a != 0;
+  return n;
+}
+
 std::size_t Engine::node_for(std::size_t partition,
                              std::size_t num_partitions) const {
   (void)num_partitions;
-  return slot_owner_[partition % slot_owner_.size()];
+  if (alive_node_count() == cluster_.num_nodes()) {
+    return slot_owner_[partition % slot_owner_.size()];
+  }
+  // Some nodes are dead: re-interleave placement over the surviving slots so
+  // recovered and retried tasks land away from the failure.
+  std::size_t alive_slots = 0;
+  for (const std::size_t owner : slot_owner_) alive_slots += node_alive_[owner];
+  if (alive_slots == 0) {
+    throw JobAbortedError("node_for: no surviving node to place tasks on");
+  }
+  std::size_t want = partition % alive_slots;
+  for (const std::size_t owner : slot_owner_) {
+    if (!node_alive_[owner]) continue;
+    if (want == 0) return owner;
+    --want;
+  }
+  return slot_owner_.front();  // unreachable
 }
 
 JobResult Engine::count(const DatasetPtr& ds, std::string job_name) {
@@ -62,6 +91,9 @@ void Engine::reset_metrics() {
   sim_clock_ = 0.0;
   next_job_id_ = 0;
   next_stage_id_ = 0;
+  // Failure triggers key off the simulated clock / stage counter, so a clock
+  // reset also re-arms the schedule and revives dead nodes.
+  reset_failure_state();
 }
 
 void Engine::uncache_all() { block_manager_.clear(); }

@@ -1,0 +1,61 @@
+// Fault model types shared by the engine layers.
+//
+// Two orthogonal fault models coexist (see DESIGN.md §9):
+//  * FaultInjection (engine.h): duration-level task retries — failures never
+//    lose data, they only burn simulated time.
+//  * FailureSchedule (here): whole-node failures that actually destroy the
+//    node's shuffle map outputs and cached partitions. The scheduler detects
+//    the loss at the next stage barrier (a fetch failure), replays the
+//    producer lineage for exactly the lost partitions on surviving nodes,
+//    and prices the recomputation into the simulated makespan — Spark's
+//    lineage-based recovery.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chopper::engine {
+
+/// What a node failure destroyed (shuffle rows and/or cached partitions).
+struct LossReport {
+  std::size_t lost_tasks = 0;    ///< map tasks / cached partitions dropped
+  std::uint64_t lost_bytes = 0;  ///< bytes of data dropped
+
+  LossReport& operator+=(const LossReport& o) {
+    lost_tasks += o.lost_tasks;
+    lost_bytes += o.lost_bytes;
+    return *this;
+  }
+};
+
+/// One scheduled, deterministic node failure. A failure fires at a stage
+/// barrier when its trigger has been reached: either the simulated clock
+/// passed `at_sim_time`, or the global stage counter reached `at_stage_id`
+/// (the node dies immediately before that stage starts). A failure whose
+/// sim-time trigger falls inside a running stage's window aborts that stage
+/// attempt mid-flight when the dead node held its inputs or ran its tasks
+/// (the fetch-failure path); otherwise it takes effect at the next barrier.
+struct NodeFailure {
+  std::size_t node = 0;
+  double at_sim_time = -1.0;        ///< <0: disabled
+  std::ptrdiff_t at_stage_id = -1;  ///< global stage id; <0: disabled
+  /// >=0: the node rejoins (empty — its data stays lost) this many simulated
+  /// seconds after dying; <0: never rejoins.
+  double rejoin_after_s = -1.0;
+};
+
+/// Deterministic node-failure schedule. Non-empty schedules switch the
+/// engine into fault-tolerant execution: shuffle reads copy instead of
+/// consume and map outputs are retained until job end so lineage replay has
+/// surviving data to work from.
+struct FailureSchedule {
+  std::vector<NodeFailure> failures;
+  /// Bound on executions of one stage (initial attempt + fetch-failure
+  /// retries) before the job aborts — Spark's spark.stage.maxConsecutiveAttempts.
+  std::size_t max_stage_attempts = 4;
+
+  bool enabled() const noexcept { return !failures.empty(); }
+};
+
+}  // namespace chopper::engine

@@ -14,8 +14,21 @@
 //            list-scheduled onto the simulated cluster's slots, producing
 //            the stage's simulated makespan, task distribution and the
 //            resource-timeline samples.
+//
+// Fault tolerance (DESIGN.md §9): when EngineOptions::failure_schedule is
+// non-empty the JobRunner executes each stage as a bounded sequence of
+// *attempts*. Node failures fire deterministically at stage barriers (or
+// mid-window when their sim-time trigger falls inside a running stage that
+// depends on the dying node), destroying that node's shuffle map outputs
+// and cached partitions. Before each attempt the runner heals the stage's
+// inputs by replaying lineage for exactly the lost pieces: lost shuffle
+// rows are recomputed by re-running the producer's pipeline tasks on
+// surviving nodes, lost cached blocks are regenerated from their narrow
+// chain (or a full sub-job rebuild for wide lineage). Shuffle reads copy
+// instead of consume in this mode and map outputs are retained until job
+// end so replay always has data to read. The non-fault-tolerant path is
+// byte-for-byte the classic one.
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 #include <map>
 #include <stdexcept>
@@ -204,6 +217,43 @@ Partition apply_narrow_op(const Dataset& op, Partition&& in, std::size_t task,
   }
 }
 
+bool is_narrow_kind(OpKind op) {
+  switch (op) {
+    case OpKind::kMap:
+    case OpKind::kMapValues:
+    case OpKind::kFilter:
+    case OpKind::kFlatMap:
+    case OpKind::kMapPartitions:
+    case OpKind::kSample:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Deep copy of a partition's records (Partition itself is move-only in
+/// spirit: copies are always explicit in this file).
+Partition copy_partition(const Partition& in) {
+  Partition out;
+  out.reserve(in.size());
+  for (const auto& r : in.records()) out.push(r);
+  return out;
+}
+
+/// Evenly-strided deterministic key sample from materialized output.
+std::vector<std::uint64_t> sample_keys(const std::vector<Partition>& parts,
+                                       std::size_t per_partition = 32) {
+  std::vector<std::uint64_t> keys;
+  for (const auto& p : parts) {
+    if (p.empty()) continue;
+    const std::size_t stride = std::max<std::size_t>(1, p.size() / per_partition);
+    for (std::size_t i = 0; i < p.size(); i += stride) {
+      keys.push_back(p.records()[i].key);
+    }
+  }
+  return keys;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -225,8 +275,20 @@ struct Engine::JobContext {
     std::shared_ptr<Partitioner> output_partitioner;
     /// producer stage index -> shuffle id written for this stage to read
     std::unordered_map<std::size_t, std::size_t> shuffle_from_producer;
+    /// Shuffles this stage wrote, by consumer stage index — the hook lineage
+    /// replay uses to rewrite lost bucket rows after a node failure.
+    struct Written {
+      std::size_t shuffle_id = 0;
+      std::size_t consumer = 0;
+    };
+    std::vector<Written> written;
   };
   std::vector<StageRt> rt;
+
+  /// Every shuffle id this job wrote. In fault-tolerant mode shuffles are
+  /// retained until job end (replay needs them); on abort they are released
+  /// here so a failed job never leaks shuffle memory.
+  std::vector<std::size_t> job_shuffle_ids;
 
   /// One partitioner instance per (kind, count) within the job: stages that
   /// resolve to the same scheme share the same object (and for range
@@ -281,22 +343,1145 @@ static PartitionScheme resolve_scheme(Engine::JobContext& ctx, std::size_t s,
   return scheme;
 }
 
-namespace {
-/// Evenly-strided deterministic key sample from materialized output.
-std::vector<std::uint64_t> sample_keys(const std::vector<Partition>& parts,
-                                       std::size_t per_partition = 32) {
-  std::vector<std::uint64_t> keys;
-  for (const auto& p : parts) {
-    if (p.empty()) continue;
-    const std::size_t stride = std::max<std::size_t>(1, p.size() / per_partition);
-    for (std::size_t i = 0; i < p.size(); i += stride) {
-      keys.push_back(p.records()[i].key);
-    }
+// ---------------------------------------------------------------------------
+// JobRunner: per-job stage execution with bounded-attempt fault tolerance.
+// ---------------------------------------------------------------------------
+
+class JobRunner {
+ public:
+  JobRunner(Engine& eng, Engine::JobContext& ctx)
+      : eng_(eng),
+        ctx_(ctx),
+        cm_(eng.options_.cost_model),
+        ft_(eng.options_.failure_schedule.enabled()) {}
+
+  JobResult run();
+
+ private:
+  using StageRt = Engine::JobContext::StageRt;
+
+  /// A shuffle built during an attempt but not yet committed: ids are only
+  /// assigned (and the output published) when the attempt survives, so an
+  /// aborted attempt leaves no half-written shuffle behind.
+  struct PendingShuffle {
+    ShuffleOutput so;
+    std::size_t consumer = 0;
+  };
+
+  /// Everything one stage attempt produced, separated from the engine state
+  /// it would mutate so a mid-window failure can discard it wholesale.
+  struct Attempt {
+    std::vector<TaskWork> work;
+    std::vector<double> extra_work;
+    std::vector<double> durations;
+    std::vector<double> fetch_portion;
+    std::vector<double> compute_portion;
+    std::vector<std::size_t> attempts;  ///< injected-fault attempts per task
+    std::vector<double> starts;
+    std::vector<double> ends;
+    double makespan = 0.0;
+    std::vector<PendingShuffle> pending;
+    std::uint64_t stage_shuffle_write = 0;
+    std::uint64_t write_transactions = 0;
+    std::vector<const Dataset*> to_cache;
+    std::unordered_map<const Dataset*, std::vector<Partition>> cache_snapshots;
+    const CachedDataset* cached = nullptr;
+  };
+
+  void run_stage(std::size_t s);
+  void execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a);
+  void commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a);
+  Partition read_stage_input(std::size_t s, std::size_t p, std::size_t dst,
+                             const CachedDataset* cached,
+                             const std::vector<ShuffleOutput*>& parents,
+                             bool consume, TaskWork& tw);
+  double price_task(const TaskWork& tw, double extra_units, std::size_t n,
+                    double fetch_share, double* fetch_out,
+                    double* compute_out) const;
+
+  // Failure machinery.
+  void process_barrier_failures(std::size_t stage_global_id);
+  void fire_failure(std::size_t i, double at_time);
+  bool scan_window_failures(std::size_t s, StageMetrics& sm, double makespan);
+  bool stage_depends_on_node(std::size_t s, std::size_t node) const;
+
+  // Lineage recovery.
+  void recover_stage_inputs(std::size_t s, StageMetrics& sm);
+  void recover_map_tasks(std::size_t producer, StageMetrics& sm);
+  void recover_cached_blocks(const Dataset* anchor, StageMetrics& sm);
+  void replay_bucket_row(ShuffleOutput& so, std::size_t m,
+                         const StagePlan& cplan, const Partition& out,
+                         TaskWork& tw);
+  void price_recovery(const std::vector<std::size_t>& nodes,
+                      const std::vector<TaskWork>& works, StageMetrics& sm);
+
+  void release_job_shuffles();
+
+  Engine& eng_;
+  Engine::JobContext& ctx_;
+  const CostModel& cm_;
+  const bool ft_;
+  JobMetrics job_metrics_;
+};
+
+JobResult JobRunner::run() {
+  const auto job_t0 = Clock::now();
+  const double job_sim_start = eng_.sim_clock_;
+  job_metrics_.job_id = ctx_.job_id;
+  job_metrics_.name = ctx_.name;
+
+  try {
+    for (std::size_t s = 0; s < ctx_.plan.stages.size(); ++s) run_stage(s);
+  } catch (const std::exception& e) {
+    // Abort path: never leak this job's shuffles, and leave a structured
+    // partial JobMetrics row covering the stages that did complete.
+    release_job_shuffles();
+    job_metrics_.failed = true;
+    job_metrics_.error = e.what();
+    job_metrics_.sim_time_s = eng_.sim_clock_ - job_sim_start;
+    job_metrics_.wall_time_s = seconds_since(job_t0);
+    eng_.metrics_.add_job(std::move(job_metrics_));
+    throw;
   }
-  return keys;
+
+  // Fault-tolerant mode retains shuffles until job end for lineage replay;
+  // release them now. (The classic path released per stage already — the
+  // remove calls below are no-ops there.)
+  release_job_shuffles();
+
+  ctx_.result.job_id = ctx_.job_id;
+  ctx_.result.name = ctx_.name;
+  ctx_.result.sim_time_s = eng_.sim_clock_ - job_sim_start;
+  ctx_.result.wall_time_s = seconds_since(job_t0);
+  ctx_.result.stage_ids = job_metrics_.stage_ids;
+  ctx_.result.stage_attempts = job_metrics_.stage_attempts;
+  ctx_.result.recomputed_tasks = job_metrics_.recomputed_tasks;
+  ctx_.result.lost_bytes = job_metrics_.lost_bytes;
+  ctx_.result.recomputed_bytes = job_metrics_.recomputed_bytes;
+  ctx_.result.recovery_time_s = job_metrics_.recovery_time_s;
+
+  job_metrics_.sim_time_s = ctx_.result.sim_time_s;
+  job_metrics_.wall_time_s = ctx_.result.wall_time_s;
+  eng_.metrics_.add_job(std::move(job_metrics_));
+  return std::move(ctx_.result);
 }
 
-}  // namespace
+void JobRunner::run_stage(std::size_t s) {
+  const StagePlan& plan = ctx_.plan.stages[s];
+  const auto stage_t0 = Clock::now();
+
+  StageMetrics sm;
+  sm.stage_id = eng_.next_stage_id_++;
+  sm.job_id = ctx_.job_id;
+  sm.signature = plan.signature;
+  sm.name = plan.name;
+  sm.is_shuffle_map = !plan.consumers.empty();
+  sm.anchor_op = plan.anchor->op();
+  for (const std::size_t parent : plan.parent_stages) {
+    sm.parent_signatures.push_back(ctx_.plan.stages[parent].signature);
+  }
+  sm.fixed_partitions = plan.fixed_partitions;
+  sm.user_fixed = plan.input == StageInputKind::kShuffle &&
+                  plan.anchor->shuffle_request().user_fixed;
+  job_metrics_.stage_ids.push_back(sm.stage_id);
+
+  const std::size_t max_attempts = std::max<std::size_t>(
+      1, eng_.options_.failure_schedule.max_stage_attempts);
+
+  Attempt a;
+  for (std::size_t attempt = 1;; ++attempt) {
+    sm.attempt_count = attempt;
+    if (ft_) {
+      process_barrier_failures(sm.stage_id);
+      recover_stage_inputs(s, sm);
+    }
+    a = Attempt{};
+    execute_attempt(s, sm, a);
+    if (ft_ && scan_window_failures(s, sm, a.makespan)) {
+      // The attempt was cut down mid-window by a node this stage depends
+      // on; the wasted sim time is already accounted. Retry from the top
+      // (recovery will heal the inputs the failure just destroyed).
+      if (attempt >= max_attempts) {
+        throw JobAbortedError("stage " + plan.name + " exceeded " +
+                              std::to_string(max_attempts) +
+                              " attempts after node failures");
+      }
+      continue;
+    }
+    break;
+  }
+
+  commit_attempt(s, sm, a);
+  sm.wall_time_s = seconds_since(stage_t0);
+
+  job_metrics_.stage_attempts += sm.attempt_count;
+  job_metrics_.recomputed_tasks += sm.recomputed_tasks;
+  job_metrics_.recomputed_bytes += sm.recomputed_bytes;
+  job_metrics_.recovery_time_s += sm.recovery_time_s;
+  eng_.metrics_.add_stage(std::move(sm));
+}
+
+Partition JobRunner::read_stage_input(std::size_t s, std::size_t p,
+                                      std::size_t dst,
+                                      const CachedDataset* cached,
+                                      const std::vector<ShuffleOutput*>& parents,
+                                      bool consume, TaskWork& tw) {
+  const StagePlan& plan = ctx_.plan.stages[s];
+  const auto& rt = ctx_.rt[s];
+  Partition part;
+
+  switch (plan.input) {
+    case StageInputKind::kSource: {
+      part = plan.anchor->source_fn()(p, rt.num_tasks);
+      tw.records_in = part.size();
+      tw.bytes_in = part.bytes();
+      tw.work_units += static_cast<double>(part.size()) * kSourceGenWork;
+      break;
+    }
+    case StageInputKind::kCache: {
+      part = copy_partition(cached->partitions[p]);
+      tw.records_in = part.size();
+      tw.bytes_in = part.bytes();
+      tw.local_fetch_bytes += part.bytes();
+      tw.work_units += static_cast<double>(part.size()) * kCacheReadWork;
+      break;
+    }
+    case StageInputKind::kShuffle: {
+      std::vector<Partition> sides;
+      sides.reserve(parents.size());
+      for (ShuffleOutput* so : parents) {
+        Partition side;
+        for (std::size_t m = 0; m < so->num_map_tasks; ++m) {
+          Partition& bucket = so->buckets[m][p];
+          const std::uint64_t b = bucket.bytes();
+          if (so->passthrough || so->map_node[m] == dst) {
+            tw.local_fetch_bytes += b;
+            tw.shuffle_read_local += b;
+          } else if (b > 0) {
+            tw.remote_fetch[so->map_node[m]] += b;
+            ++tw.remote_segments;
+            tw.shuffle_read_remote += b;
+          }
+          if (consume) {
+            side.absorb(std::move(bucket));
+          } else {
+            // Fault-tolerant mode: leave the map output in place so lineage
+            // replay (and attempt retries) can read it again.
+            side.absorb(copy_partition(bucket));
+          }
+        }
+        tw.records_in += side.size();
+        tw.bytes_in += side.bytes();
+        sides.push_back(std::move(side));
+      }
+      tw.work_units +=
+          static_cast<double>(tw.records_in) * plan.anchor->work_per_record();
+      switch (plan.anchor->op()) {
+        case OpKind::kReduceByKey:
+          part = merge_reduce_by_key(std::move(sides),
+                                     plan.anchor->reduce_fn());
+          break;
+        case OpKind::kGroupByKey:
+          part = merge_group_by_key(std::move(sides));
+          break;
+        case OpKind::kJoin:
+          part = merge_join(std::move(sides[0]), std::move(sides[1]),
+                            plan.anchor->join_fn(), /*cogroup=*/false);
+          break;
+        case OpKind::kCoGroup:
+          part = merge_join(std::move(sides[0]), std::move(sides[1]),
+                            plan.anchor->join_fn(), /*cogroup=*/true);
+          break;
+        case OpKind::kRepartition:
+        case OpKind::kUnion:
+          part = merge_concat(std::move(sides));
+          break;
+        case OpKind::kSortByKey:
+          part = merge_sorted(std::move(sides));
+          break;
+        default:
+          throw std::logic_error("run_job: unexpected wide op");
+      }
+      break;
+    }
+  }
+  return part;
+}
+
+double JobRunner::price_task(const TaskWork& tw, double extra_units,
+                             std::size_t n, double fetch_share,
+                             double* fetch_out, double* compute_out) const {
+  const NodeSpec& node = eng_.cluster_.node(n);
+  const double rescale = 1.0 / cm_.data_scale;
+
+  double fetch_s = tw.local_fetch_bytes * rescale / cm_.local_read_bw;
+  for (const auto& [src, bytes] : tw.remote_fetch) {
+    const double bw =
+        std::min(node.net_bw, eng_.cluster_.node(src).net_bw) / fetch_share;
+    fetch_s += static_cast<double>(bytes) * rescale / bw;
+  }
+  fetch_s += cm_.fetch_latency_s * static_cast<double>(tw.remote_segments);
+
+  double compute_s =
+      (tw.work_units + extra_units) * rescale * cm_.sec_per_work_unit +
+      static_cast<double>(tw.bytes_in + tw.bytes_out) * rescale *
+          cm_.sec_per_byte;
+  compute_s /= node.speed;
+
+  const double budget = static_cast<double>(node.memory_bytes) /
+                        static_cast<double>(node.cores) * cm_.spill_fraction;
+  const double resident =
+      static_cast<double>(tw.bytes_in + tw.bytes_out) * rescale;
+  if (resident > budget) {
+    compute_s += (resident - budget) * cm_.spill_amplification / cm_.disk_bw;
+  }
+
+  if (fetch_out) *fetch_out = fetch_s;
+  if (compute_out) *compute_out = compute_s;
+  return cm_.task_launch_s + fetch_s + compute_s;
+}
+
+void JobRunner::execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
+  const StagePlan& plan = ctx_.plan.stages[s];
+  auto& rt = ctx_.rt[s];
+  PlanProvider* provider = eng_.plan_provider_.get();
+
+  // ---- determine task count & placement --------------------------------
+  a.cached = nullptr;
+  switch (plan.input) {
+    case StageInputKind::kSource:
+      rt.num_tasks =
+          resolve_scheme(ctx_, s, provider, eng_.options_.default_parallelism)
+              .num_partitions;
+      break;
+    case StageInputKind::kCache:
+      a.cached = eng_.block_manager_.get(plan.anchor->id());
+      if (a.cached == nullptr) {
+        throw std::logic_error("run_job: cache anchor not materialized: " +
+                               plan.anchor->label());
+      }
+      rt.num_tasks = a.cached->partitions.size();
+      break;
+    case StageInputKind::kShuffle:
+      // The partitioner was built when the first producer wrote; producers
+      // precede us in topological order.
+      if (!rt.partitioner) {
+        throw std::logic_error("run_job: shuffle partitioner missing for " +
+                               plan.name);
+      }
+      rt.num_tasks = rt.partitioner->num_partitions();
+      break;
+  }
+  rt.task_node.resize(rt.num_tasks);
+  for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+    rt.task_node[p] = eng_.node_for(p, rt.num_tasks);
+  }
+
+  // ---- phase 1: real execution ------------------------------------------
+  a.work = std::vector<TaskWork>(rt.num_tasks);
+  rt.output.clear();
+  rt.output.resize(rt.num_tasks);
+
+  // Cache-materialization snapshots for not-yet-cached chain nodes.
+  if (plan.anchor->cached() &&
+      !eng_.block_manager_.contains(plan.anchor->id()) &&
+      plan.input != StageInputKind::kCache) {
+    a.to_cache.push_back(plan.anchor);
+  }
+  for (const auto* op : plan.narrow_ops) {
+    if (op->cached() && !eng_.block_manager_.contains(op->id())) {
+      a.to_cache.push_back(op);
+    }
+  }
+  for (const auto* ds : a.to_cache) {
+    a.cache_snapshots[ds].resize(rt.num_tasks);
+  }
+
+  // Gather parent shuffle outputs (non-owning pointers; bucket columns are
+  // disjoint per task, so tasks can move/copy them out without locking).
+  std::vector<ShuffleOutput*> parent_shuffles;
+  if (plan.input == StageInputKind::kShuffle) {
+    for (const std::size_t parent : plan.parent_stages) {
+      const auto it = rt.shuffle_from_producer.find(parent);
+      if (it == rt.shuffle_from_producer.end()) {
+        throw std::logic_error("run_job: missing parent shuffle for " +
+                               plan.name);
+      }
+      parent_shuffles.push_back(&eng_.shuffles_.get_mutable(it->second));
+    }
+  }
+
+  common::parallel_for(*eng_.pool_, rt.num_tasks, [&](std::size_t p) {
+    TaskWork& tw = a.work[p];
+    Partition part = read_stage_input(s, p, rt.task_node[p], a.cached,
+                                      parent_shuffles, /*consume=*/!ft_, tw);
+
+    // Cache snapshot at the anchor point (before narrow ops).
+    if (auto it = a.cache_snapshots.find(plan.anchor);
+        it != a.cache_snapshots.end()) {
+      it->second[p] = copy_partition(part);
+    }
+
+    for (const auto* op : plan.narrow_ops) {
+      part = apply_narrow_op(*op, std::move(part), p, tw);
+      if (auto it = a.cache_snapshots.find(op); it != a.cache_snapshots.end()) {
+        it->second[p] = copy_partition(part);
+      }
+    }
+
+    tw.records_out = part.size();
+    tw.bytes_out = part.bytes();
+    rt.output[p] = std::move(part);
+  });
+
+  // Track the partitioning of this stage's output for the co-partition
+  // fast path: a shuffle input partitioner survives narrow ops that
+  // preserve partitioning.
+  if (plan.input == StageInputKind::kShuffle) {
+    rt.output_partitioner = rt.partitioner;
+  } else if (plan.input == StageInputKind::kCache) {
+    rt.output_partitioner = a.cached->partitioner;
+  }
+  for (const auto* op : plan.narrow_ops) {
+    if (!op->preserves_partitioning()) {
+      rt.output_partitioner = nullptr;
+      break;
+    }
+  }
+
+  // ---- phase 2: shuffle writes for consumers -----------------------------
+  // Built into pending outputs; ids are assigned and the data published only
+  // when the attempt commits.
+  a.extra_work.assign(rt.num_tasks, 0.0);
+  const bool keep_output = plan.is_result;
+
+  for (std::size_t ci = 0; ci < plan.consumers.size(); ++ci) {
+    const std::size_t consumer = plan.consumers[ci];
+    const StagePlan& cplan = ctx_.plan.stages[consumer];
+    auto& crt = ctx_.rt[consumer];
+    PartitionScheme scheme = resolve_scheme(ctx_, consumer, provider,
+                                            eng_.options_.default_parallelism);
+    // Adaptive (AQE-style) coalescing: size the reduce side from observed
+    // map output volume when nothing pinned the scheme. Only the first
+    // producer re-sizes (later producers must agree with the partitioner
+    // already built).
+    const bool scheme_pinned =
+        (provider != nullptr &&
+         provider->scheme_for(cplan.signature).has_value()) ||
+        cplan.anchor->shuffle_request().num_partitions.has_value();
+    if (eng_.options_.adaptive.enabled && !scheme_pinned && !crt.partitioner) {
+      std::uint64_t out_bytes = 0;
+      for (const auto& part : rt.output) out_bytes += part.bytes();
+      const double modeled = static_cast<double>(out_bytes) / cm_.data_scale;
+      auto target = static_cast<std::size_t>(
+          modeled / static_cast<double>(
+                        eng_.options_.adaptive.target_partition_bytes) +
+          0.999);
+      target = std::clamp(target, eng_.options_.adaptive.min_partitions,
+                          eng_.options_.adaptive.max_partitions);
+      scheme.num_partitions = target;
+      ctx_.rt[consumer].scheme = scheme;
+    }
+    if (!crt.partitioner) {
+      const auto cache_key = std::make_pair(scheme.kind, scheme.num_partitions);
+      const auto cached_part = ctx_.partitioner_cache.find(cache_key);
+      if (cached_part != ctx_.partitioner_cache.end()) {
+        crt.partitioner = cached_part->second;
+      } else {
+        std::vector<std::uint64_t> keys;
+        if (scheme.kind == PartitionerKind::kRange) {
+          keys = sample_keys(rt.output);
+        }
+        crt.partitioner = make_partitioner(scheme.kind, scheme.num_partitions,
+                                           std::move(keys));
+        ctx_.partitioner_cache.emplace(cache_key, crt.partitioner);
+      }
+    }
+    const auto& target = crt.partitioner;
+    const std::size_t r_count = target->num_partitions();
+    const bool last_consumer = ci + 1 == plan.consumers.size();
+    const bool may_move = last_consumer && !keep_output;
+
+    PendingShuffle ps;
+    ps.consumer = consumer;
+    ShuffleOutput& so = ps.so;
+    so.partitioner = target;
+    so.num_map_tasks = rt.num_tasks;
+    so.map_node = rt.task_node;
+    so.buckets.resize(rt.num_tasks);
+    for (auto& row : so.buckets) row.resize(r_count);
+
+    const bool passthrough =
+        rt.output_partitioner && rt.output_partitioner->equals(*target);
+    so.passthrough = passthrough;
+
+    const bool combine = cplan.anchor->op() == OpKind::kReduceByKey &&
+                         static_cast<bool>(cplan.anchor->reduce_fn());
+
+    common::parallel_for(*eng_.pool_, rt.num_tasks, [&](std::size_t m) {
+      auto& row = so.buckets[m];
+      Partition& out = rt.output[m];
+      if (passthrough) {
+        // Already partitioned correctly: bucket r == m, no repartitioning
+        // work, no framing overhead, reads will be node-local.
+        if (may_move) {
+          row[m] = std::move(out);
+        } else {
+          row[m] = copy_partition(out);
+        }
+        return;
+      }
+      a.extra_work[m] += static_cast<double>(out.size()) *
+                         (combine ? kCombineWork : kBucketWork);
+      if (combine) {
+        // Map-side combine: one accumulator per (bucket, key).
+        std::vector<std::unordered_map<std::uint64_t, Record>> accs(r_count);
+        const auto& fn = cplan.anchor->reduce_fn();
+        for (const auto& rec : out.records()) {
+          auto& acc = accs[target->partition_of(rec.key)];
+          auto [it, inserted] = acc.try_emplace(rec.key, rec);
+          if (!inserted) fn(it->second, rec);
+        }
+        for (std::size_t r = 0; r < r_count; ++r) {
+          std::vector<std::uint64_t> keys;
+          keys.reserve(accs[r].size());
+          for (const auto& [k, v] : accs[r]) keys.push_back(k);
+          std::sort(keys.begin(), keys.end());
+          row[r].reserve(keys.size());
+          for (const auto k : keys) row[r].push(std::move(accs[r].at(k)));
+        }
+      } else {
+        for (const auto& rec : out.records()) {
+          row[target->partition_of(rec.key)].push(rec);
+        }
+        if (may_move) {
+          out = Partition();  // release source records
+        }
+      }
+    });
+
+    std::uint64_t bytes = 0, nonempty = 0;
+    for (const auto& row : so.buckets) {
+      for (const auto& b : row) {
+        bytes += b.bytes();
+        if (!b.empty()) ++nonempty;
+      }
+    }
+    if (!passthrough) {
+      bytes += nonempty * cm_.bucket_header_bytes;
+    }
+    so.total_bytes = bytes;
+    a.stage_shuffle_write += bytes;
+    a.write_transactions += nonempty;
+    a.pending.push_back(std::move(ps));
+  }
+
+  // Release output early when nobody else needs it.
+  if (!keep_output && !plan.consumers.empty()) {
+    rt.output.clear();
+    rt.output.shrink_to_fit();
+  }
+
+  // ---- phase 3: price the stage on the simulated cluster -----------------
+  sm.num_partitions = rt.num_tasks;
+  if (rt.partitioner) sm.partitioner = rt.partitioner->kind();
+
+  // Optional NIC incast contention: concurrent fetchers share the link.
+  std::vector<double> node_fetch_share(eng_.cluster_.num_nodes(), 1.0);
+  if (cm_.model_network_contention) {
+    std::vector<std::size_t> tasks_on_node(eng_.cluster_.num_nodes(), 0);
+    for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+      ++tasks_on_node[rt.task_node[p]];
+    }
+    for (std::size_t n = 0; n < eng_.cluster_.num_nodes(); ++n) {
+      node_fetch_share[n] = static_cast<double>(std::max<std::size_t>(
+          1, std::min(eng_.cluster_.node(n).cores, tasks_on_node[n])));
+    }
+  }
+
+  a.durations.assign(rt.num_tasks, 0.0);
+  a.fetch_portion.assign(rt.num_tasks, 0.0);
+  a.compute_portion.assign(rt.num_tasks, 0.0);
+  a.attempts.assign(rt.num_tasks, 1);
+  for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+    const std::size_t n = rt.task_node[p];
+    double duration =
+        price_task(a.work[p], a.extra_work[p], n, node_fetch_share[n],
+                   &a.fetch_portion[p], &a.compute_portion[p]);
+
+    // Deterministic fault injection: failed attempts burn a fraction of
+    // the duration before Spark-style retry.
+    if (eng_.options_.faults.task_failure_prob > 0.0) {
+      common::Xoshiro256 frng(common::hash_combine(
+          common::hash_combine(eng_.options_.faults.seed, sm.stage_id), p + 1));
+      double total = 0.0;
+      std::size_t attempt = 1;
+      while (frng.next_double() < eng_.options_.faults.task_failure_prob) {
+        if (attempt >= eng_.options_.faults.max_attempts) {
+          throw JobAbortedError("task " + std::to_string(p) + " of stage " +
+                                plan.name +
+                                " exceeded max attempts (injected faults)");
+        }
+        total += duration * eng_.options_.faults.failed_attempt_fraction;
+        ++attempt;
+      }
+      duration += total;
+      a.attempts[p] = attempt;
+    }
+    a.durations[p] = duration;
+  }
+
+  // Speculative execution bounds straggler damage: any task far above the
+  // stage median is assumed to get a backup copy.
+  if (eng_.options_.speculation.enabled && rt.num_tasks > 1) {
+    std::vector<double> sorted = a.durations;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    const double cap =
+        median * eng_.options_.speculation.multiplier + cm_.task_launch_s;
+    for (auto& d : a.durations) {
+      if (d > cap) d = cap;
+    }
+  }
+
+  // Earliest-available-slot list scheduling onto the simulated cluster.
+  std::vector<std::vector<double>> slot_free(eng_.cluster_.num_nodes());
+  for (std::size_t n = 0; n < eng_.cluster_.num_nodes(); ++n) {
+    slot_free[n].assign(eng_.cluster_.node(n).cores, 0.0);
+  }
+  a.starts.assign(rt.num_tasks, 0.0);
+  a.ends.assign(rt.num_tasks, 0.0);
+  a.makespan = 0.0;
+  for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+    auto& slots = slot_free[rt.task_node[p]];
+    auto slot = std::min_element(slots.begin(), slots.end());
+    a.starts[p] = *slot;
+    a.ends[p] = *slot + a.durations[p];
+    *slot = a.ends[p];
+    a.makespan = std::max(a.makespan, a.ends[p]);
+  }
+}
+
+void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
+  const StagePlan& plan = ctx_.plan.stages[s];
+  auto& rt = ctx_.rt[s];
+  const double rescale = 1.0 / cm_.data_scale;
+
+  // Commit cache materializations.
+  for (const auto* ds : a.to_cache) {
+    CachedDataset cd;
+    cd.partitions = std::move(a.cache_snapshots[ds]);
+    cd.placement = rt.task_node;
+    // The snapshot is partitioned like the stage output only if every op
+    // after the snapshot point... conservatively: anchor snapshots carry
+    // the input partitioner, later snapshots carry none unless all prior
+    // ops preserve partitioning; using the stage-level result is safe only
+    // for the last snapshot, so be conservative for intermediate ones.
+    cd.partitioner =
+        (ds == plan.anchor && plan.input == StageInputKind::kShuffle)
+            ? rt.partitioner
+            : (!plan.narrow_ops.empty() && ds == plan.narrow_ops.back())
+                  ? rt.output_partitioner
+                  : nullptr;
+    // Keep the lineage DAG alive so lost blocks can be recomputed after a
+    // node failure, even if the user drops their dataset handle.
+    cd.lineage = const_cast<Dataset*>(ds)->shared_from_this();
+    for (const auto& p : cd.partitions) cd.bytes += p.bytes();
+    eng_.block_manager_.put(ds->id(), std::move(cd));
+  }
+
+  // Publish the shuffles this attempt wrote.
+  for (auto& ps : a.pending) {
+    ps.so.shuffle_id = eng_.shuffles_.next_id();
+    auto& crt = ctx_.rt[ps.consumer];
+    crt.shuffle_from_producer.emplace(s, ps.so.shuffle_id);
+    rt.written.push_back({ps.so.shuffle_id, ps.consumer});
+    ctx_.job_shuffle_ids.push_back(ps.so.shuffle_id);
+    eng_.shuffles_.put(std::move(ps.so));
+  }
+  a.pending.clear();
+
+  // Task metrics + stage aggregates.
+  sm.tasks.assign(rt.num_tasks, TaskMetrics{});
+  sm.input_records = sm.input_bytes = 0;
+  sm.output_records = sm.output_bytes = 0;
+  sm.shuffle_read_bytes = 0;
+  for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+    const TaskWork& tw = a.work[p];
+    TaskMetrics& tm = sm.tasks[p];
+    tm.task_index = p;
+    tm.node = rt.task_node[p];
+    tm.sim_start = a.starts[p];
+    tm.sim_end = a.ends[p];
+    tm.compute_s = a.compute_portion[p];
+    tm.fetch_s = a.fetch_portion[p];
+    tm.attempts = a.attempts[p];
+    tm.records_in = tw.records_in;
+    tm.records_out = tw.records_out;
+    tm.bytes_in = tw.bytes_in;
+    tm.bytes_out = tw.bytes_out;
+    tm.shuffle_read_remote = tw.shuffle_read_remote;
+    tm.shuffle_read_local = tw.shuffle_read_local;
+
+    sm.input_records += tw.records_in;
+    sm.input_bytes += tw.bytes_in;
+    sm.output_records += tw.records_out;
+    sm.output_bytes += tw.bytes_out;
+    sm.shuffle_read_bytes += tw.shuffle_read_remote + tw.shuffle_read_local;
+  }
+  sm.shuffle_write_bytes = a.stage_shuffle_write;
+  sm.sim_start_s = eng_.sim_clock_;
+  sm.sim_time_s = a.makespan;
+
+  // ---- timeline samples ---------------------------------------------------
+  // Byte-valued samples are rescaled to the modeled system's volume, like
+  // the pricing above, so Fig. 12/13 read in paper-scale terms.
+  if (eng_.options_.record_timeline) {
+    const double t0 = eng_.sim_clock_;
+    for (const auto& tm : sm.tasks) {
+      eng_.timeline_.add_cpu_busy(t0 + tm.sim_start, t0 + tm.sim_end);
+      if (tm.shuffle_read_remote > 0) {
+        eng_.timeline_.add_network(
+            t0 + tm.sim_start, t0 + tm.sim_start + tm.fetch_s,
+            static_cast<std::uint64_t>(
+                static_cast<double>(tm.shuffle_read_remote) * rescale));
+      }
+    }
+    eng_.timeline_.add_transactions(t0, a.write_transactions + rt.num_tasks);
+    eng_.timeline_.add_memory(
+        t0, t0 + std::max(a.makespan, 1e-9),
+        static_cast<std::uint64_t>(
+            static_cast<double>(sm.input_bytes + sm.output_bytes +
+                                eng_.block_manager_.total_bytes()) *
+            rescale));
+  }
+
+  eng_.sim_clock_ += a.makespan;
+
+  // ---- result action -------------------------------------------------------
+  if (plan.is_result) {
+    if (ctx_.collect_records) {
+      for (auto& part : rt.output) {
+        for (auto& r : part.mutable_records()) {
+          ctx_.result.records.push_back(std::move(r));
+        }
+      }
+    }
+    for (const auto& tm : sm.tasks) ctx_.result.count += tm.records_out;
+    rt.output.clear();
+  }
+
+  // ---- release consumed parent shuffles ------------------------------------
+  // Classic mode only: fault-tolerant jobs keep every shuffle alive until
+  // job end so lineage replay can re-read surviving map outputs.
+  if (!ft_ && plan.input == StageInputKind::kShuffle) {
+    for (const std::size_t parent : plan.parent_stages) {
+      const auto it = rt.shuffle_from_producer.find(parent);
+      if (it != rt.shuffle_from_producer.end()) {
+        eng_.shuffles_.remove(it->second);
+        rt.shuffle_from_producer.erase(it);
+      }
+    }
+  }
+}
+
+void JobRunner::release_job_shuffles() {
+  for (const std::size_t id : ctx_.job_shuffle_ids) eng_.shuffles_.remove(id);
+  ctx_.job_shuffle_ids.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Failure machinery.
+// ---------------------------------------------------------------------------
+
+void JobRunner::fire_failure(std::size_t i, double at_time) {
+  const NodeFailure& f = eng_.options_.failure_schedule.failures[i];
+  auto& fs = eng_.failure_state_[i];
+  fs.fired = true;
+  if (f.node >= eng_.cluster_.num_nodes()) return;  // ignore bogus entries
+  if (f.rejoin_after_s >= 0.0) fs.rejoin_at = at_time + f.rejoin_after_s;
+  eng_.node_alive_[f.node] = 0;
+  // The node's data dies with it: shuffle map outputs and cached blocks.
+  LossReport lr = eng_.shuffles_.invalidate_node(f.node);
+  lr += eng_.block_manager_.invalidate_node(f.node);
+  job_metrics_.lost_bytes += lr.lost_bytes;
+}
+
+void JobRunner::process_barrier_failures(std::size_t stage_global_id) {
+  const auto& sched = eng_.options_.failure_schedule;
+  // Rejoins first: a node whose rejoin time passed comes back (empty — its
+  // data stays lost; only fresh tasks may land on it again).
+  for (std::size_t i = 0; i < sched.failures.size(); ++i) {
+    auto& fs = eng_.failure_state_[i];
+    if (fs.fired && !fs.rejoined && fs.rejoin_at >= 0.0 &&
+        eng_.sim_clock_ >= fs.rejoin_at) {
+      fs.rejoined = true;
+      const std::size_t n = sched.failures[i].node;
+      if (n < eng_.cluster_.num_nodes()) eng_.node_alive_[n] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < sched.failures.size(); ++i) {
+    const NodeFailure& f = sched.failures[i];
+    if (eng_.failure_state_[i].fired) continue;
+    const bool stage_hit =
+        f.at_stage_id >= 0 &&
+        static_cast<std::size_t>(f.at_stage_id) <= stage_global_id;
+    const bool time_hit = f.at_sim_time >= 0.0 && eng_.sim_clock_ >= f.at_sim_time;
+    if (stage_hit || time_hit) fire_failure(i, eng_.sim_clock_);
+  }
+}
+
+bool JobRunner::stage_depends_on_node(std::size_t s, std::size_t node) const {
+  const StagePlan& plan = ctx_.plan.stages[s];
+  const auto& rt = ctx_.rt[s];
+  for (const std::size_t n : rt.task_node) {
+    if (n == node) return true;
+  }
+  if (plan.input == StageInputKind::kShuffle) {
+    for (const std::size_t parent : plan.parent_stages) {
+      const auto it = rt.shuffle_from_producer.find(parent);
+      if (it == rt.shuffle_from_producer.end()) continue;
+      const ShuffleOutput& so = eng_.shuffles_.get(it->second);
+      for (std::size_t m = 0; m < so.num_map_tasks; ++m) {
+        if (so.map_node[m] == node && (so.lost.empty() || !so.lost[m])) {
+          return true;
+        }
+      }
+    }
+  } else if (plan.input == StageInputKind::kCache) {
+    const CachedDataset* cd = eng_.block_manager_.get(plan.anchor->id());
+    if (cd != nullptr) {
+      for (std::size_t p = 0; p < cd->placement.size(); ++p) {
+        if (cd->placement[p] == node &&
+            (cd->available.empty() || cd->available[p])) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool JobRunner::scan_window_failures(std::size_t s, StageMetrics& sm,
+                                     double makespan) {
+  const auto& sched = eng_.options_.failure_schedule;
+  const double attempt_start = eng_.sim_clock_;
+  const double window_end = attempt_start + makespan;
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  for (;;) {
+    // Earliest unfired sim-time failure strictly inside the attempt window.
+    std::size_t best = npos;
+    double best_t = window_end;
+    for (std::size_t i = 0; i < sched.failures.size(); ++i) {
+      const NodeFailure& f = sched.failures[i];
+      if (eng_.failure_state_[i].fired || f.at_sim_time < 0.0) continue;
+      if (f.at_sim_time > attempt_start && f.at_sim_time < window_end &&
+          (best == npos || f.at_sim_time < best_t)) {
+        best = i;
+        best_t = f.at_sim_time;
+      }
+    }
+    if (best == npos) return false;
+
+    // Decide whether this attempt even notices the death *before* firing it
+    // (firing marks the data lost, which would taint the test).
+    const bool affects = stage_depends_on_node(s, sched.failures[best].node);
+    fire_failure(best, best_t);
+    if (affects) {
+      // Fetch failure / executor loss mid-stage: the attempt dies at the
+      // failure instant; everything it ran so far is wasted sim time.
+      eng_.sim_clock_ = best_t;
+      sm.recovery_time_s += best_t - attempt_start;
+      return true;
+    }
+    // A node nobody in this stage touches: the stage sails on; keep
+    // scanning the rest of the window.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lineage recovery.
+// ---------------------------------------------------------------------------
+
+void JobRunner::recover_stage_inputs(std::size_t s, StageMetrics& sm) {
+  const StagePlan& plan = ctx_.plan.stages[s];
+  auto& rt = ctx_.rt[s];
+  if (plan.input == StageInputKind::kShuffle) {
+    for (const std::size_t parent : plan.parent_stages) {
+      const auto it = rt.shuffle_from_producer.find(parent);
+      if (it == rt.shuffle_from_producer.end()) continue;
+      if (eng_.shuffles_.get(it->second).has_lost_tasks()) {
+        recover_map_tasks(parent, sm);
+      }
+    }
+  } else if (plan.input == StageInputKind::kCache) {
+    CachedDataset* cd = eng_.block_manager_.get_mutable(plan.anchor->id());
+    if (cd != nullptr && !cd->complete()) {
+      recover_cached_blocks(plan.anchor, sm);
+    }
+  }
+}
+
+void JobRunner::recover_map_tasks(std::size_t producer, StageMetrics& sm) {
+  auto& prt = ctx_.rt[producer];
+  const StagePlan& pplan = ctx_.plan.stages[producer];
+
+  // The producer's own inputs must be healthy before replay reads them
+  // (recursive: a failure may have cut multiple lineage levels at once).
+  recover_stage_inputs(producer, sm);
+
+  // Live shuffles the producer wrote, and the union of their lost rows.
+  std::vector<ShuffleOutput*> outs;
+  std::vector<std::size_t> out_consumer;
+  for (const auto& w : prt.written) {
+    if (!eng_.shuffles_.contains(w.shuffle_id)) continue;
+    outs.push_back(&eng_.shuffles_.get_mutable(w.shuffle_id));
+    out_consumer.push_back(w.consumer);
+  }
+  std::vector<std::size_t> lost_idx;
+  for (std::size_t m = 0; m < prt.num_tasks; ++m) {
+    for (ShuffleOutput* so : outs) {
+      if (!so->lost.empty() && so->lost[m]) {
+        lost_idx.push_back(m);
+        break;
+      }
+    }
+  }
+  if (lost_idx.empty()) return;
+
+  const CachedDataset* cached = nullptr;
+  if (pplan.input == StageInputKind::kCache) {
+    cached = eng_.block_manager_.get(pplan.anchor->id());
+    if (cached == nullptr) {
+      throw std::logic_error("recovery: cache anchor vanished for " +
+                             pplan.name);
+    }
+  }
+  std::vector<ShuffleOutput*> parents;
+  if (pplan.input == StageInputKind::kShuffle) {
+    for (const std::size_t parent : pplan.parent_stages) {
+      const auto it = prt.shuffle_from_producer.find(parent);
+      if (it == prt.shuffle_from_producer.end()) {
+        throw std::logic_error("recovery: parent shuffle released for " +
+                               pplan.name);
+      }
+      parents.push_back(&eng_.shuffles_.get_mutable(it->second));
+    }
+  }
+
+  // Replay each lost pipeline task on a surviving node and rewrite its
+  // bucket row in every live shuffle that lost it. Rows of distinct map
+  // tasks are disjoint, so the replays run in parallel.
+  std::vector<std::size_t> new_node(lost_idx.size());
+  for (std::size_t i = 0; i < lost_idx.size(); ++i) {
+    new_node[i] = eng_.node_for(lost_idx[i], prt.num_tasks);
+  }
+  std::vector<TaskWork> works(lost_idx.size());
+  common::parallel_for(*eng_.pool_, lost_idx.size(), [&](std::size_t i) {
+    const std::size_t m = lost_idx[i];
+    TaskWork& tw = works[i];
+    Partition out = read_stage_input(producer, m, new_node[i], cached, parents,
+                                     /*consume=*/false, tw);
+    for (const auto* op : pplan.narrow_ops) {
+      out = apply_narrow_op(*op, std::move(out), m, tw);
+    }
+    tw.records_out = out.size();
+    tw.bytes_out = out.bytes();
+    for (std::size_t oi = 0; oi < outs.size(); ++oi) {
+      ShuffleOutput* so = outs[oi];
+      if (so->lost.empty() || !so->lost[m]) continue;
+      replay_bucket_row(*so, m, ctx_.plan.stages[out_consumer[oi]], out, tw);
+    }
+  });
+
+  // Sequential post-pass: clear the lost flags, re-home the map tasks.
+  for (std::size_t i = 0; i < lost_idx.size(); ++i) {
+    const std::size_t m = lost_idx[i];
+    for (ShuffleOutput* so : outs) {
+      if (!so->lost.empty() && so->lost[m]) {
+        so->lost[m] = 0;
+        so->map_node[m] = new_node[i];
+      }
+    }
+    sm.recomputed_tasks += 1;
+    sm.recomputed_bytes += works[i].bytes_out;
+  }
+  price_recovery(new_node, works, sm);
+}
+
+void JobRunner::replay_bucket_row(ShuffleOutput& so, std::size_t m,
+                                  const StagePlan& cplan, const Partition& out,
+                                  TaskWork& tw) {
+  auto& row = so.buckets[m];
+  const auto& target = so.partitioner;
+  const std::size_t r_count = target->num_partitions();
+  for (auto& b : row) b = Partition();
+  if (so.passthrough) {
+    row[m] = copy_partition(out);
+    return;
+  }
+  const bool combine = cplan.anchor->op() == OpKind::kReduceByKey &&
+                       static_cast<bool>(cplan.anchor->reduce_fn());
+  tw.work_units +=
+      static_cast<double>(out.size()) * (combine ? kCombineWork : kBucketWork);
+  if (combine) {
+    std::vector<std::unordered_map<std::uint64_t, Record>> accs(r_count);
+    const auto& fn = cplan.anchor->reduce_fn();
+    for (const auto& rec : out.records()) {
+      auto& acc = accs[target->partition_of(rec.key)];
+      auto [it, inserted] = acc.try_emplace(rec.key, rec);
+      if (!inserted) fn(it->second, rec);
+    }
+    for (std::size_t r = 0; r < r_count; ++r) {
+      std::vector<std::uint64_t> keys;
+      keys.reserve(accs[r].size());
+      for (const auto& [k, v] : accs[r]) keys.push_back(k);
+      std::sort(keys.begin(), keys.end());
+      row[r].reserve(keys.size());
+      for (const auto k : keys) row[r].push(std::move(accs[r].at(k)));
+    }
+  } else {
+    for (const auto& rec : out.records()) {
+      row[target->partition_of(rec.key)].push(rec);
+    }
+  }
+}
+
+void JobRunner::price_recovery(const std::vector<std::size_t>& nodes,
+                               const std::vector<TaskWork>& works,
+                               StageMetrics& sm) {
+  std::vector<std::vector<double>> slot_free(eng_.cluster_.num_nodes());
+  for (std::size_t n = 0; n < eng_.cluster_.num_nodes(); ++n) {
+    slot_free[n].assign(eng_.cluster_.node(n).cores, 0.0);
+  }
+  double makespan = 0.0;
+  const double t0 = eng_.sim_clock_;
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    const double d =
+        price_task(works[i], 0.0, nodes[i], 1.0, nullptr, nullptr);
+    auto& slots = slot_free[nodes[i]];
+    auto slot = std::min_element(slots.begin(), slots.end());
+    const double start = *slot;
+    const double end = start + d;
+    *slot = end;
+    makespan = std::max(makespan, end);
+    if (eng_.options_.record_timeline) {
+      eng_.timeline_.add_cpu_busy(t0 + start, t0 + end);
+    }
+  }
+  eng_.sim_clock_ += makespan;
+  sm.recovery_time_s += makespan;
+}
+
+void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
+  CachedDataset* cd = eng_.block_manager_.get_mutable(anchor->id());
+  if (cd == nullptr || cd->complete()) return;
+  const std::vector<std::size_t> missing = cd->missing();
+  const std::size_t n_parts = cd->partitions.size();
+
+  // Fine-grained path: the cached node sits on a purely narrow chain above
+  // a source or another materialized cache — recompute exactly the lost
+  // blocks (narrow ops are deterministic per (partition, count), so block m
+  // is reproduced bit-for-bit).
+  const Dataset* node = cd->lineage ? cd->lineage.get() : anchor;
+  std::vector<const Dataset*> chain;  // ops top-down; applied in reverse
+  const Dataset* base = node;
+  bool narrow_ok = true;
+  bool cache_base = false;
+  while (base->op() != OpKind::kSource) {
+    if (base != node && base->cached() &&
+        eng_.block_manager_.contains(base->id())) {
+      cache_base = true;
+      break;
+    }
+    if (!is_narrow_kind(base->op()) || base->parents().empty()) {
+      narrow_ok = false;
+      break;
+    }
+    chain.push_back(base);
+    base = base->parents().front().get();
+  }
+  if (narrow_ok && cache_base) {
+    const CachedDataset* bcd = eng_.block_manager_.get(base->id());
+    if (bcd == nullptr || bcd->partitions.size() != n_parts) {
+      narrow_ok = false;  // partition counts diverge: rebuild wholesale
+    }
+  }
+
+  if (narrow_ok) {
+    if (cache_base) {
+      // Heal the base cache first (recursion bottoms out at sources).
+      recover_cached_blocks(base, sm);
+    }
+    const CachedDataset* bcd =
+        cache_base ? eng_.block_manager_.get(base->id()) : nullptr;
+    std::vector<std::size_t> new_node(missing.size());
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      new_node[i] = eng_.node_for(missing[i], n_parts);
+    }
+    std::vector<TaskWork> works(missing.size());
+    std::vector<Partition> rebuilt(missing.size());
+    common::parallel_for(*eng_.pool_, missing.size(), [&](std::size_t i) {
+      const std::size_t m = missing[i];
+      TaskWork& tw = works[i];
+      Partition part;
+      if (cache_base) {
+        part = copy_partition(bcd->partitions[m]);
+        tw.local_fetch_bytes += part.bytes();
+        tw.work_units += static_cast<double>(part.size()) * kCacheReadWork;
+      } else {
+        part = base->source_fn()(m, n_parts);
+        tw.work_units += static_cast<double>(part.size()) * kSourceGenWork;
+      }
+      tw.records_in = part.size();
+      tw.bytes_in = part.bytes();
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        part = apply_narrow_op(**it, std::move(part), m, tw);
+      }
+      tw.records_out = part.size();
+      tw.bytes_out = part.bytes();
+      rebuilt[i] = std::move(part);
+    });
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      const std::size_t m = missing[i];
+      cd->partitions[m] = std::move(rebuilt[i]);
+      cd->available[m] = 1;
+      cd->placement[m] = new_node[i];
+      cd->bytes += cd->partitions[m].bytes();
+      sm.recomputed_tasks += 1;
+      sm.recomputed_bytes += works[i].bytes_out;
+    }
+    price_recovery(new_node, works, sm);
+    return;
+  }
+
+  // Wide lineage (or no usable chain): re-materialize the whole cached
+  // dataset as an internal sub-job — its stages land on surviving nodes and
+  // its sim time is charged as recovery.
+  std::shared_ptr<Dataset> lineage = cd->lineage;
+  if (!lineage) {
+    throw JobAbortedError("lost cached block of '" + anchor->label() +
+                          "' has no recorded lineage to replay");
+  }
+  const double sim_before = eng_.sim_clock_;
+  eng_.block_manager_.remove(anchor->id());
+  eng_.run_job(lineage, /*collect_records=*/false,
+               "recovery:" + anchor->label());
+  const CachedDataset* ncd = eng_.block_manager_.get(anchor->id());
+  if (ncd == nullptr) {
+    throw JobAbortedError("recovery job failed to rematerialize '" +
+                          anchor->label() + "'");
+  }
+  sm.recovery_time_s += eng_.sim_clock_ - sim_before;
+  for (const std::size_t m : missing) {
+    if (m < ncd->partitions.size()) {
+      sm.recomputed_tasks += 1;
+      sm.recomputed_bytes += ncd->partitions[m].bytes();
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Engine::run_job
@@ -304,7 +1489,6 @@ std::vector<std::uint64_t> sample_keys(const std::vector<Partition>& parts,
 
 JobResult Engine::run_job(const DatasetPtr& root, bool collect_records,
                           std::string job_name) {
-  const auto job_t0 = Clock::now();
   JobContext ctx;
   ctx.plan = build_job_plan(root, block_manager_, plan_provider_.get(),
                             &inserted_repartitions_);
@@ -312,571 +1496,8 @@ JobResult Engine::run_job(const DatasetPtr& root, bool collect_records,
   ctx.name = std::move(job_name);
   ctx.collect_records = collect_records;
   ctx.rt.resize(ctx.plan.stages.size());
-
-  const double job_sim_start = sim_clock_;
-  JobMetrics job_metrics;
-  job_metrics.job_id = ctx.job_id;
-  job_metrics.name = ctx.name;
-
-  PlanProvider* provider = plan_provider_.get();
-  const CostModel& cm = options_.cost_model;
-
-  for (std::size_t s = 0; s < ctx.plan.stages.size(); ++s) {
-    const StagePlan& plan = ctx.plan.stages[s];
-    auto& rt = ctx.rt[s];
-    const auto stage_t0 = Clock::now();
-
-    StageMetrics sm;
-    sm.stage_id = next_stage_id_++;
-    sm.job_id = ctx.job_id;
-    sm.signature = plan.signature;
-    sm.name = plan.name;
-    sm.is_shuffle_map = !plan.consumers.empty();
-    sm.anchor_op = plan.anchor->op();
-    for (const std::size_t parent : plan.parent_stages) {
-      sm.parent_signatures.push_back(ctx.plan.stages[parent].signature);
-    }
-    sm.fixed_partitions = plan.fixed_partitions;
-    sm.user_fixed = plan.input == StageInputKind::kShuffle &&
-                    plan.anchor->shuffle_request().user_fixed;
-    job_metrics.stage_ids.push_back(sm.stage_id);
-
-    // ---- determine task count & placement --------------------------------
-    const CachedDataset* cached = nullptr;
-    switch (plan.input) {
-      case StageInputKind::kSource:
-        rt.num_tasks =
-            resolve_scheme(ctx, s, provider, options_.default_parallelism)
-                .num_partitions;
-        break;
-      case StageInputKind::kCache:
-        cached = block_manager_.get(plan.anchor->id());
-        if (cached == nullptr) {
-          throw std::logic_error("run_job: cache anchor not materialized: " +
-                                 plan.anchor->label());
-        }
-        rt.num_tasks = cached->partitions.size();
-        break;
-      case StageInputKind::kShuffle:
-        // The partitioner was built when the first producer wrote; producers
-        // precede us in topological order.
-        if (!rt.partitioner) {
-          throw std::logic_error("run_job: shuffle partitioner missing for " +
-                                 plan.name);
-        }
-        rt.num_tasks = rt.partitioner->num_partitions();
-        break;
-    }
-    rt.task_node.resize(rt.num_tasks);
-    for (std::size_t p = 0; p < rt.num_tasks; ++p) {
-      rt.task_node[p] = node_for(p, rt.num_tasks);
-    }
-
-    // ---- phase 1: real execution ------------------------------------------
-    std::vector<TaskWork> work(rt.num_tasks);
-    rt.output.resize(rt.num_tasks);
-
-    // Cache-materialization snapshots for not-yet-cached chain nodes.
-    std::vector<const Dataset*> to_cache;
-    if (plan.anchor->cached() && !block_manager_.contains(plan.anchor->id()) &&
-        plan.input != StageInputKind::kCache) {
-      to_cache.push_back(plan.anchor);
-    }
-    for (const auto* op : plan.narrow_ops) {
-      if (op->cached() && !block_manager_.contains(op->id())) {
-        to_cache.push_back(op);
-      }
-    }
-    std::unordered_map<const Dataset*, std::vector<Partition>> cache_snapshots;
-    for (const auto* ds : to_cache) {
-      cache_snapshots[ds].resize(rt.num_tasks);
-    }
-
-    // Gather parent shuffle outputs (non-owning pointers; bucket columns are
-    // disjoint per task, so tasks can move them out without locking).
-    std::vector<ShuffleOutput*> parent_shuffles;
-    if (plan.input == StageInputKind::kShuffle) {
-      for (const std::size_t parent : plan.parent_stages) {
-        const auto it = rt.shuffle_from_producer.find(parent);
-        if (it == rt.shuffle_from_producer.end()) {
-          throw std::logic_error("run_job: missing parent shuffle for " +
-                                 plan.name);
-        }
-        parent_shuffles.push_back(&shuffles_.get_mutable(it->second));
-      }
-    }
-
-    common::parallel_for(*pool_, rt.num_tasks, [&](std::size_t p) {
-      TaskWork& tw = work[p];
-      Partition part;
-
-      switch (plan.input) {
-        case StageInputKind::kSource: {
-          part = plan.anchor->source_fn()(p, rt.num_tasks);
-          tw.records_in = part.size();
-          tw.bytes_in = part.bytes();
-          tw.work_units += static_cast<double>(part.size()) * kSourceGenWork;
-          break;
-        }
-        case StageInputKind::kCache: {
-          part.reserve(cached->partitions[p].size());
-          for (const auto& r : cached->partitions[p].records()) part.push(r);
-          tw.records_in = part.size();
-          tw.bytes_in = part.bytes();
-          tw.local_fetch_bytes += part.bytes();
-          tw.work_units += static_cast<double>(part.size()) * kCacheReadWork;
-          break;
-        }
-        case StageInputKind::kShuffle: {
-          const std::size_t dst = rt.task_node[p];
-          std::vector<Partition> sides;
-          sides.reserve(parent_shuffles.size());
-          for (ShuffleOutput* so : parent_shuffles) {
-            Partition side;
-            for (std::size_t m = 0; m < so->num_map_tasks; ++m) {
-              Partition& bucket = so->buckets[m][p];
-              const std::uint64_t b = bucket.bytes();
-              if (so->passthrough || so->map_node[m] == dst) {
-                tw.local_fetch_bytes += b;
-                tw.shuffle_read_local += b;
-              } else if (b > 0) {
-                tw.remote_fetch[so->map_node[m]] += b;
-                ++tw.remote_segments;
-                tw.shuffle_read_remote += b;
-              }
-              side.absorb(std::move(bucket));
-            }
-            tw.records_in += side.size();
-            tw.bytes_in += side.bytes();
-            sides.push_back(std::move(side));
-          }
-          tw.work_units +=
-              static_cast<double>(tw.records_in) * plan.anchor->work_per_record();
-          switch (plan.anchor->op()) {
-            case OpKind::kReduceByKey:
-              part = merge_reduce_by_key(std::move(sides),
-                                         plan.anchor->reduce_fn());
-              break;
-            case OpKind::kGroupByKey:
-              part = merge_group_by_key(std::move(sides));
-              break;
-            case OpKind::kJoin:
-              part = merge_join(std::move(sides[0]), std::move(sides[1]),
-                                plan.anchor->join_fn(), /*cogroup=*/false);
-              break;
-            case OpKind::kCoGroup:
-              part = merge_join(std::move(sides[0]), std::move(sides[1]),
-                                plan.anchor->join_fn(), /*cogroup=*/true);
-              break;
-            case OpKind::kRepartition:
-            case OpKind::kUnion:
-              part = merge_concat(std::move(sides));
-              break;
-            case OpKind::kSortByKey:
-              part = merge_sorted(std::move(sides));
-              break;
-            default:
-              throw std::logic_error("run_job: unexpected wide op");
-          }
-          break;
-        }
-      }
-
-      // Cache snapshot at the anchor point (before narrow ops).
-      if (auto it = cache_snapshots.find(plan.anchor);
-          it != cache_snapshots.end()) {
-        Partition copy;
-        copy.reserve(part.size());
-        for (const auto& r : part.records()) copy.push(r);
-        it->second[p] = std::move(copy);
-      }
-
-      for (const auto* op : plan.narrow_ops) {
-        part = apply_narrow_op(*op, std::move(part), p, tw);
-        if (auto it = cache_snapshots.find(op); it != cache_snapshots.end()) {
-          Partition copy;
-          copy.reserve(part.size());
-          for (const auto& r : part.records()) copy.push(r);
-          it->second[p] = std::move(copy);
-        }
-      }
-
-      tw.records_out = part.size();
-      tw.bytes_out = part.bytes();
-      rt.output[p] = std::move(part);
-    });
-
-    // Track the partitioning of this stage's output for the co-partition
-    // fast path: a shuffle input partitioner survives narrow ops that
-    // preserve partitioning.
-    if (plan.input == StageInputKind::kShuffle) {
-      rt.output_partitioner = rt.partitioner;
-    } else if (plan.input == StageInputKind::kCache) {
-      rt.output_partitioner = cached->partitioner;
-    }
-    for (const auto* op : plan.narrow_ops) {
-      if (!op->preserves_partitioning()) {
-        rt.output_partitioner = nullptr;
-        break;
-      }
-    }
-
-    // Commit cache materializations.
-    for (const auto* ds : to_cache) {
-      CachedDataset cd;
-      cd.partitions = std::move(cache_snapshots[ds]);
-      cd.placement = rt.task_node;
-      // The snapshot is partitioned like the stage output only if every op
-      // after the snapshot point... conservatively: anchor snapshots carry
-      // the input partitioner, later snapshots carry none unless all prior
-      // ops preserve partitioning; using the stage-level result is safe only
-      // for the last snapshot, so be conservative for intermediate ones.
-      cd.partitioner = (ds == plan.anchor && plan.input == StageInputKind::kShuffle)
-                           ? rt.partitioner
-                           : (!plan.narrow_ops.empty() &&
-                              ds == plan.narrow_ops.back())
-                                 ? rt.output_partitioner
-                                 : nullptr;
-      for (const auto& p : cd.partitions) cd.bytes += p.bytes();
-      block_manager_.put(ds->id(), std::move(cd));
-    }
-
-    // ---- phase 2: shuffle writes for consumers -----------------------------
-    std::vector<double> extra_work(rt.num_tasks, 0.0);
-    std::uint64_t stage_shuffle_write = 0;
-    std::uint64_t write_transactions = 0;
-    const bool keep_output = plan.is_result;
-
-    for (std::size_t ci = 0; ci < plan.consumers.size(); ++ci) {
-      const std::size_t consumer = plan.consumers[ci];
-      const StagePlan& cplan = ctx.plan.stages[consumer];
-      auto& crt = ctx.rt[consumer];
-      PartitionScheme scheme =
-          resolve_scheme(ctx, consumer, provider, options_.default_parallelism);
-      // Adaptive (AQE-style) coalescing: size the reduce side from observed
-      // map output volume when nothing pinned the scheme. Only the first
-      // producer re-sizes (later producers must agree with the partitioner
-      // already built).
-      const bool scheme_pinned =
-          (provider != nullptr &&
-           provider->scheme_for(cplan.signature).has_value()) ||
-          cplan.anchor->shuffle_request().num_partitions.has_value();
-      if (options_.adaptive.enabled && !scheme_pinned && !crt.partitioner) {
-        std::uint64_t out_bytes = 0;
-        for (const auto& part : rt.output) out_bytes += part.bytes();
-        const double modeled =
-            static_cast<double>(out_bytes) / cm.data_scale;
-        auto target = static_cast<std::size_t>(
-            modeled / static_cast<double>(
-                          options_.adaptive.target_partition_bytes) +
-            0.999);
-        target = std::clamp(target, options_.adaptive.min_partitions,
-                            options_.adaptive.max_partitions);
-        scheme.num_partitions = target;
-        ctx.rt[consumer].scheme = scheme;
-      }
-      if (!crt.partitioner) {
-        const auto cache_key = std::make_pair(scheme.kind, scheme.num_partitions);
-        const auto cached_part = ctx.partitioner_cache.find(cache_key);
-        if (cached_part != ctx.partitioner_cache.end()) {
-          crt.partitioner = cached_part->second;
-        } else {
-          std::vector<std::uint64_t> keys;
-          if (scheme.kind == PartitionerKind::kRange) {
-            keys = sample_keys(rt.output);
-          }
-          crt.partitioner = make_partitioner(scheme.kind, scheme.num_partitions,
-                                             std::move(keys));
-          ctx.partitioner_cache.emplace(cache_key, crt.partitioner);
-        }
-      }
-      const auto& target = crt.partitioner;
-      const std::size_t r_count = target->num_partitions();
-      const bool last_consumer = ci + 1 == plan.consumers.size();
-      const bool may_move = last_consumer && !keep_output;
-
-      ShuffleOutput so;
-      so.shuffle_id = shuffles_.next_id();
-      so.partitioner = target;
-      so.num_map_tasks = rt.num_tasks;
-      so.map_node = rt.task_node;
-      so.buckets.resize(rt.num_tasks);
-      for (auto& row : so.buckets) row.resize(r_count);
-
-      const bool passthrough = rt.output_partitioner &&
-                               rt.output_partitioner->equals(*target);
-      so.passthrough = passthrough;
-
-      const bool combine = cplan.anchor->op() == OpKind::kReduceByKey &&
-                           static_cast<bool>(cplan.anchor->reduce_fn());
-
-      common::parallel_for(*pool_, rt.num_tasks, [&](std::size_t m) {
-        auto& row = so.buckets[m];
-        Partition& out = rt.output[m];
-        if (passthrough) {
-          // Already partitioned correctly: bucket r == m, no repartitioning
-          // work, no framing overhead, reads will be node-local.
-          if (may_move) {
-            row[m] = std::move(out);
-          } else {
-            Partition copy;
-            copy.reserve(out.size());
-            for (const auto& r : out.records()) copy.push(r);
-            row[m] = std::move(copy);
-          }
-          return;
-        }
-        extra_work[m] +=
-            static_cast<double>(out.size()) * (combine ? kCombineWork : kBucketWork);
-        if (combine) {
-          // Map-side combine: one accumulator per (bucket, key).
-          std::vector<std::unordered_map<std::uint64_t, Record>> accs(r_count);
-          const auto& fn = cplan.anchor->reduce_fn();
-          for (const auto& rec : out.records()) {
-            auto& acc = accs[target->partition_of(rec.key)];
-            auto [it, inserted] = acc.try_emplace(rec.key, rec);
-            if (!inserted) fn(it->second, rec);
-          }
-          for (std::size_t r = 0; r < r_count; ++r) {
-            std::vector<std::uint64_t> keys;
-            keys.reserve(accs[r].size());
-            for (const auto& [k, v] : accs[r]) keys.push_back(k);
-            std::sort(keys.begin(), keys.end());
-            row[r].reserve(keys.size());
-            for (const auto k : keys) row[r].push(std::move(accs[r].at(k)));
-          }
-        } else {
-          for (const auto& rec : out.records()) {
-            row[target->partition_of(rec.key)].push(rec);
-          }
-          if (may_move) {
-            out = Partition();  // release source records
-          }
-        }
-      });
-
-      std::uint64_t bytes = 0, nonempty = 0;
-      for (const auto& row : so.buckets) {
-        for (const auto& b : row) {
-          bytes += b.bytes();
-          if (!b.empty()) ++nonempty;
-        }
-      }
-      if (!passthrough) {
-        bytes += nonempty * cm.bucket_header_bytes;
-      }
-      so.total_bytes = bytes;
-      stage_shuffle_write += bytes;
-      write_transactions += nonempty;
-
-      crt.shuffle_from_producer.emplace(s, so.shuffle_id);
-      shuffles_.put(std::move(so));
-    }
-
-    // Release output early when nobody else needs it.
-    if (!keep_output && !plan.consumers.empty()) {
-      rt.output.clear();
-      rt.output.shrink_to_fit();
-    }
-
-    // ---- phase 3: price the stage on the simulated cluster -----------------
-    sm.num_partitions = rt.num_tasks;
-    if (rt.partitioner) sm.partitioner = rt.partitioner->kind();
-    sm.tasks.resize(rt.num_tasks);
-
-    std::vector<std::vector<double>> slot_free(cluster_.num_nodes());
-    for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
-      slot_free[n].assign(cluster_.node(n).cores, 0.0);
-    }
-    double makespan = 0.0;
-    // Measured work/bytes are rescaled to the modeled system's data volume
-    // before pricing (see CostModel::data_scale).
-    const double rescale = 1.0 / cm.data_scale;
-
-    // Optional NIC incast contention: concurrent fetchers share the link.
-    std::vector<double> node_fetch_share(cluster_.num_nodes(), 1.0);
-    if (cm.model_network_contention) {
-      std::vector<std::size_t> tasks_on_node(cluster_.num_nodes(), 0);
-      for (std::size_t p = 0; p < rt.num_tasks; ++p) {
-        ++tasks_on_node[rt.task_node[p]];
-      }
-      for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
-        node_fetch_share[n] = static_cast<double>(
-            std::max<std::size_t>(1, std::min(cluster_.node(n).cores,
-                                              tasks_on_node[n])));
-      }
-    }
-    std::vector<double> durations(rt.num_tasks, 0.0);
-    std::vector<double> fetch_portion(rt.num_tasks, 0.0);
-    std::vector<double> compute_portion(rt.num_tasks, 0.0);
-    for (std::size_t p = 0; p < rt.num_tasks; ++p) {
-      const TaskWork& tw = work[p];
-      const std::size_t n = rt.task_node[p];
-      const NodeSpec& node = cluster_.node(n);
-
-      double fetch_s = tw.local_fetch_bytes * rescale / cm.local_read_bw;
-      for (const auto& [src, bytes] : tw.remote_fetch) {
-        const double bw = std::min(node.net_bw, cluster_.node(src).net_bw) /
-                          node_fetch_share[n];
-        fetch_s += static_cast<double>(bytes) * rescale / bw;
-      }
-      fetch_s += cm.fetch_latency_s * static_cast<double>(tw.remote_segments);
-
-      double compute_s =
-          (tw.work_units + extra_work[p]) * rescale * cm.sec_per_work_unit +
-          static_cast<double>(tw.bytes_in + tw.bytes_out) * rescale *
-              cm.sec_per_byte;
-      compute_s /= node.speed;
-
-      const double budget = static_cast<double>(node.memory_bytes) /
-                            static_cast<double>(node.cores) * cm.spill_fraction;
-      const double resident =
-          static_cast<double>(tw.bytes_in + tw.bytes_out) * rescale;
-      if (resident > budget) {
-        compute_s += (resident - budget) * cm.spill_amplification / cm.disk_bw;
-      }
-
-      double duration = cm.task_launch_s + fetch_s + compute_s;
-
-      // Deterministic fault injection: failed attempts burn a fraction of
-      // the duration before Spark-style retry.
-      if (options_.faults.task_failure_prob > 0.0) {
-        common::Xoshiro256 frng(common::hash_combine(
-            common::hash_combine(options_.faults.seed, sm.stage_id),
-            p + 1));
-        double total = 0.0;
-        std::size_t attempt = 1;
-        while (frng.next_double() < options_.faults.task_failure_prob) {
-          if (attempt >= options_.faults.max_attempts) {
-            throw std::runtime_error(
-                "task " + std::to_string(p) + " of stage " + plan.name +
-                " exceeded max attempts (injected faults)");
-          }
-          total += duration * options_.faults.failed_attempt_fraction;
-          ++attempt;
-        }
-        duration += total;
-        sm.tasks[p].attempts = attempt;
-      }
-      durations[p] = duration;
-      fetch_portion[p] = fetch_s;
-      compute_portion[p] = compute_s;
-    }
-
-    // Speculative execution bounds straggler damage: any task far above the
-    // stage median is assumed to get a backup copy.
-    if (options_.speculation.enabled && rt.num_tasks > 1) {
-      std::vector<double> sorted = durations;
-      std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
-                       sorted.end());
-      const double median = sorted[sorted.size() / 2];
-      const double cap =
-          median * options_.speculation.multiplier + cm.task_launch_s;
-      for (auto& d : durations) {
-        if (d > cap) d = cap;
-      }
-    }
-
-    for (std::size_t p = 0; p < rt.num_tasks; ++p) {
-      const TaskWork& tw = work[p];
-      const std::size_t n = rt.task_node[p];
-      const double duration = durations[p];
-
-      // Earliest-available slot on the task's node.
-      auto& slots = slot_free[n];
-      auto slot = std::min_element(slots.begin(), slots.end());
-      const double start = *slot;
-      const double end = start + duration;
-      *slot = end;
-      makespan = std::max(makespan, end);
-
-      TaskMetrics& tm = sm.tasks[p];
-      tm.task_index = p;
-      tm.node = n;
-      tm.sim_start = start;
-      tm.sim_end = end;
-      tm.compute_s = compute_portion[p];
-      tm.fetch_s = fetch_portion[p];
-      tm.records_in = tw.records_in;
-      tm.records_out = tw.records_out;
-      tm.bytes_in = tw.bytes_in;
-      tm.bytes_out = tw.bytes_out;
-      tm.shuffle_read_remote = tw.shuffle_read_remote;
-      tm.shuffle_read_local = tw.shuffle_read_local;
-
-      sm.input_records += tw.records_in;
-      sm.input_bytes += tw.bytes_in;
-      sm.output_records += tw.records_out;
-      sm.output_bytes += tw.bytes_out;
-      sm.shuffle_read_bytes += tw.shuffle_read_remote + tw.shuffle_read_local;
-    }
-    sm.shuffle_write_bytes = stage_shuffle_write;
-    sm.sim_start_s = sim_clock_;
-    sm.sim_time_s = makespan;
-    sm.wall_time_s = seconds_since(stage_t0);
-
-    // ---- timeline samples ---------------------------------------------------
-    // Byte-valued samples are rescaled to the modeled system's volume, like
-    // the pricing above, so Fig. 12/13 read in paper-scale terms.
-    if (options_.record_timeline) {
-      const double t0 = sim_clock_;
-      for (const auto& tm : sm.tasks) {
-        timeline_.add_cpu_busy(t0 + tm.sim_start, t0 + tm.sim_end);
-        if (tm.shuffle_read_remote > 0) {
-          timeline_.add_network(
-              t0 + tm.sim_start, t0 + tm.sim_start + tm.fetch_s,
-              static_cast<std::uint64_t>(
-                  static_cast<double>(tm.shuffle_read_remote) * rescale));
-        }
-      }
-      timeline_.add_transactions(t0, write_transactions + rt.num_tasks);
-      timeline_.add_memory(
-          t0, t0 + std::max(makespan, 1e-9),
-          static_cast<std::uint64_t>(
-              static_cast<double>(sm.input_bytes + sm.output_bytes +
-                                  block_manager_.total_bytes()) *
-              rescale));
-    }
-
-    sim_clock_ += makespan;
-
-    // ---- result action -------------------------------------------------------
-    if (plan.is_result) {
-      if (ctx.collect_records) {
-        for (auto& part : rt.output) {
-          for (auto& r : part.mutable_records()) {
-            ctx.result.records.push_back(std::move(r));
-          }
-        }
-      }
-      for (const auto& tm : sm.tasks) ctx.result.count += tm.records_out;
-      rt.output.clear();
-    }
-
-    // ---- release consumed parent shuffles ------------------------------------
-    if (plan.input == StageInputKind::kShuffle) {
-      for (const std::size_t parent : plan.parent_stages) {
-        const auto it = rt.shuffle_from_producer.find(parent);
-        if (it != rt.shuffle_from_producer.end()) {
-          shuffles_.remove(it->second);
-          rt.shuffle_from_producer.erase(it);
-        }
-      }
-    }
-
-    metrics_.add_stage(std::move(sm));
-  }
-
-  ctx.result.job_id = ctx.job_id;
-  ctx.result.name = ctx.name;
-  ctx.result.sim_time_s = sim_clock_ - job_sim_start;
-  ctx.result.wall_time_s = seconds_since(job_t0);
-  ctx.result.stage_ids = job_metrics.stage_ids;
-
-  job_metrics.sim_time_s = ctx.result.sim_time_s;
-  job_metrics.wall_time_s = ctx.result.wall_time_s;
-  metrics_.add_job(std::move(job_metrics));
-  return std::move(ctx.result);
+  JobRunner runner(*this, ctx);
+  return runner.run();
 }
 
 }  // namespace chopper::engine

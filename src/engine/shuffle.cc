@@ -44,6 +44,26 @@ void ShuffleManager::remove(std::size_t shuffle_id) {
   outputs_.erase(shuffle_id);
 }
 
+LossReport ShuffleManager::invalidate_node(std::size_t node) {
+  std::lock_guard lock(mu_);
+  LossReport report;
+  for (auto& [id, so] : outputs_) {
+    if (so.lost.size() != so.num_map_tasks) {
+      so.lost.assign(so.num_map_tasks, 0);
+    }
+    for (std::size_t m = 0; m < so.num_map_tasks; ++m) {
+      if (so.map_node[m] != node || so.lost[m]) continue;
+      so.lost[m] = 1;
+      ++report.lost_tasks;
+      for (auto& bucket : so.buckets[m]) {
+        report.lost_bytes += bucket.bytes();
+        bucket = Partition();
+      }
+    }
+  }
+  return report;
+}
+
 std::size_t ShuffleManager::count() const {
   std::lock_guard lock(mu_);
   return outputs_.size();

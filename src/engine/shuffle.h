@@ -7,6 +7,12 @@
 // writer's output is already partitioned by an equal partitioner, the write
 // degenerates to a pass-through (bucket r == map index m) with no headers
 // and purely local reads — the co-partitioning fast path CHOPPER exploits.
+//
+// Fault tolerance: each map task's bucket row lives on the node that ran the
+// task (`map_node`). When a node dies, `invalidate_node` drops every bucket
+// row that node held and marks the map task lost; consuming stages detect
+// the loss (a fetch failure) and the scheduler replays the producer's
+// lineage for exactly the lost map tasks (see scheduler.cc).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/fault.h"
 #include "engine/partition.h"
 #include "engine/partitioner.h"
 
@@ -28,8 +35,19 @@ struct ShuffleOutput {
   std::vector<std::vector<Partition>> buckets;
   /// node that executed map task m (for local-vs-remote fetch accounting).
   std::vector<std::size_t> map_node;
+  /// lost[m]: map task m's output was on a node that died; its bucket row
+  /// has been dropped and must be recomputed from lineage before any
+  /// consumer can read it. Empty vector == nothing lost.
+  std::vector<char> lost;
   std::uint64_t total_bytes = 0;  ///< includes per-bucket headers
   bool passthrough = false;       ///< co-partitioned: no real shuffle happened
+
+  bool has_lost_tasks() const noexcept {
+    for (const char l : lost) {
+      if (l) return true;
+    }
+    return false;
+  }
 };
 
 class ShuffleManager {
@@ -49,6 +67,10 @@ class ShuffleManager {
 
   /// Drop a consumed shuffle's data to release memory.
   void remove(std::size_t shuffle_id);
+
+  /// Node `node` died: drop every bucket row written by a map task that ran
+  /// there and mark the task lost. Returns what was destroyed.
+  LossReport invalidate_node(std::size_t node);
 
   std::size_t count() const;
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 namespace chopper::core {
 namespace {
@@ -194,6 +195,40 @@ TEST(WorkloadDb, SaveLoadRoundTrip) {
 
 TEST(WorkloadDb, LoadMissingFileThrows) {
   EXPECT_THROW(WorkloadDb::load("/no/such/file.db"), std::runtime_error);
+}
+
+TEST(WorkloadDb, TolerantLoadSkipsCorruptRecords) {
+  WorkloadDb db;
+  db.add(obs("w", 7, engine::PartitionerKind::kHash, 100, 50, 300, 1.5, 9.0));
+  db.add_structure("w", structure(7, "the stage", 100, 50));
+  const std::string path = ::testing::TempDir() + "/workload_db_corrupt.txt";
+  db.save(path);
+  // Corrupt the file: append a truncated record, an unknown tag and a
+  // garbage-number record between valid ones.
+  {
+    std::ofstream os(path, std::ios::app);
+    os << "obs\tw\t8\n";                  // truncated
+    os << "bogus\twhatever\n";            // unknown tag
+    os << "obs\tw\tnot_a_number\thash\t1\t1\t1\t1\t1\t0\n";
+    os << "obs\tw\t9\thash\t1\t1\t10\t2.5\t0\t0\n";  // valid
+  }
+
+  // Strict load fails on the first corrupt record...
+  EXPECT_THROW(WorkloadDb::load(path), std::exception);
+  // ...tolerant load keeps every parseable record.
+  const auto loaded = WorkloadDb::load(path, 1e-3, /*tolerant=*/true);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.total_observations(), 2u);
+  EXPECT_TRUE(loaded.structure("w", 7).has_value());
+  EXPECT_EQ(loaded.observations("w", 9, engine::PartitionerKind::kHash).size(),
+            1u);
+}
+
+TEST(WorkloadDb, TolerantLoadOfMissingFileIsEmptyDb) {
+  const auto db =
+      WorkloadDb::load("/no/such/file.db", 1e-3, /*tolerant=*/true);
+  EXPECT_EQ(db.total_observations(), 0u);
+  EXPECT_TRUE(db.workloads().empty());
 }
 
 }  // namespace

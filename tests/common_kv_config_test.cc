@@ -98,6 +98,23 @@ TEST(KvConfig, LoadMissingFileThrows) {
   EXPECT_THROW(KvConfig::load("/nonexistent/path/xyz.conf"), std::runtime_error);
 }
 
+TEST(KvConfig, TolerantParseSkipsMalformedLines) {
+  const auto cfg = KvConfig::parse(
+      "good = 1\n"
+      "this line has no equals sign\n"
+      "also.good = 2\n",
+      /*tolerant=*/true);
+  EXPECT_EQ(cfg.size(), 2u);
+  EXPECT_EQ(cfg.get_int("good"), 1);
+  EXPECT_EQ(cfg.get_int("also.good"), 2);
+}
+
+TEST(KvConfig, TolerantLoadOfMissingFileIsEmpty) {
+  const auto cfg =
+      KvConfig::load("/nonexistent/path/xyz.conf", /*tolerant=*/true);
+  EXPECT_EQ(cfg.size(), 0u);
+}
+
 TEST(KvConfig, ToStringParsesBack) {
   KvConfig cfg;
   cfg.set("a", "hello world");

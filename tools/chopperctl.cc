@@ -144,7 +144,9 @@ int cmd_plan(const Args& args) {
     return 2;
   }
   core::Chopper chopper(bench::bench_cluster(), chopper_options(args.has("tiny")));
-  chopper.load_db(args.get("db", wl->name() + ".chopperdb"));
+  // Tolerant: a corrupt or missing DB degrades to "no plan" with a warning
+  // instead of killing the CLI.
+  chopper.load_db(args.get("db", wl->name() + ".chopperdb"), /*tolerant=*/true);
   const double scale = args.get_double("scale", 1.0);
   const auto input = static_cast<double>(wl->input_bytes(scale));
   const auto plan = args.has("naive") ? chopper.plan_naive(wl->name(), input)
@@ -186,7 +188,7 @@ int cmd_run(const Args& args) {
   engine::Engine eng(bench::bench_cluster(), opts);
   if (args.has("conf")) {
     auto provider = std::make_shared<core::ConfigPlanProvider>();
-    provider->reload(args.get("conf"));
+    provider->reload(args.get("conf"), /*tolerant=*/true);
     eng.set_plan_provider(provider);
     std::printf("running %s with plan %s (%zu stage schemes)\n",
                 wl->name().c_str(), args.get("conf").c_str(), provider->size());
@@ -204,7 +206,9 @@ int cmd_inspect(const Args& args) {
     std::fprintf(stderr, "inspect requires --db FILE\n");
     return 2;
   }
-  const auto db = core::WorkloadDb::load(args.get("db"));
+  const auto db =
+      core::WorkloadDb::load(args.get("db"), /*ridge_lambda=*/1e-3,
+                             /*tolerant=*/true);
   std::printf("%zu observations\n", db.total_observations());
   for (const auto& wl : db.workloads()) {
     std::printf("workload %s:\n", wl.c_str());
