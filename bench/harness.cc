@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/rng.h"
+
 namespace chopper::bench {
 
 namespace {
@@ -108,6 +110,95 @@ std::unique_ptr<engine::Engine> run_chopper(
   wl.run(*eng, scale);
   if (plan_out != nullptr) *plan_out = std::move(plan);
   return eng;
+}
+
+namespace {
+
+engine::SourceFn keyed_source(std::uint64_t seed, std::size_t total,
+                              std::size_t num_keys, double theta,
+                              std::size_t payload_bytes) {
+  return [=](std::size_t index, std::size_t count) {
+    common::Xoshiro256 rng(common::hash_combine(seed, index * 131 + count));
+    common::ZipfSampler zipf(num_keys, theta);
+    engine::Partition p;
+    const std::size_t begin = total * index / count;
+    const std::size_t end = total * (index + 1) / count;
+    for (std::size_t i = begin; i < end; ++i) {
+      engine::Record r;
+      r.key = zipf(rng);
+      r.values = {rng.next_double(), 1.0};
+      r.aux_bytes = payload_bytes;
+      p.push(std::move(r));
+    }
+    return p;
+  };
+}
+
+std::string tag(const char* base, std::uint64_t seed) {
+  return std::string(base) + "#" + std::to_string(seed);
+}
+
+}  // namespace
+
+engine::DatasetPtr service_small_job(std::uint64_t seed) {
+  auto events = engine::Dataset::source(
+      tag("svc-small-events", seed), 16,
+      keyed_source(seed, /*total=*/20'000, /*num_keys=*/400, 0.8, 32));
+  return events
+      ->filter(tag("svc-small-filter", seed),
+               [](const engine::Record& r) { return r.values[0] > 0.2; })
+      ->reduce_by_key(
+          tag("svc-small-sum", seed),
+          [](engine::Record& acc, const engine::Record& next) {
+            acc.values[0] += next.values[0];
+            acc.values[1] += next.values[1];
+          },
+          engine::ShuffleRequest{std::nullopt, 16, false});
+}
+
+engine::DatasetPtr service_kmeans_like_job(std::uint64_t seed) {
+  auto points = engine::Dataset::source(
+      tag("svc-kmeans-points", seed), 48,
+      keyed_source(seed, /*total=*/120'000, /*num_keys=*/20'000, 0.4, 64));
+  // Assign-to-centroid flavor: a compute-heavy narrow map re-keying each
+  // point, then a per-centroid keyed reduction (one wide stage).
+  return points
+      ->map(
+          tag("svc-kmeans-assign", seed),
+          [](const engine::Record& in) {
+            engine::Record r = in;
+            double acc = r.values[0];
+            for (int c = 0; c < 24; ++c) acc = acc * 1.000001 + 0.5 / (c + 1);
+            r.key = static_cast<std::uint64_t>(acc * 1e6) % 16;
+            return r;
+          },
+          /*work_per_record=*/6.0)
+      ->reduce_by_key(
+          tag("svc-kmeans-update", seed),
+          [](engine::Record& acc, const engine::Record& next) {
+            acc.values[0] += next.values[0];
+            acc.values[1] += next.values[1];
+          },
+          engine::ShuffleRequest{std::nullopt, 32, false});
+}
+
+engine::DatasetPtr service_sql_like_job(std::uint64_t seed) {
+  auto fact = engine::Dataset::source(
+      tag("svc-sql-fact", seed), 32,
+      keyed_source(seed, /*total=*/60'000, /*num_keys=*/2'000, 0.7, 96));
+  auto dim = engine::Dataset::source(
+      tag("svc-sql-dim", seed), 8,
+      keyed_source(seed ^ 0x9e37ULL, /*total=*/2'000, /*num_keys=*/2'000, 0.0,
+                   48));
+  return fact
+      ->join_with(dim, tag("svc-sql-join", seed),
+                  engine::ShuffleRequest{std::nullopt, 32, false})
+      ->reduce_by_key(
+          tag("svc-sql-agg", seed),
+          [](engine::Record& acc, const engine::Record& next) {
+            acc.values[0] += next.values[0];
+          },
+          engine::ShuffleRequest{std::nullopt, 16, false});
 }
 
 void print_header(const std::string& title) {

@@ -55,6 +55,23 @@ std::unique_ptr<engine::Engine> run_chopper(core::Chopper& chopper,
                                             std::vector<core::PlannedStage>* plan_out = nullptr,
                                             double scale = 1.0);
 
+// -- multi-tenant service jobs -----------------------------------------------
+//
+// Self-contained dataset graphs for JobServer benches/tests. `seed` feeds
+// both the data generator and the lineage labels, so two submissions with
+// different seeds are distinct jobs (distinct stage signatures) while the
+// same seed is bit-reproducible. Sized for sub-second real execution so
+// concurrency sweeps stay fast.
+
+/// Small interactive-style aggregation: one shuffle, two stages.
+engine::DatasetPtr service_small_job(std::uint64_t seed);
+
+/// KMeans-flavored batch job: compute-heavy map into a keyed reduction.
+engine::DatasetPtr service_kmeans_like_job(std::uint64_t seed);
+
+/// SQL-flavored batch job: fact x dim join, then an aggregation (3 shuffles).
+engine::DatasetPtr service_sql_like_job(std::uint64_t seed);
+
 // -- output helpers ----------------------------------------------------------
 
 /// Print a header line like "== Fig. 2: ... ==".

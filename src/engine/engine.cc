@@ -81,6 +81,12 @@ JobResult Engine::collect(const DatasetPtr& ds, std::string job_name) {
   return run_job(ds, /*collect_records=*/true, std::move(job_name));
 }
 
+JobResult Engine::run_controlled(const DatasetPtr& ds, bool collect_records,
+                                 std::string job_name,
+                                 const JobControl* control) {
+  return run_job(ds, collect_records, std::move(job_name), control);
+}
+
 JobPlan Engine::describe_job(const DatasetPtr& ds) const {
   return build_job_plan(ds, block_manager_);
 }
@@ -89,8 +95,8 @@ void Engine::reset_metrics() {
   metrics_.clear();
   timeline_.clear();
   sim_clock_ = 0.0;
-  next_job_id_ = 0;
-  next_stage_id_ = 0;
+  next_job_id_.store(0);
+  next_stage_id_.store(0);
   // Failure triggers key off the simulated clock / stage counter, so a clock
   // reset also re-arms the schedule and revives dead nodes.
   reset_failure_state();

@@ -44,6 +44,7 @@ void spread(std::vector<double>& buckets, double start, double end,
 
 void ResourceTimeline::add_cpu_busy(double start, double end) {
   if (end <= start) return;
+  std::lock_guard lock(mu_);
   ensure(end);
   spread(cpu_busy_s_, start, end, end - start);
 }
@@ -52,11 +53,13 @@ void ResourceTimeline::add_network(double start, double end,
                                    std::uint64_t bytes) {
   if (bytes == 0) return;
   if (end <= start) end = start + 1e-6;
+  std::lock_guard lock(mu_);
   ensure(end);
   spread(net_bytes_, start, end, static_cast<double>(bytes));
 }
 
 void ResourceTimeline::add_transactions(double t, std::uint64_t count) {
+  std::lock_guard lock(mu_);
   ensure(t);
   transactions_[static_cast<std::size_t>(t)] += static_cast<double>(count);
 }
@@ -64,6 +67,7 @@ void ResourceTimeline::add_transactions(double t, std::uint64_t count) {
 void ResourceTimeline::add_memory(double start, double end,
                                   std::uint64_t bytes) {
   if (end <= start || bytes == 0) return;
+  std::lock_guard lock(mu_);
   ensure(end);
   spread(mem_byte_seconds_, start, end,
          static_cast<double>(bytes) * (end - start));
@@ -72,6 +76,7 @@ void ResourceTimeline::add_memory(double start, double end,
 std::vector<ResourceTimeline::Sample> ResourceTimeline::samples() const {
   // Approximate MTU-sized packets for the packets/s series (paper Fig. 13).
   constexpr double kPacketBytes = 1500.0;
+  std::lock_guard lock(mu_);
   std::vector<Sample> out;
   out.reserve(cpu_busy_s_.size());
   for (std::size_t s = 0; s < cpu_busy_s_.size(); ++s) {
@@ -92,6 +97,7 @@ std::vector<ResourceTimeline::Sample> ResourceTimeline::samples() const {
 }
 
 void ResourceTimeline::clear() {
+  std::lock_guard lock(mu_);
   cpu_busy_s_.clear();
   net_bytes_.clear();
   transactions_.clear();
@@ -99,6 +105,7 @@ void ResourceTimeline::clear() {
 }
 
 double MetricsRegistry::total_sim_time() const {
+  std::lock_guard lock(mu_);
   double t = 0.0;
   for (const auto& j : jobs_) t += j.sim_time_s;
   return t;

@@ -299,6 +299,12 @@ struct Engine::JobContext {
            std::shared_ptr<Partitioner>>
       partitioner_cache;
 
+  /// Service-mode control block (null for classic single-job execution) and
+  /// the job's private virtual clock. Classic jobs advance the engine's
+  /// shared sim_clock_ instead.
+  const JobControl* control = nullptr;
+  double vclock = 0.0;
+
   JobResult result;
 };
 
@@ -388,6 +394,29 @@ class JobRunner {
     const CachedDataset* cached = nullptr;
   };
 
+  // Virtual-clock plumbing: a controlled (service) job reads and advances
+  // its own clock; a classic job reads and advances the engine's.
+  double now() const noexcept {
+    return ctx_.control ? ctx_.vclock : eng_.sim_clock_;
+  }
+  void advance(double dt) noexcept {
+    if (ctx_.control) {
+      ctx_.vclock += dt;
+    } else {
+      eng_.sim_clock_ += dt;
+    }
+  }
+  void set_now(double t) noexcept {
+    if (ctx_.control) {
+      ctx_.vclock = t;
+    } else {
+      eng_.sim_clock_ = t;
+    }
+  }
+  /// Abort (via the standard JobAbortedError path) when the job was
+  /// cancelled or its virtual deadline passed. Called at stage boundaries.
+  void check_interrupt() const;
+
   void run_stage(std::size_t s);
   void execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a);
   void commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a);
@@ -426,7 +455,7 @@ class JobRunner {
 
 JobResult JobRunner::run() {
   const auto job_t0 = Clock::now();
-  const double job_sim_start = eng_.sim_clock_;
+  const double job_sim_start = now();
   job_metrics_.job_id = ctx_.job_id;
   job_metrics_.name = ctx_.name;
 
@@ -438,7 +467,7 @@ JobResult JobRunner::run() {
     release_job_shuffles();
     job_metrics_.failed = true;
     job_metrics_.error = e.what();
-    job_metrics_.sim_time_s = eng_.sim_clock_ - job_sim_start;
+    job_metrics_.sim_time_s = now() - job_sim_start;
     job_metrics_.wall_time_s = seconds_since(job_t0);
     eng_.metrics_.add_job(std::move(job_metrics_));
     throw;
@@ -451,7 +480,7 @@ JobResult JobRunner::run() {
 
   ctx_.result.job_id = ctx_.job_id;
   ctx_.result.name = ctx_.name;
-  ctx_.result.sim_time_s = eng_.sim_clock_ - job_sim_start;
+  ctx_.result.sim_time_s = now() - job_sim_start;
   ctx_.result.wall_time_s = seconds_since(job_t0);
   ctx_.result.stage_ids = job_metrics_.stage_ids;
   ctx_.result.stage_attempts = job_metrics_.stage_attempts;
@@ -466,12 +495,25 @@ JobResult JobRunner::run() {
   return std::move(ctx_.result);
 }
 
+void JobRunner::check_interrupt() const {
+  const JobControl* ctl = ctx_.control;
+  if (ctl == nullptr) return;
+  if (ctl->cancel != nullptr && ctl->cancel->load(std::memory_order_acquire)) {
+    throw JobAbortedError("job '" + ctx_.name + "' cancelled");
+  }
+  if (ctl->deadline >= 0.0 && ctx_.vclock > ctl->deadline) {
+    throw JobAbortedError("job '" + ctx_.name + "' missed virtual deadline (" +
+                          std::to_string(ctl->deadline) + "s)");
+  }
+}
+
 void JobRunner::run_stage(std::size_t s) {
+  check_interrupt();
   const StagePlan& plan = ctx_.plan.stages[s];
   const auto stage_t0 = Clock::now();
 
   StageMetrics sm;
-  sm.stage_id = eng_.next_stage_id_++;
+  sm.stage_id = eng_.next_stage_id_.fetch_add(1, std::memory_order_relaxed);
   sm.job_id = ctx_.job_id;
   sm.signature = plan.signature;
   sm.name = plan.name;
@@ -509,6 +551,20 @@ void JobRunner::run_stage(std::size_t s) {
       continue;
     }
     break;
+  }
+
+  // Service mode: before the stage's simulated window is charged, obtain an
+  // exclusive cluster window from the slot ledger. Concurrent jobs contend
+  // here — the grant may start later than this job's own clock (another
+  // job's stage ran meanwhile), which is exactly the queueing delay a busy
+  // shared cluster imposes. A job running alone is always granted
+  // back-to-back windows, reproducing the classic timings bit-for-bit.
+  if (ctx_.control != nullptr) {
+    check_interrupt();
+    if (ctx_.control->arbiter != nullptr) {
+      ctx_.vclock = ctx_.control->arbiter->acquire(ctx_.control->token,
+                                                   ctx_.vclock, a.makespan);
+    }
   }
 
   commit_attempt(s, sm, a);
@@ -1031,14 +1087,14 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
     sm.shuffle_read_bytes += tw.shuffle_read_remote + tw.shuffle_read_local;
   }
   sm.shuffle_write_bytes = a.stage_shuffle_write;
-  sm.sim_start_s = eng_.sim_clock_;
+  sm.sim_start_s = now();
   sm.sim_time_s = a.makespan;
 
   // ---- timeline samples ---------------------------------------------------
   // Byte-valued samples are rescaled to the modeled system's volume, like
   // the pricing above, so Fig. 12/13 read in paper-scale terms.
   if (eng_.options_.record_timeline) {
-    const double t0 = eng_.sim_clock_;
+    const double t0 = now();
     for (const auto& tm : sm.tasks) {
       eng_.timeline_.add_cpu_busy(t0 + tm.sim_start, t0 + tm.sim_end);
       if (tm.shuffle_read_remote > 0) {
@@ -1057,7 +1113,7 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
             rescale));
   }
 
-  eng_.sim_clock_ += a.makespan;
+  advance(a.makespan);
 
   // ---- result action -------------------------------------------------------
   if (plan.is_result) {
@@ -1115,7 +1171,7 @@ void JobRunner::process_barrier_failures(std::size_t stage_global_id) {
   for (std::size_t i = 0; i < sched.failures.size(); ++i) {
     auto& fs = eng_.failure_state_[i];
     if (fs.fired && !fs.rejoined && fs.rejoin_at >= 0.0 &&
-        eng_.sim_clock_ >= fs.rejoin_at) {
+        now() >= fs.rejoin_at) {
       fs.rejoined = true;
       const std::size_t n = sched.failures[i].node;
       if (n < eng_.cluster_.num_nodes()) eng_.node_alive_[n] = 1;
@@ -1127,8 +1183,8 @@ void JobRunner::process_barrier_failures(std::size_t stage_global_id) {
     const bool stage_hit =
         f.at_stage_id >= 0 &&
         static_cast<std::size_t>(f.at_stage_id) <= stage_global_id;
-    const bool time_hit = f.at_sim_time >= 0.0 && eng_.sim_clock_ >= f.at_sim_time;
-    if (stage_hit || time_hit) fire_failure(i, eng_.sim_clock_);
+    const bool time_hit = f.at_sim_time >= 0.0 && now() >= f.at_sim_time;
+    if (stage_hit || time_hit) fire_failure(i, now());
   }
 }
 
@@ -1166,7 +1222,7 @@ bool JobRunner::stage_depends_on_node(std::size_t s, std::size_t node) const {
 bool JobRunner::scan_window_failures(std::size_t s, StageMetrics& sm,
                                      double makespan) {
   const auto& sched = eng_.options_.failure_schedule;
-  const double attempt_start = eng_.sim_clock_;
+  const double attempt_start = now();
   const double window_end = attempt_start + makespan;
   constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -1192,7 +1248,7 @@ bool JobRunner::scan_window_failures(std::size_t s, StageMetrics& sm,
     if (affects) {
       // Fetch failure / executor loss mid-stage: the attempt dies at the
       // failure instant; everything it ran so far is wasted sim time.
-      eng_.sim_clock_ = best_t;
+      set_now(best_t);
       sm.recovery_time_s += best_t - attempt_start;
       return true;
     }
@@ -1357,7 +1413,7 @@ void JobRunner::price_recovery(const std::vector<std::size_t>& nodes,
     slot_free[n].assign(eng_.cluster_.node(n).cores, 0.0);
   }
   double makespan = 0.0;
-  const double t0 = eng_.sim_clock_;
+  const double t0 = now();
   for (std::size_t i = 0; i < works.size(); ++i) {
     const double d =
         price_task(works[i], 0.0, nodes[i], 1.0, nullptr, nullptr);
@@ -1371,7 +1427,7 @@ void JobRunner::price_recovery(const std::vector<std::size_t>& nodes,
       eng_.timeline_.add_cpu_busy(t0 + start, t0 + end);
     }
   }
-  eng_.sim_clock_ += makespan;
+  advance(makespan);
   sm.recovery_time_s += makespan;
 }
 
@@ -1474,6 +1530,8 @@ void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
     throw JobAbortedError("recovery job failed to rematerialize '" +
                           anchor->label() + "'");
   }
+  // Recovery sub-jobs always run on the engine clock (failure schedules are
+  // a single-job-mode feature; the service rejects engines that enable one).
   sm.recovery_time_s += eng_.sim_clock_ - sim_before;
   for (const std::size_t m : missing) {
     if (m < ncd->partitions.size()) {
@@ -1488,13 +1546,23 @@ void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
 // ---------------------------------------------------------------------------
 
 JobResult Engine::run_job(const DatasetPtr& root, bool collect_records,
-                          std::string job_name) {
+                          std::string job_name, const JobControl* control) {
   JobContext ctx;
-  ctx.plan = build_job_plan(root, block_manager_, plan_provider_.get(),
-                            &inserted_repartitions_);
-  ctx.job_id = next_job_id_++;
+  {
+    // Plan building reads/extends the shared repartition-insertion memo;
+    // concurrent service submissions serialize here.
+    std::lock_guard lock(plan_mu_);
+    ctx.plan = build_job_plan(root, block_manager_, plan_provider_.get(),
+                              &inserted_repartitions_);
+  }
+  constexpr auto kNoId = static_cast<std::size_t>(-1);
+  ctx.job_id = (control != nullptr && control->job_id != kNoId)
+                   ? control->job_id
+                   : next_job_id_.fetch_add(1, std::memory_order_relaxed);
   ctx.name = std::move(job_name);
   ctx.collect_records = collect_records;
+  ctx.control = control;
+  ctx.vclock = control != nullptr ? control->start_time : 0.0;
   ctx.rt.resize(ctx.plan.stages.size());
   JobRunner runner(*this, ctx);
   return runner.run();

@@ -11,7 +11,8 @@ std::size_t ShuffleManager::next_id() {
 
 void ShuffleManager::put(ShuffleOutput out) {
   std::lock_guard lock(mu_);
-  outputs_[out.shuffle_id] = std::move(out);
+  const std::size_t id = out.shuffle_id;
+  outputs_[id] = std::make_unique<ShuffleOutput>(std::move(out));
 }
 
 const ShuffleOutput& ShuffleManager::get(std::size_t shuffle_id) const {
@@ -21,7 +22,7 @@ const ShuffleOutput& ShuffleManager::get(std::size_t shuffle_id) const {
     throw std::runtime_error("ShuffleManager: unknown shuffle id " +
                              std::to_string(shuffle_id));
   }
-  return it->second;
+  return *it->second;
 }
 
 ShuffleOutput& ShuffleManager::get_mutable(std::size_t shuffle_id) {
@@ -31,7 +32,7 @@ ShuffleOutput& ShuffleManager::get_mutable(std::size_t shuffle_id) {
     throw std::runtime_error("ShuffleManager: unknown shuffle id " +
                              std::to_string(shuffle_id));
   }
-  return it->second;
+  return *it->second;
 }
 
 bool ShuffleManager::contains(std::size_t shuffle_id) const {
@@ -47,7 +48,8 @@ void ShuffleManager::remove(std::size_t shuffle_id) {
 LossReport ShuffleManager::invalidate_node(std::size_t node) {
   std::lock_guard lock(mu_);
   LossReport report;
-  for (auto& [id, so] : outputs_) {
+  for (auto& [id, out] : outputs_) {
+    ShuffleOutput& so = *out;
     if (so.lost.size() != so.num_map_tasks) {
       so.lost.assign(so.num_map_tasks, 0);
     }

@@ -60,6 +60,9 @@ class ShuffleManager {
   /// Look up a stored shuffle. get_mutable is used by consuming stages:
   /// tasks move records out of their own bucket column (column p belongs
   /// exclusively to reduce task p, so no locking is needed across tasks).
+  /// References stay valid until that shuffle is removed — outputs are
+  /// heap-allocated, so concurrent put() calls from other jobs never move
+  /// them.
   const ShuffleOutput& get(std::size_t shuffle_id) const;
   ShuffleOutput& get_mutable(std::size_t shuffle_id);
 
@@ -77,7 +80,9 @@ class ShuffleManager {
  private:
   mutable std::mutex mu_;
   std::size_t next_id_ = 1;
-  std::unordered_map<std::size_t, ShuffleOutput> outputs_;
+  /// unique_ptr values: rehashing on insert must not invalidate references
+  /// held by concurrently running jobs (see get/get_mutable).
+  std::unordered_map<std::size_t, std::unique_ptr<ShuffleOutput>> outputs_;
 };
 
 }  // namespace chopper::engine

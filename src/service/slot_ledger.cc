@@ -1,0 +1,180 @@
+#include "service/slot_ledger.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chopper::service {
+
+const char* to_string(SchedulingMode mode) noexcept {
+  return mode == SchedulingMode::kFifo ? "fifo" : "fair";
+}
+
+SlotLedger::SlotLedger(SchedulingMode mode,
+                       std::map<std::string, PoolConfig> pools)
+    : mode_(mode), pool_config_(std::move(pools)) {
+  pool_config_.try_emplace("default");
+  for (const auto& [name, cfg] : pool_config_) {
+    if (cfg.weight <= 0.0) {
+      throw std::invalid_argument("SlotLedger: pool '" + name +
+                                  "' must have positive weight");
+    }
+    pool_granted_.emplace(name, 0.0);
+  }
+}
+
+std::size_t SlotLedger::register_job(const std::string& pool, int priority,
+                                     std::size_t seq) {
+  std::lock_guard lock(mu_);
+  pool_config_.try_emplace(pool);
+  pool_granted_.try_emplace(pool, 0.0);
+  const std::size_t token = next_token_++;
+  JobRec rec;
+  rec.pool = pool;
+  rec.priority = priority;
+  rec.seq = seq;
+  jobs_.emplace(token, std::move(rec));
+  // The new job counts as "executing" until its first acquire(), so no
+  // grant can be issued before its demand is on the table.
+  return token;
+}
+
+std::optional<std::size_t> SlotLedger::retire(
+    std::size_t token, const std::optional<AdmitSpec>& admit) {
+  std::lock_guard lock(mu_);
+  jobs_.erase(token);
+  std::optional<std::size_t> next;
+  if (admit) {
+    pool_config_.try_emplace(admit->pool);
+    pool_granted_.try_emplace(admit->pool, 0.0);
+    const std::size_t t = next_token_++;
+    JobRec rec;
+    rec.pool = admit->pool;
+    rec.priority = admit->priority;
+    rec.seq = admit->seq;
+    jobs_.emplace(t, std::move(rec));
+    next = t;
+  }
+  // The retirement may have completed the "everyone is parked" condition
+  // for the remaining jobs. (A just-admitted replacement blocks grants
+  // again until it makes its first request — deliberately, so admission
+  // order relative to grants never depends on host thread timing.)
+  maybe_grant();
+  return next;
+}
+
+double SlotLedger::acquire(std::size_t token, double earliest,
+                           double duration) {
+  std::unique_lock lock(mu_);
+  const auto it = jobs_.find(token);
+  if (it == jobs_.end()) {
+    throw std::logic_error("SlotLedger::acquire: unknown token");
+  }
+  JobRec& j = it->second;
+  j.waiting = true;
+  j.granted = false;
+  j.earliest = earliest;
+  j.duration = duration;
+  maybe_grant();
+  cv_.wait(lock, [&j] { return j.granted; });
+  j.granted = false;
+  return j.grant_start;
+}
+
+void SlotLedger::maybe_grant() {
+  if (jobs_.empty()) return;
+  for (const auto& [t, j] : jobs_) {
+    if (!j.waiting) return;  // someone is still executing: demand unknown
+  }
+  const std::size_t chosen = pick();
+  JobRec& j = jobs_.at(chosen);
+  j.waiting = false;
+  j.granted = true;
+  j.grant_start = std::max(now_, j.earliest);
+  now_ = j.grant_start + j.duration;
+  j.granted_s += j.duration;
+  pool_granted_[j.pool] += j.duration;
+  log_.push_back({chosen, j.pool, j.grant_start, j.duration});
+  cv_.notify_all();
+}
+
+std::size_t SlotLedger::pick() const {
+  // Within-pool (and whole-queue, under FIFO) order: highest priority
+  // first, then submission order.
+  const auto fifo_before = [](const JobRec& a, const JobRec& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq < b.seq;
+  };
+
+  if (mode_ == SchedulingMode::kFifo) {
+    const std::pair<const std::size_t, JobRec>* best = nullptr;
+    for (const auto& entry : jobs_) {
+      if (best == nullptr || fifo_before(entry.second, best->second)) {
+        best = &entry;
+      }
+    }
+    return best->first;
+  }
+
+  // FAIR: pick the pool first, then FIFO within it. Pools under their
+  // min_share fraction of all granted time are served before weighted
+  // sharing kicks in (Spark's FairSchedulingAlgorithm).
+  double total_granted = 0.0;
+  for (const auto& [pool, granted] : pool_granted_) total_granted += granted;
+
+  const std::string* best_pool = nullptr;
+  bool best_needy = false;
+  double best_key = 0.0;
+  for (const auto& [token, j] : jobs_) {
+    const PoolConfig& cfg = pool_config_.at(j.pool);
+    const double granted = pool_granted_.at(j.pool);
+    const bool needy =
+        cfg.min_share > 0.0 && granted < cfg.min_share * total_granted;
+    const double key =
+        needy ? granted / cfg.min_share : granted / cfg.weight;
+    const bool better =
+        best_pool == nullptr ||
+        (needy != best_needy ? needy : key < best_key) ||
+        (needy == best_needy && key == best_key && j.pool < *best_pool);
+    if (better) {
+      best_pool = &j.pool;
+      best_needy = needy;
+      best_key = key;
+    }
+  }
+
+  const std::pair<const std::size_t, JobRec>* best = nullptr;
+  for (const auto& entry : jobs_) {
+    if (entry.second.pool != *best_pool) continue;
+    if (best == nullptr || fifo_before(entry.second, best->second)) {
+      best = &entry;
+    }
+  }
+  return best->first;
+}
+
+double SlotLedger::now() const {
+  std::lock_guard lock(mu_);
+  return now_;
+}
+
+std::map<std::string, SlotLedger::PoolStats> SlotLedger::pool_stats() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, PoolStats> out;
+  for (const auto& [name, cfg] : pool_config_) {
+    out[name] = {cfg.weight, cfg.min_share, pool_granted_.at(name)};
+  }
+  return out;
+}
+
+double SlotLedger::job_granted_s(std::size_t token) const {
+  std::lock_guard lock(mu_);
+  const auto it = jobs_.find(token);
+  return it == jobs_.end() ? 0.0 : it->second.granted_s;
+}
+
+std::vector<GrantEvent> SlotLedger::grant_log() const {
+  std::lock_guard lock(mu_);
+  return log_;
+}
+
+}  // namespace chopper::service

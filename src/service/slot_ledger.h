@@ -1,0 +1,141 @@
+// SlotLedger: arbitrates the simulated cluster's time between concurrent
+// jobs (the service-side implementation of engine::VirtualTimeArbiter).
+//
+// Model. The cluster's simulated slots are granted to one stage at a time:
+// a job that finished executing a stage for real presents the stage's
+// simulated makespan and is granted an exclusive window [start, start + d)
+// of global virtual time. Windows never overlap, so N concurrent jobs
+// genuinely contend — each sees queueing delay whenever another job's
+// stage window was scheduled first. A job running alone is granted
+// back-to-back windows and reproduces the classic single-job timings
+// exactly.
+//
+// Determinism. Grants follow a discrete-event rule: a window is handed out
+// only when *every* registered job is parked in acquire() (jobs still
+// executing a stage for real, or between register and their first request,
+// block the grant). At that point the full set of competing requests is
+// known and the scheduling policy picks deterministically — FIFO by
+// (priority, submission seq), FAIR by per-pool weighted deficit — so the
+// virtual schedule depends only on the submission order, never on host
+// thread timing. This is what makes N-job stress runs bit-reproducible.
+//
+// Pools (Spark's FIFO/FAIR scheduler pools, spark.scheduler.mode):
+//   * kFifo: one global queue ordered by (priority desc, seq asc); a
+//     submitted job's stages all precede any later submission's.
+//   * kFair: each pool accumulates granted virtual seconds; the next window
+//     goes to the pool with the smallest granted/weight ratio, with pools
+//     still under their min_share fraction served first. Within a pool,
+//     FIFO order applies.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace chopper::service {
+
+enum class SchedulingMode { kFifo, kFair };
+
+const char* to_string(SchedulingMode mode) noexcept;
+
+/// Spark-style pool configuration (spark.scheduler.pool).
+struct PoolConfig {
+  /// Relative share of cluster time under FAIR scheduling (Spark's weight).
+  double weight = 1.0;
+  /// Fraction [0, 1) of granted cluster time this pool is entitled to
+  /// before weighted sharing applies (Spark's minShare, expressed as a
+  /// fraction of cluster time instead of slots).
+  double min_share = 0.0;
+};
+
+/// One granted window, for fairness accounting and tests.
+struct GrantEvent {
+  std::size_t token = 0;
+  std::string pool;
+  double start = 0.0;
+  double duration = 0.0;
+};
+
+class SlotLedger final : public engine::VirtualTimeArbiter {
+ public:
+  SlotLedger(SchedulingMode mode, std::map<std::string, PoolConfig> pools);
+
+  SlotLedger(const SlotLedger&) = delete;
+  SlotLedger& operator=(const SlotLedger&) = delete;
+
+  /// Admit a job into arbitration. The job starts "executing" (it blocks
+  /// all grants until its first acquire), so callers must guarantee the
+  /// job's runner eventually calls acquire() or retire(). Unknown pools
+  /// are created on first use with default PoolConfig.
+  std::size_t register_job(const std::string& pool, int priority,
+                           std::size_t seq);
+
+  /// Remove a finished/aborted job. When `admit` is set, the replacement is
+  /// registered under the same lock, so no grant can slip between the
+  /// retirement and the admission (this keeps multi-run schedules
+  /// deterministic). Returns the replacement's token if admitted.
+  struct AdmitSpec {
+    std::string pool;
+    int priority = 0;
+    std::size_t seq = 0;
+  };
+  std::optional<std::size_t> retire(std::size_t token,
+                                    const std::optional<AdmitSpec>& admit);
+
+  // engine::VirtualTimeArbiter
+  double acquire(std::size_t token, double earliest, double duration) override;
+
+  /// Global virtual frontier (end of the last granted window).
+  double now() const;
+
+  struct PoolStats {
+    double weight = 1.0;
+    double min_share = 0.0;
+    double granted_s = 0.0;  ///< virtual cluster seconds granted so far
+  };
+  std::map<std::string, PoolStats> pool_stats() const;
+
+  /// Virtual seconds granted to one job so far.
+  double job_granted_s(std::size_t token) const;
+
+  /// Full grant history (fairness-ratio analysis in tests and benches).
+  std::vector<GrantEvent> grant_log() const;
+
+ private:
+  struct JobRec {
+    std::string pool;
+    int priority = 0;
+    std::size_t seq = 0;
+    bool waiting = false;      ///< parked in acquire()
+    bool granted = false;      ///< grant issued, waiter not yet woken
+    double earliest = 0.0;
+    double duration = 0.0;
+    double grant_start = 0.0;
+    double granted_s = 0.0;
+  };
+
+  /// Grant the next window if every registered job is parked. Caller holds
+  /// mu_. Notifies all waiters when a grant was issued.
+  void maybe_grant();
+  /// Policy pick among waiting jobs. Caller holds mu_; jobs_ not empty and
+  /// all waiting.
+  std::size_t pick() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const SchedulingMode mode_;
+  std::map<std::string, PoolConfig> pool_config_;
+  std::map<std::string, double> pool_granted_;
+  std::map<std::size_t, JobRec> jobs_;
+  std::size_t next_token_ = 1;
+  double now_ = 0.0;
+  std::vector<GrantEvent> log_;
+};
+
+}  // namespace chopper::service

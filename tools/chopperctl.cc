@@ -15,22 +15,44 @@
 //   chopperctl inspect --db FILE
 //       Summarize a workload DB: observations and stage DAGs.
 //
+//   chopperctl serve --jobs N --mode fair|fifo [--max-concurrent K] [--tiny]
+//       Multi-tenant demo: submit N mixed jobs (small "interactive"-pool
+//       aggregations + heavy "batch"-pool kmeans/sql jobs) concurrently to a
+//       JobServer over one shared engine and print per-job latency, the pool
+//       shares and the grant schedule summary.
+//
 // The cluster and workload presets match the bench harness (the paper's
 // heterogeneous 5-worker cluster, Table-I-proportional inputs).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "chopper/chopper.h"
 #include "common/logging.h"
 #include "harness.h"
+#include "service/job_server.h"
 
 using namespace chopper;
 
 namespace {
+
+/// Bad flag value: main prints the usage block naming the offending flag
+/// and exits 2 (instead of std::stod's raw std::invalid_argument crash).
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: chopperctl profile|plan|run|inspect|serve [--flags]\n"
+               "see the header of tools/chopperctl.cc for details\n");
+}
 
 struct Args {
   std::string command;
@@ -43,7 +65,25 @@ struct Args {
   bool has(const std::string& key) const { return flags.count(key) > 0; }
   double get_double(const std::string& key, double fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stod(it->second);
+    if (it == flags.end()) return fallback;
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(it->second, &pos);
+      if (pos != it->second.size()) {
+        throw std::invalid_argument("trailing characters");
+      }
+      return v;
+    } catch (const std::exception&) {
+      throw UsageError("invalid number for --" + key + ": '" + it->second +
+                       "'");
+    }
+  }
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    const double v = get_double(key, static_cast<double>(fallback));
+    if (v < 0.0 || v != static_cast<double>(static_cast<std::size_t>(v))) {
+      throw UsageError("invalid count for --" + key + ": '" + get(key) + "'");
+    }
+    return static_cast<std::size_t>(v);
   }
 };
 
@@ -178,6 +218,7 @@ int cmd_run(const Args& args) {
     std::fprintf(stderr, "unknown --workload (kmeans|pca|sql)\n");
     return 2;
   }
+  const double scale = args.get_double("scale", 1.0);
   engine::EngineOptions opts = bench::vanilla_options();
   if (args.has("speculation")) opts.speculation.enabled = true;
   if (args.has("aqe")) {
@@ -196,7 +237,7 @@ int cmd_run(const Args& args) {
     std::printf("running %s vanilla (default parallelism %zu)\n",
                 wl->name().c_str(), opts.default_parallelism);
   }
-  wl->run(eng, args.get_double("scale", 1.0));
+  wl->run(eng, scale);
   print_stages(eng);
   return 0;
 }
@@ -224,15 +265,95 @@ int cmd_inspect(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  const std::size_t jobs = args.get_size("jobs", 8);
+  const std::size_t max_concurrent = args.get_size("max-concurrent", 4);
+  const std::string mode_s = args.get("mode", "fifo");
+  if (mode_s != "fifo" && mode_s != "fair") {
+    throw UsageError("invalid --mode '" + mode_s + "' (fifo|fair)");
+  }
+  const bool tiny = args.has("tiny");
+
+  engine::Engine eng(bench::bench_cluster(), bench::vanilla_options());
+
+  service::JobServerOptions sopts;
+  sopts.mode = mode_s == "fair" ? service::SchedulingMode::kFair
+                                : service::SchedulingMode::kFifo;
+  sopts.max_concurrent_jobs = max_concurrent;
+  sopts.max_queued_jobs = jobs + 1;
+  sopts.pools["interactive"] = {/*weight=*/2.0, /*min_share=*/0.2};
+  sopts.pools["batch"] = {/*weight=*/1.0, /*min_share=*/0.0};
+  service::JobServer server(eng, sopts);
+
+  std::printf("serving %zu jobs, mode=%s, %zu concurrent slots\n", jobs,
+              service::to_string(sopts.mode), max_concurrent);
+
+  std::vector<service::JobHandle> handles;
+  std::vector<std::string> names;
+  std::vector<std::string> pools;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    service::SubmitOptions o;
+    engine::DatasetPtr ds;
+    // 1:2 mix of heavy batch jobs and small interactive queries (all small
+    // under --tiny, for CI smoke runs).
+    if (!tiny && i % 3 == 0) {
+      ds = bench::service_sql_like_job(i);
+      o.name = "sql-" + std::to_string(i);
+      o.pool = "batch";
+    } else if (!tiny && i % 3 == 1) {
+      ds = bench::service_kmeans_like_job(i);
+      o.name = "kmeans-" + std::to_string(i);
+      o.pool = "batch";
+    } else {
+      ds = bench::service_small_job(i);
+      o.name = "agg-" + std::to_string(i);
+      o.pool = "interactive";
+    }
+    names.push_back(o.name);
+    pools.push_back(o.pool);
+    handles.push_back(server.submit(ds, o));
+  }
+  server.wait_all();
+
+  bench::Table table({"job", "pool", "state", "submit", "admit", "finish",
+                      "service(s)", "latency(s)"});
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    auto& h = handles[i];
+    const auto st = h.stats();
+    makespan = std::max(makespan, st.finish_vtime);
+    try {
+      h.wait();
+    } catch (const engine::JobAbortedError&) {
+    }
+    table.add_row({names[i], pools[i], service::to_string(h.status()),
+                   bench::Table::num(st.submit_vtime, 1),
+                   bench::Table::num(st.admit_vtime, 1),
+                   bench::Table::num(st.finish_vtime, 1),
+                   bench::Table::num(st.service_s, 1),
+                   bench::Table::num(st.latency_s(), 1)});
+  }
+  table.print();
+
+  bench::Table ptable({"pool", "weight", "min_share", "granted(s)"});
+  for (const auto& [name, ps] : server.pool_stats()) {
+    ptable.add_row({name, bench::Table::num(ps.weight, 1),
+                    bench::Table::num(ps.min_share, 2),
+                    bench::Table::num(ps.granted_s, 1)});
+  }
+  ptable.print();
+  std::printf("virtual makespan: %.1fs over %zu grants\n", makespan,
+              server.grant_log().size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   common::set_log_level(common::LogLevel::kInfo);
   const auto args = parse(argc, argv);
   if (!args) {
-    std::fprintf(stderr,
-                 "usage: chopperctl profile|plan|run|inspect [--flags]\n"
-                 "see the header of tools/chopperctl.cc for details\n");
+    print_usage(stderr);
     return 2;
   }
   try {
@@ -240,6 +361,11 @@ int main(int argc, char** argv) {
     if (args->command == "plan") return cmd_plan(*args);
     if (args->command == "run") return cmd_run(*args);
     if (args->command == "inspect") return cmd_inspect(*args);
+    if (args->command == "serve") return cmd_serve(*args);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    print_usage(stderr);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
