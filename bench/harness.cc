@@ -15,8 +15,8 @@ namespace {
 constexpr double kDataScale = 1.0 / 500.0;
 }  // namespace
 
-engine::ClusterSpec bench_cluster() {
-  return engine::ClusterSpec::paper_heterogeneous(1.0);
+engine::ClusterSpec bench_cluster(double memory_scale) {
+  return engine::ClusterSpec::paper_heterogeneous(memory_scale);
 }
 
 engine::EngineOptions vanilla_options() {

@@ -26,7 +26,9 @@
 namespace chopper::bench {
 
 /// Paper cluster with executor memory scaled to the bench input scale.
-engine::ClusterSpec bench_cluster();
+/// `memory_scale` < 1 shrinks every worker's executor memory (the
+/// memory-pressure knob of bench/memory_pressure and chopperctl --mem-scale).
+engine::ClusterSpec bench_cluster(double memory_scale = 1.0);
 
 /// Vanilla engine options: default parallelism 300, deterministic timeline.
 engine::EngineOptions vanilla_options();

@@ -12,6 +12,9 @@ common::KvConfig plan_to_config(const std::vector<PlannedStage>& plan) {
     cfg.set_int(prefix + ".partitions",
                 static_cast<std::int64_t>(ps.num_partitions));
     if (ps.insert_repartition) cfg.set_int(prefix + ".repartition", 1);
+    if (ps.p_min > 0) {
+      cfg.set_int(prefix + ".p_min", static_cast<std::int64_t>(ps.p_min));
+    }
   }
   return cfg;
 }
@@ -33,6 +36,8 @@ ParsedPlan parse_plan_config(const common::KvConfig& config) {
       out.schemes[sig].num_partitions = std::stoull(value);
     } else if (field == "repartition") {
       out.insert_repartition[sig] = value == "1";
+    } else if (field == "p_min") {
+      out.p_min[sig] = std::stoull(value);
     } else {
       throw std::runtime_error("plan config: unknown field: " + key);
     }
@@ -71,6 +76,12 @@ bool ConfigPlanProvider::wants_repartition(std::uint64_t signature) const {
   std::lock_guard lock(mu_);
   const auto it = plan_.insert_repartition.find(signature);
   return it != plan_.insert_repartition.end() && it->second;
+}
+
+std::size_t ConfigPlanProvider::p_min_for(std::uint64_t signature) const {
+  std::lock_guard lock(mu_);
+  const auto it = plan_.p_min.find(signature);
+  return it != plan_.p_min.end() ? it->second : 0;
 }
 
 void ConfigPlanProvider::update(const common::KvConfig& config) {

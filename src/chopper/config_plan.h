@@ -6,6 +6,7 @@
 //   stage.<signature>.partitioner = hash | range
 //   stage.<signature>.partitions  = 210
 //   stage.<signature>.repartition = 1        (optional: insert repartition)
+//   stage.<signature>.p_min       = 120      (optional: memory floor)
 //
 // ConfigPlanProvider supports dynamic updates: replacing the config or
 // reloading it from a file takes effect the next time the scheduler asks —
@@ -34,6 +35,8 @@ common::KvConfig plan_to_config(const std::vector<PlannedStage>& plan);
 struct ParsedPlan {
   std::unordered_map<std::uint64_t, engine::PartitionScheme> schemes;
   std::unordered_map<std::uint64_t, bool> insert_repartition;
+  /// Memory-feasibility floor per signature (absent == unconstrained).
+  std::unordered_map<std::uint64_t, std::size_t> p_min;
 };
 ParsedPlan parse_plan_config(const common::KvConfig& config);
 
@@ -55,6 +58,9 @@ class ConfigPlanProvider final : public engine::PlanProvider {
   /// True when the plan asks for an explicit repartition before this stage
   /// (workload builders consult this when constructing their DAG).
   bool wants_repartition(std::uint64_t signature) const;
+
+  /// The plan's memory-feasibility floor for this stage (0: none recorded).
+  std::size_t p_min_for(std::uint64_t signature) const;
 
   /// Replace the whole plan (dynamic update).
   void update(const common::KvConfig& config);

@@ -78,12 +78,23 @@ Optimizer::StageChoice Optimizer::get_stage_par(const std::string& workload,
     space.max_partitions = std::max(space.max_partitions, space.min_partitions);
   }
 
+  // Memory feasibility dominates every other clamp: searching below the
+  // floor would reproduce a proven OOM, so the floor may push the search
+  // past the observed grid (a mild extrapolation beats an infeasible plan).
+  const std::size_t p_min =
+      db_.min_feasible_partitions(workload, signature, stage_input_bytes);
+  if (p_min > 0) {
+    space.min_partitions = std::max(space.min_partitions, p_min);
+    space.max_partitions = std::max(space.max_partitions, space.min_partitions);
+  }
+
   const MinParResult r = get_min_par(*r_model, stage_input_bytes,
                                      options_.weights, base, space);
   const MinParResult h = get_min_par(*h_model, stage_input_bytes,
                                      options_.weights, base, space);
 
   StageChoice choice;
+  choice.p_min = p_min;
   // Prefer hash on ties (and when the range model has no training data at
   // all: an untrained flat model would otherwise win spuriously).
   const bool range_wins =
@@ -115,6 +126,7 @@ std::vector<PlannedStage> Optimizer::get_workload_par(
     ps.num_partitions = c.num_partitions;
     ps.cost = c.cost;
     ps.fixed = s.fixed_partitions || s.user_fixed;
+    ps.p_min = c.p_min;
     plan.push_back(std::move(ps));
   }
   return plan;
@@ -156,6 +168,7 @@ std::vector<PlannedStage> Optimizer::get_global_par(
   std::vector<PlannedStage> plan;
   const auto groups = regroup_dag(workload);
   int group_id = 0;
+  std::unordered_map<std::uint64_t, std::size_t> pmin_by_sig;
 
   for (const auto& group : groups) {
     // --- pick the group's scheme ------------------------------------------
@@ -170,6 +183,7 @@ std::vector<PlannedStage> Optimizer::get_global_par(
       kind = c.partitioner;
       num_partitions = c.num_partitions;
       chosen_cost = c.cost;
+      pmin_by_sig[group[0]] = c.p_min;
     } else {
       // getSubGraphPar: each member's individually-optimal scheme is a
       // candidate; the group adopts the candidate with the lowest total
@@ -179,11 +193,14 @@ std::vector<PlannedStage> Optimizer::get_global_par(
         std::size_t p;
       };
       std::vector<Candidate> candidates;
+      std::size_t group_p_min = 0;
       for (const auto sig : group) {
         const double d =
             db_.stage_input_estimate(workload, sig, workload_input_bytes);
         const StageChoice c = get_stage_par(workload, sig, d);
         candidates.push_back({c.partitioner, c.num_partitions});
+        pmin_by_sig[sig] = c.p_min;
+        group_p_min = std::max(group_p_min, c.p_min);
       }
       bool first = true;
       double best_total = 0.0;
@@ -204,6 +221,9 @@ std::vector<PlannedStage> Optimizer::get_global_par(
         }
       }
       chosen_cost = best_total;
+      // A shared scheme must satisfy every member's feasibility floor —
+      // a candidate that fits its own stage can still OOM a sibling.
+      num_partitions = std::max(num_partitions, group_p_min);
     }
 
     // --- emit one PlannedStage per member, honoring fixed stages -----------
@@ -216,6 +236,7 @@ std::vector<PlannedStage> Optimizer::get_global_par(
       ps.signature = sig;
       ps.name = st.name;
       ps.group = group.size() > 1 ? group_id : -1;
+      ps.p_min = pmin_by_sig.count(sig) ? pmin_by_sig.at(sig) : 0;
 
       const bool is_fixed = st.fixed_partitions || st.user_fixed;
       if (is_fixed) {

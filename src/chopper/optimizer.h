@@ -45,6 +45,10 @@ struct PlannedStage {
   /// Subgraph id when the stage was co-partitioned with others (Algorithm 3);
   /// stages sharing an id share a scheme. -1 for singletons.
   int group = -1;
+  /// Memory-feasibility floor derived from recorded OOMs (0: unconstrained).
+  /// num_partitions is already >= p_min; the floor is carried so deployed
+  /// configs document why a count was raised past the cost optimum.
+  std::size_t p_min = 0;
 };
 
 class Optimizer {
@@ -56,6 +60,8 @@ class Optimizer {
     engine::PartitionerKind partitioner = engine::PartitionerKind::kHash;
     std::size_t num_partitions = 0;
     double cost = 0.0;
+    /// Memory-feasibility floor applied to the search (0: unconstrained).
+    std::size_t p_min = 0;
   };
 
   /// Algorithm 1. `stage_input_bytes` is D for the stage.

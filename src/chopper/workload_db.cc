@@ -1,6 +1,7 @@
 #include "chopper/workload_db.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -17,6 +18,10 @@ engine::PartitionerKind kind_from_string(const std::string& s) {
 }  // namespace
 
 void WorkloadDb::add(Observation o) { observations_.push_back(std::move(o)); }
+
+void WorkloadDb::add_oom(OomRecord r) {
+  oom_records_.push_back(std::move(r));
+}
 
 void WorkloadDb::add_structure(const std::string& workload, StageStructure s) {
   const auto key = std::make_pair(workload, s.signature);
@@ -178,6 +183,26 @@ std::pair<double, double> WorkloadDb::observed_input_range(
   return {lo, hi};
 }
 
+std::size_t WorkloadDb::min_feasible_partitions(const std::string& workload,
+                                                std::uint64_t signature,
+                                                double stage_input_bytes) const {
+  // The tightest proven-infeasible per-task slice: the smallest D_o / P_o
+  // among recorded OOMs of this stage. (Smaller slices than observed ones
+  // may still fit; larger ones certainly do not.)
+  double bad_slice = 0.0;
+  for (const auto& r : oom_records_) {
+    if (r.workload != workload || r.signature != signature) continue;
+    if (r.num_partitions <= 0.0 || r.stage_input_bytes <= 0.0) continue;
+    const double slice = r.stage_input_bytes / r.num_partitions;
+    if (bad_slice == 0.0 || slice < bad_slice) bad_slice = slice;
+  }
+  if (bad_slice == 0.0 || stage_input_bytes <= 0.0) return 0;
+  // Smallest P with D / P strictly below the infeasible slice.
+  return static_cast<std::size_t>(
+             std::floor(stage_input_bytes / bad_slice)) +
+         1;
+}
+
 std::vector<StageStructure> WorkloadDb::dag(const std::string& workload) const {
   std::vector<StageStructure> out;
   for (const auto& [key, s] : structures_) {
@@ -211,6 +236,8 @@ std::size_t WorkloadDb::prune(const std::string& workload) {
   const auto before = observations_.size();
   std::erase_if(observations_,
                 [&](const Observation& o) { return o.workload == workload; });
+  std::erase_if(oom_records_,
+                [&](const OomRecord& r) { return r.workload == workload; });
   std::erase_if(structures_, [&](const auto& kv) {
     return kv.first.first == workload;
   });
@@ -221,6 +248,7 @@ std::size_t WorkloadDb::prune(const std::string& workload) {
 
 void WorkloadDb::merge(const WorkloadDb& other) {
   for (const auto& o : other.observations_) add(o);
+  for (const auto& r : other.oom_records_) add_oom(r);
   for (const auto& [key, st] : other.structures_) {
     add_structure(key.first, st);
   }
@@ -236,6 +264,10 @@ void WorkloadDb::save(const std::string& path) const {
        << "\t" << o.stage_input_bytes << "\t" << o.num_partitions << "\t"
        << o.t_exe_s << "\t" << o.shuffle_bytes << "\t" << (o.is_default ? 1 : 0)
        << "\n";
+  }
+  for (const auto& r : oom_records_) {
+    os << "oom\t" << r.workload << "\t" << r.signature << "\t"
+       << r.stage_input_bytes << "\t" << r.num_partitions << "\n";
   }
   for (const auto& [key, s] : structures_) {
     os << "stage\t" << key.first << "\t" << s.signature << "\t" << s.name
@@ -290,6 +322,13 @@ WorkloadDb WorkloadDb::load(const std::string& path, double ridge_lambda,
       o.shuffle_bytes = std::stod(next_field(ls));
       o.is_default = next_field(ls) == "1";
       db.add(std::move(o));
+    } else if (tag == "oom") {
+      OomRecord r;
+      r.workload = next_field(ls);
+      r.signature = std::stoull(next_field(ls));
+      r.stage_input_bytes = std::stod(next_field(ls));
+      r.num_partitions = std::stod(next_field(ls));
+      db.add_oom(std::move(r));
     } else if (tag == "stage") {
       StageStructure s;
       const std::string workload = next_field(ls);

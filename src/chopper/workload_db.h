@@ -58,6 +58,17 @@ struct StageStructure {
   }
 };
 
+/// One observed out-of-memory attempt: stage `signature` with input D ran at
+/// P partitions and a task working set blew the per-task budget. Records the
+/// *failed* configuration — the memory-feasibility floor is derived from
+/// these (DESIGN.md §11).
+struct OomRecord {
+  std::string workload;
+  std::uint64_t signature = 0;
+  double stage_input_bytes = 0.0;  ///< stage input D at the failed attempt
+  double num_partitions = 0.0;     ///< partition count P that OOMed
+};
+
 class WorkloadDb {
  public:
   explicit WorkloadDb(double ridge_lambda = 1e-3)
@@ -65,6 +76,7 @@ class WorkloadDb {
 
   // -- ingestion ------------------------------------------------------------
   void add(Observation o);
+  void add_oom(OomRecord r);
   void add_structure(const std::string& workload, StageStructure s);
 
   // -- queries ---------------------------------------------------------------
@@ -108,6 +120,19 @@ class WorkloadDb {
   std::pair<double, double> observed_input_range(const std::string& workload,
                                                  std::uint64_t signature) const;
 
+  /// Memory-feasibility floor for the stage at input size `stage_input_bytes`
+  /// derived from recorded OOMs: each OOM at (D_o, P_o) proves a per-task
+  /// slice of D_o / P_o does not fit, so any plan must keep D / P strictly
+  /// below the smallest infeasible slice. Returns 0 when no OOM was ever
+  /// recorded (no constraint).
+  std::size_t min_feasible_partitions(const std::string& workload,
+                                      std::uint64_t signature,
+                                      double stage_input_bytes) const;
+
+  const std::vector<OomRecord>& oom_records() const noexcept {
+    return oom_records_;
+  }
+
   /// The workload's stage DAG in first-seen order.
   std::vector<StageStructure> dag(const std::string& workload) const;
   std::optional<StageStructure> structure(const std::string& workload,
@@ -147,6 +172,7 @@ class WorkloadDb {
 
   double ridge_lambda_;
   std::vector<Observation> observations_;
+  std::vector<OomRecord> oom_records_;
   std::map<std::pair<std::string, std::uint64_t>, StageStructure> structures_;
   std::map<ModelKey, ModelEntry> models_;
   std::size_t next_order_ = 0;

@@ -1,5 +1,7 @@
 #include "engine/block_manager.h"
 
+#include <algorithm>
+
 namespace chopper::engine {
 
 void BlockManager::put(std::size_t dataset_id, CachedDataset data) {
@@ -7,7 +9,11 @@ void BlockManager::put(std::size_t dataset_id, CachedDataset data) {
   if (data.available.size() != data.partitions.size()) {
     data.available.assign(data.partitions.size(), 1);
   }
-  cache_[dataset_id] = std::make_unique<CachedDataset>(std::move(data));
+  auto& e = cache_[dataset_id];
+  e.data = std::make_shared<CachedDataset>(std::move(data));
+  e.last_access = ++tick_;
+  e.pins = 0;
+  enforce_locked();
 }
 
 bool BlockManager::contains(std::size_t dataset_id) const {
@@ -15,16 +21,52 @@ bool BlockManager::contains(std::size_t dataset_id) const {
   return cache_.count(dataset_id) > 0;
 }
 
+void BlockManager::touch_locked(std::size_t dataset_id) const {
+  const auto it = cache_.find(dataset_id);
+  if (it != cache_.end()) {
+    const_cast<Entry&>(it->second).last_access = ++tick_;
+  }
+}
+
 const CachedDataset* BlockManager::get(std::size_t dataset_id) const {
   std::lock_guard lock(mu_);
   const auto it = cache_.find(dataset_id);
-  return it == cache_.end() ? nullptr : it->second.get();
+  if (it == cache_.end()) return nullptr;
+  touch_locked(dataset_id);
+  return it->second.data.get();
 }
 
 CachedDataset* BlockManager::get_mutable(std::size_t dataset_id) {
   std::lock_guard lock(mu_);
   const auto it = cache_.find(dataset_id);
-  return it == cache_.end() ? nullptr : it->second.get();
+  if (it == cache_.end()) return nullptr;
+  touch_locked(dataset_id);
+  return it->second.data.get();
+}
+
+BlockManager::Pin BlockManager::pin(std::size_t dataset_id) {
+  std::lock_guard lock(mu_);
+  const auto it = cache_.find(dataset_id);
+  if (it == cache_.end()) return {};
+  touch_locked(dataset_id);
+  ++it->second.pins;
+  std::shared_ptr<CachedDataset> keep = it->second.data;
+  Pin p;
+  // Aliasing handle: keeps the object alive past remove/clear and, via the
+  // deleter, releases the eviction-blocking pin count when dropped. The
+  // `data == keep` identity check guards against an id being removed and
+  // re-put while the pin was live.
+  p.data_ = std::shared_ptr<const CachedDataset>(
+      keep.get(), [this, dataset_id, keep](const CachedDataset*) mutable {
+        std::lock_guard inner(mu_);
+        const auto it2 = cache_.find(dataset_id);
+        if (it2 != cache_.end() && it2->second.data == keep &&
+            it2->second.pins > 0) {
+          --it2->second.pins;
+        }
+        keep.reset();
+      });
+  return p;
 }
 
 void BlockManager::remove(std::size_t dataset_id) {
@@ -40,7 +82,8 @@ void BlockManager::clear() {
 LossReport BlockManager::invalidate_node(std::size_t node) {
   std::lock_guard lock(mu_);
   LossReport report;
-  for (auto& [id, data] : cache_) {
+  for (auto& [id, entry] : cache_) {
+    CachedDataset* data = entry.data.get();
     for (std::size_t p = 0; p < data->partitions.size(); ++p) {
       if (data->placement[p] != node || !data->available[p]) continue;
       const std::uint64_t b = data->partitions[p].bytes();
@@ -54,10 +97,77 @@ LossReport BlockManager::invalidate_node(std::size_t node) {
   return report;
 }
 
+void BlockManager::configure_budget(
+    std::vector<std::uint64_t> per_node_capacity, MemoryLedger* ledger,
+    double ledger_scale) {
+  std::lock_guard lock(mu_);
+  capacity_ = std::move(per_node_capacity);
+  ledger_ = ledger;
+  ledger_scale_ = ledger_scale;
+}
+
+std::uint64_t BlockManager::used_locked(std::size_t node) const {
+  std::uint64_t b = 0;
+  for (const auto& [id, entry] : cache_) {
+    const CachedDataset& d = *entry.data;
+    for (std::size_t p = 0; p < d.partitions.size(); ++p) {
+      if (d.placement[p] == node && d.available[p]) {
+        b += d.partitions[p].bytes();
+      }
+    }
+  }
+  return b;
+}
+
+std::uint64_t BlockManager::used_bytes(std::size_t node) const {
+  std::lock_guard lock(mu_);
+  return used_locked(node);
+}
+
+void BlockManager::enforce_locked() {
+  if (capacity_.empty()) return;
+  // Deterministic LRU order: oldest access first, dataset id breaking ties.
+  std::vector<std::pair<std::uint64_t, std::size_t>> order;
+  order.reserve(cache_.size());
+  for (const auto& [id, entry] : cache_) {
+    order.emplace_back(entry.last_access, id);
+  }
+  std::sort(order.begin(), order.end());
+
+  for (std::size_t node = 0; node < capacity_.size(); ++node) {
+    std::uint64_t used = used_locked(node);
+    if (used <= capacity_[node]) continue;
+    for (const auto& [tick, id] : order) {
+      if (used <= capacity_[node]) break;
+      Entry& entry = cache_.at(id);
+      if (entry.pins > 0) continue;  // a reader holds this dataset
+      CachedDataset& d = *entry.data;
+      for (std::size_t p = 0; p < d.partitions.size(); ++p) {
+        if (d.placement[p] != node || !d.available[p]) continue;
+        const std::uint64_t b = d.partitions[p].bytes();
+        d.bytes -= b;
+        d.partitions[p] = Partition();
+        d.available[p] = 0;  // recomputable: lineage recovery heals on demand
+        used -= std::min(used, b);
+        if (ledger_ != nullptr) {
+          ledger_->add_evict(node, static_cast<std::uint64_t>(
+                                       static_cast<double>(b) * ledger_scale_));
+        }
+        if (used <= capacity_[node]) break;
+      }
+    }
+  }
+}
+
+void BlockManager::enforce_budget() {
+  std::lock_guard lock(mu_);
+  enforce_locked();
+}
+
 std::uint64_t BlockManager::total_bytes() const {
   std::lock_guard lock(mu_);
   std::uint64_t b = 0;
-  for (const auto& [id, data] : cache_) b += data->bytes;
+  for (const auto& [id, entry] : cache_) b += entry.data->bytes;
   return b;
 }
 

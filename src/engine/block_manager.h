@@ -7,6 +7,15 @@
 // a node dies, `invalidate_node` drops the partitions it held and marks them
 // unavailable; `lineage` keeps the cached dataset's DAG node alive so the
 // scheduler can recompute exactly the lost partitions (see scheduler.cc).
+//
+// Memory budget (DESIGN.md §11): configure_budget arms a per-node capacity
+// (the storage tier of MemoryLimits). put() and enforce_budget() LRU-evict
+// partitions of *unpinned* datasets from over-budget nodes; evicted
+// partitions look exactly like failure-lost ones (available[p] == 0, empty
+// partition) and are healed by the same lineage recovery. Readers must hold
+// a Pin across their use of a dataset: get() returns a raw pointer that a
+// concurrent eviction/remove may free, so it is only safe for short,
+// same-thread inspection — pin() is the lifetime-safe accessor.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,7 @@
 #include <vector>
 
 #include "engine/fault.h"
+#include "engine/metrics.h"
 #include "engine/partition.h"
 #include "engine/partitioner.h"
 
@@ -27,9 +37,10 @@ class Dataset;
 struct CachedDataset {
   std::vector<Partition> partitions;
   std::vector<std::size_t> placement;        ///< node index per partition
-  /// available[p] == 0: partition p was on a node that died and must be
-  /// recomputed from lineage before it can be read. Sized like `partitions`
-  /// (put() initializes it to all-available when left empty).
+  /// available[p] == 0: partition p was on a node that died (or was evicted
+  /// under memory pressure) and must be recomputed from lineage before it
+  /// can be read. Sized like `partitions` (put() initializes it to
+  /// all-available when left empty).
   std::vector<char> available;
   std::shared_ptr<Partitioner> partitioner;  ///< may be null (no known scheme)
   /// The dataset node this materialization snapshots. Owning: keeps the
@@ -54,12 +65,34 @@ struct CachedDataset {
 
 class BlockManager {
  public:
+  /// RAII read handle. While alive: the CachedDataset object stays valid
+  /// (even across remove/clear) and the eviction policy will not touch the
+  /// dataset's partitions. Default-constructed pins are empty.
+  class Pin {
+   public:
+    Pin() = default;
+    const CachedDataset* get() const noexcept { return data_.get(); }
+    const CachedDataset* operator->() const noexcept { return data_.get(); }
+    const CachedDataset& operator*() const noexcept { return *data_; }
+    explicit operator bool() const noexcept { return data_ != nullptr; }
+    void reset() noexcept { data_.reset(); }
+
+   private:
+    friend class BlockManager;
+    std::shared_ptr<const CachedDataset> data_;
+  };
+
   void put(std::size_t dataset_id, CachedDataset data);
   bool contains(std::size_t dataset_id) const;
-  /// Returns nullptr when absent. The pointer stays valid until remove/clear.
+  /// Returns nullptr when absent. Lifetime footgun: the pointer is freed by
+  /// remove/clear and — under an armed budget — by a concurrent eviction
+  /// scan; use pin() whenever the dataset outlives the calling statement.
   const CachedDataset* get(std::size_t dataset_id) const;
-  /// Mutable access for block recovery (scheduler-internal).
+  /// Mutable access for block recovery (scheduler-internal; the scheduler
+  /// pins the dataset for the duration of the stage that heals/reads it).
   CachedDataset* get_mutable(std::size_t dataset_id);
+  /// Lifetime-safe accessor: empty Pin when absent.
+  Pin pin(std::size_t dataset_id);
   void remove(std::size_t dataset_id);
   void clear();
 
@@ -67,12 +100,50 @@ class BlockManager {
   /// unavailable. Returns what was destroyed.
   LossReport invalidate_node(std::size_t node);
 
+  /// Arm the per-node storage budget (raw bytes, i.e. node memory already
+  /// scaled down by CostModel::data_scale). Evictions are reported to
+  /// `ledger` with bytes multiplied by `ledger_scale` (back to modeled).
+  void configure_budget(std::vector<std::uint64_t> per_node_capacity,
+                        MemoryLedger* ledger, double ledger_scale);
+  /// Evict (oldest-access first, skipping pinned datasets) until every node
+  /// fits its budget — or nothing evictable remains. No-op when no budget
+  /// is armed. put() calls this automatically; recovery calls it after
+  /// healing blocks re-inflates a node.
+  void enforce_budget();
+
+  /// Resident cached bytes currently placed on `node` (raw bytes).
+  std::uint64_t used_bytes(std::size_t node) const;
+
+  /// Scoped lock over every CachedDataset's bookkeeping fields
+  /// (partitions/available/placement/bytes). Concurrent service jobs heal
+  /// evicted blocks while the eviction scan reads the same fields, so the
+  /// scheduler takes this around any access to those fields on a dataset
+  /// other jobs may share. Do not call other BlockManager methods while
+  /// holding it.
+  std::unique_lock<std::mutex> guard() const {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+
   std::uint64_t total_bytes() const;
   std::size_t count() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<CachedDataset> data;
+    std::uint64_t last_access = 0;  ///< LRU clock tick
+    std::size_t pins = 0;           ///< live Pin handles
+  };
+
+  void enforce_locked();
+  std::uint64_t used_locked(std::size_t node) const;
+  void touch_locked(std::size_t dataset_id) const;
+
   mutable std::mutex mu_;
-  std::unordered_map<std::size_t, std::unique_ptr<CachedDataset>> cache_;
+  mutable std::uint64_t tick_ = 0;
+  std::unordered_map<std::size_t, Entry> cache_;
+  std::vector<std::uint64_t> capacity_;  ///< empty: no budget armed
+  MemoryLedger* ledger_ = nullptr;
+  double ledger_scale_ = 1.0;
 };
 
 }  // namespace chopper::engine

@@ -34,6 +34,29 @@ Engine::Engine(ClusterSpec cluster, EngineOptions options)
     threads = std::max<std::size_t>(2, std::thread::hardware_concurrency());
   }
   pool_ = std::make_unique<common::ThreadPool>(threads);
+
+  mem_ledger_.init(cluster_.num_nodes());
+  if (options_.memory.enforce) {
+    // Budgets are enforced in *raw* (host-side) bytes: node memory, which is
+    // modeled-scale, is converted down by data_scale; the managers report
+    // events to the ledger scaled back up so all telemetry reads in modeled
+    // bytes (comparable to NodeSpec::memory_bytes).
+    const double ds = options_.cost_model.data_scale;
+    const double report_scale = 1.0 / ds;
+    std::vector<std::uint64_t> cache_cap(cluster_.num_nodes());
+    std::vector<std::uint64_t> shuffle_cap(cluster_.num_nodes());
+    for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+      const double mem = static_cast<double>(cluster_.node(n).memory_bytes) * ds;
+      cache_cap[n] =
+          static_cast<std::uint64_t>(mem * options_.memory.storage_fraction);
+      shuffle_cap[n] =
+          static_cast<std::uint64_t>(mem * options_.memory.shuffle_fraction);
+    }
+    block_manager_.configure_budget(std::move(cache_cap), &mem_ledger_,
+                                    report_scale);
+    shuffles_.configure_budget(std::move(shuffle_cap), &mem_ledger_,
+                               report_scale);
+  }
   reset_failure_state();
 }
 
@@ -94,6 +117,7 @@ JobPlan Engine::describe_job(const DatasetPtr& ds) const {
 void Engine::reset_metrics() {
   metrics_.clear();
   timeline_.clear();
+  mem_ledger_.clear();
   sim_clock_ = 0.0;
   next_job_id_.store(0);
   next_stage_id_.store(0);

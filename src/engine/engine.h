@@ -66,6 +66,35 @@ struct Speculation {
   double multiplier = 1.5;
 };
 
+/// Enforced per-node memory budgets (DESIGN.md §11). When `enforce` is on,
+/// node memory stops being a purely-synthetic pricing input: the
+/// BlockManager LRU-evicts unpinned cached partitions past the storage
+/// budget (healed on demand via PR-1 lineage recovery), the ShuffleManager
+/// spills map-output rows past the shuffle budget to a simulated disk tier,
+/// and a task whose working set exceeds the per-slot budget times
+/// `hard_ceiling` kills its stage attempt with an OOM. After
+/// `oom_repartition_after` consecutive OOMed attempts the scheduler retries
+/// the stage with `P' = ceil(P * growth_factor)` partitions — degraded but
+/// alive instead of dead. All byte comparisons happen in modeled bytes
+/// (raw bytes / CostModel::data_scale) against NodeSpec::memory_bytes.
+struct MemoryLimits {
+  bool enforce = false;
+  /// OOM when a task's modeled working set exceeds
+  /// (memory_bytes / cores) * hard_ceiling. The spill penalty starts at
+  /// spill_fraction of the same per-slot budget, so spill < ceiling models
+  /// the "slow then dead" progression of a real executor.
+  double hard_ceiling = 1.0;
+  /// Fraction of node memory available to cached blocks (storage tier).
+  double storage_fraction = 0.5;
+  /// Fraction of node memory available to in-memory shuffle rows.
+  double shuffle_fraction = 0.3;
+  /// Consecutive OOMed attempts of one stage before the scheduler grows the
+  /// stage's partition count instead of retrying at the same P.
+  std::size_t oom_repartition_after = 2;
+  /// Partition growth on adaptive repartition: P' = ceil(P * growth_factor).
+  double growth_factor = 1.5;
+};
+
 struct EngineOptions {
   /// Default number of partitions when neither the operator nor the active
   /// partition plan specifies one (spark.default.parallelism). The paper's
@@ -80,6 +109,10 @@ struct EngineOptions {
   FaultInjection faults;
   /// Whole-node failures with real data loss + lineage recovery (fault.h).
   FailureSchedule failure_schedule;
+  /// Enforced memory budgets: eviction, spill-to-disk, OOM (DESIGN.md §11).
+  MemoryLimits memory;
+  /// Deterministic task-OOM injection (fault.h), orthogonal to `memory`.
+  OomSchedule oom_schedule;
   Speculation speculation;
 };
 
@@ -98,6 +131,12 @@ struct JobResult {
   std::uint64_t lost_bytes = 0;       ///< data destroyed by node failures
   std::uint64_t recomputed_bytes = 0; ///< bytes regenerated by replay
   double recovery_time_s = 0.0;       ///< sim seconds spent recovering
+
+  // Memory telemetry (mirrors the JobMetrics row; modeled bytes).
+  std::size_t oom_count = 0;          ///< stage attempts killed by OOM
+  std::uint64_t evicted_bytes = 0;    ///< cached bytes LRU-evicted
+  std::uint64_t spilled_bytes = 0;    ///< bytes pushed to the disk tier
+  std::uint64_t peak_resident_bytes = 0;  ///< max per-node resident estimate
 };
 
 /// A job aborted (injected-fault retry budget exhausted, stage-attempt bound
@@ -107,6 +146,16 @@ struct JobResult {
 class JobAbortedError : public std::runtime_error {
  public:
   explicit JobAbortedError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A stage exhausted its attempt budget with every attempt killed by an
+/// out-of-memory task (enforced MemoryLimits ceiling or injected
+/// OomSchedule) even after adaptive repartition. Derives from
+/// JobAbortedError so every existing abort/cleanup path (shuffle release,
+/// failed JobMetrics row, JobServer error propagation) applies unchanged.
+class TaskOomError : public JobAbortedError {
+ public:
+  explicit TaskOomError(const std::string& what) : JobAbortedError(what) {}
 };
 
 /// Arbitrates the simulated cluster's time between concurrently running jobs
@@ -182,6 +231,9 @@ class Engine {
   ResourceTimeline& timeline() noexcept { return timeline_; }
   BlockManager& block_manager() noexcept { return block_manager_; }
   const ShuffleManager& shuffle_manager() const noexcept { return shuffles_; }
+  /// Per-node memory event counters (evictions, spills, OOMs, resident
+  /// peaks) for the current run; cleared by reset_metrics().
+  const MemoryLedger& memory_ledger() const noexcept { return mem_ledger_; }
 
   /// Is node n currently alive (failure schedule may have killed it)?
   bool node_alive(std::size_t n) const { return node_alive_.at(n) != 0; }
@@ -228,6 +280,7 @@ class Engine {
   std::unique_ptr<common::ThreadPool> pool_;
   ShuffleManager shuffles_;
   BlockManager block_manager_;
+  MemoryLedger mem_ledger_;
   MetricsRegistry metrics_;
   ResourceTimeline timeline_;
   std::shared_ptr<PlanProvider> plan_provider_;

@@ -58,4 +58,25 @@ struct FailureSchedule {
   bool enabled() const noexcept { return !failures.empty(); }
 };
 
+/// One injected task OOM: the stage with global id `stage_id` fails its
+/// first `attempts` executions with a TaskOomError attributed to task
+/// `task` (clamped to the stage's partition count). Injection is independent
+/// of EngineOptions::MemoryLimits — it deterministically exercises the
+/// OOM-retry / adaptive-repartition path without having to engineer real
+/// memory pressure.
+struct OomInjection {
+  std::size_t stage_id = 0;  ///< global stage id (StageMetrics::stage_id)
+  std::size_t attempts = 1;  ///< number of leading attempts that OOM
+  std::size_t task = 0;      ///< victim task index (clamped)
+};
+
+/// Deterministic OOM fault injector, sibling of FailureSchedule. A non-empty
+/// schedule (like an enforced memory budget) switches the engine into
+/// retained-shuffle execution so stage attempts can be retried.
+struct OomSchedule {
+  std::vector<OomInjection> ooms;
+
+  bool enabled() const noexcept { return !ooms.empty(); }
+};
+
 }  // namespace chopper::engine

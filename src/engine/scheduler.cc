@@ -30,6 +30,8 @@
 // byte-for-byte the classic one.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <functional>
 #include <map>
 #include <stdexcept>
 #include <unordered_map>
@@ -61,6 +63,8 @@ struct TaskWork {
   std::uint64_t local_fetch_bytes = 0;
   std::uint64_t shuffle_read_remote = 0;
   std::uint64_t shuffle_read_local = 0;
+  /// Bytes read back from the disk tier (spilled shuffle rows).
+  std::uint64_t disk_read_bytes = 0;
 };
 
 /// Work-unit weights for engine-internal activities (relative to one
@@ -359,7 +363,10 @@ class JobRunner {
       : eng_(eng),
         ctx_(ctx),
         cm_(eng.options_.cost_model),
-        ft_(eng.options_.failure_schedule.enabled()) {}
+        ft_(eng.options_.failure_schedule.enabled()),
+        mem_(eng.options_.memory.enforce),
+        oom_inj_(eng.options_.oom_schedule.enabled()),
+        retain_(ft_ || mem_ || oom_inj_) {}
 
   JobResult run();
 
@@ -392,7 +399,15 @@ class JobRunner {
     std::vector<const Dataset*> to_cache;
     std::unordered_map<const Dataset*, std::vector<Partition>> cache_snapshots;
     const CachedDataset* cached = nullptr;
+    /// Keeps `cached` alive and eviction-proof for the attempt's duration.
+    BlockManager::Pin cache_pin;
+    /// Per-task working-set spill (modeled bytes past the spill threshold).
+    std::vector<double> spill_modeled;
+    /// Task that OOMed this attempt (kNpos: none). The attempt must then be
+    /// discarded and retried — possibly at a grown partition count.
+    std::size_t oom_task = kNpos;
   };
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
   // Virtual-clock plumbing: a controlled (service) job reads and advances
   // its own clock; a classic job reads and advances the engine's.
@@ -425,8 +440,20 @@ class JobRunner {
                              const std::vector<ShuffleOutput*>& parents,
                              bool consume, TaskWork& tw);
   double price_task(const TaskWork& tw, double extra_units, std::size_t n,
-                    double fetch_share, double* fetch_out,
-                    double* compute_out) const;
+                    double fetch_share, double* fetch_out, double* compute_out,
+                    double* spill_out = nullptr) const;
+
+  // Memory machinery (DESIGN.md §11).
+  /// Scan a priced attempt for the first task to die of OOM (enforced
+  /// ceiling or injected schedule); records it in a.oom_task.
+  void detect_oom(std::size_t s, const StageMetrics& sm, Attempt& a) const;
+  /// Adaptive repartition-on-OOM: retry stage s with P' = ceil(P * growth).
+  /// Shuffle-input stages re-bucket their retained parent map outputs under
+  /// the grown partitioner (charged as recovery time); source stages grow
+  /// their split count. Returns false when the count is pinned (cache input).
+  bool grow_stage_partitions(std::size_t s, StageMetrics& sm);
+  /// Per-node resident-memory bookkeeping for a committed attempt.
+  void note_memory(std::size_t s, StageMetrics& sm, const Attempt& a);
 
   // Failure machinery.
   void process_barrier_failures(std::size_t stage_global_id);
@@ -449,7 +476,13 @@ class JobRunner {
   Engine& eng_;
   Engine::JobContext& ctx_;
   const CostModel& cm_;
-  const bool ft_;
+  const bool ft_;       ///< failure schedule active
+  const bool mem_;      ///< memory budgets enforced
+  const bool oom_inj_;  ///< OOM injection schedule active
+  /// Retained-data mode: shuffle reads copy instead of consume and map
+  /// outputs live until job end. Any configuration that can retry a stage
+  /// attempt (node failures, enforced memory, OOM injection) needs it.
+  const bool retain_;
   JobMetrics job_metrics_;
 };
 
@@ -488,6 +521,10 @@ JobResult JobRunner::run() {
   ctx_.result.lost_bytes = job_metrics_.lost_bytes;
   ctx_.result.recomputed_bytes = job_metrics_.recomputed_bytes;
   ctx_.result.recovery_time_s = job_metrics_.recovery_time_s;
+  ctx_.result.oom_count = job_metrics_.oom_count;
+  ctx_.result.evicted_bytes = job_metrics_.evicted_bytes;
+  ctx_.result.spilled_bytes = job_metrics_.spilled_bytes;
+  ctx_.result.peak_resident_bytes = job_metrics_.peak_resident_bytes;
 
   job_metrics_.sim_time_s = ctx_.result.sim_time_s;
   job_metrics_.wall_time_s = ctx_.result.wall_time_s;
@@ -530,15 +567,45 @@ void JobRunner::run_stage(std::size_t s) {
   const std::size_t max_attempts = std::max<std::size_t>(
       1, eng_.options_.failure_schedule.max_stage_attempts);
 
+  // Ledger totals at stage entry: the deltas at exit attribute evictions and
+  // disk-tier spills (wherever in the engine they fired) to this stage.
+  const std::uint64_t evicted0 = eng_.mem_ledger_.total_evicted();
+  const std::uint64_t spilled0 = eng_.mem_ledger_.total_spilled();
+
   Attempt a;
+  std::size_t consecutive_oom = 0;
   for (std::size_t attempt = 1;; ++attempt) {
     sm.attempt_count = attempt;
-    if (ft_) {
-      process_barrier_failures(sm.stage_id);
-      recover_stage_inputs(s, sm);
-    }
+    if (ft_) process_barrier_failures(sm.stage_id);
+    // Heal evicted cache blocks / lost shuffle rows before (re)executing.
+    if (retain_) recover_stage_inputs(s, sm);
     a = Attempt{};
     execute_attempt(s, sm, a);
+    if (a.oom_task != kNpos) {
+      // The attempt dies at the OOM task's simulated end; everything it ran
+      // until then is wasted cluster time.
+      const double wasted = a.ends[a.oom_task];
+      advance(wasted);
+      sm.recovery_time_s += wasted;
+      ++sm.oom_count;
+      sm.oomed_partition_counts.push_back(ctx_.rt[s].num_tasks);
+      eng_.mem_ledger_.add_oom(ctx_.rt[s].task_node[a.oom_task]);
+      ++consecutive_oom;
+      if (attempt >= max_attempts) {
+        throw TaskOomError(
+            "stage " + plan.name + " exceeded " + std::to_string(max_attempts) +
+            " attempts: task working set out of memory at P=" +
+            std::to_string(ctx_.rt[s].num_tasks));
+      }
+      // Degraded-but-alive: after enough consecutive OOMs, stop retrying at
+      // the same partition count and grow it (smaller per-task footprint).
+      const std::size_t grow_after = std::max<std::size_t>(
+          1, eng_.options_.memory.oom_repartition_after);
+      if (consecutive_oom >= grow_after && grow_stage_partitions(s, sm)) {
+        consecutive_oom = 0;
+      }
+      continue;
+    }
     if (ft_ && scan_window_failures(s, sm, a.makespan)) {
       // The attempt was cut down mid-window by a node this stage depends
       // on; the wasted sim time is already accounted. Retry from the top
@@ -548,6 +615,7 @@ void JobRunner::run_stage(std::size_t s) {
                               std::to_string(max_attempts) +
                               " attempts after node failures");
       }
+      consecutive_oom = 0;
       continue;
     }
     break;
@@ -570,10 +638,23 @@ void JobRunner::run_stage(std::size_t s) {
   commit_attempt(s, sm, a);
   sm.wall_time_s = seconds_since(stage_t0);
 
+  // Memory telemetry: ledger deltas attribute this stage's evictions and
+  // disk-tier spills; settle the storage budget now that the stage's pin on
+  // its cached input (if any) is released.
+  a.cache_pin.reset();
+  if (mem_) eng_.block_manager_.enforce_budget();
+  sm.evicted_bytes += eng_.mem_ledger_.total_evicted() - evicted0;
+  sm.spilled_bytes += eng_.mem_ledger_.total_spilled() - spilled0;
+
   job_metrics_.stage_attempts += sm.attempt_count;
   job_metrics_.recomputed_tasks += sm.recomputed_tasks;
   job_metrics_.recomputed_bytes += sm.recomputed_bytes;
   job_metrics_.recovery_time_s += sm.recovery_time_s;
+  job_metrics_.oom_count += sm.oom_count;
+  job_metrics_.evicted_bytes += sm.evicted_bytes;
+  job_metrics_.spilled_bytes += sm.spilled_bytes;
+  job_metrics_.peak_resident_bytes =
+      std::max(job_metrics_.peak_resident_bytes, sm.peak_resident_bytes);
   eng_.metrics_.add_stage(std::move(sm));
 }
 
@@ -618,6 +699,9 @@ Partition JobRunner::read_stage_input(std::size_t s, std::size_t p,
             ++tw.remote_segments;
             tw.shuffle_read_remote += b;
           }
+          // A spilled row is served from the writer's disk tier: the read
+          // pays disk bandwidth on top of the local/remote transfer.
+          if (b > 0 && so->row_on_disk(m)) tw.disk_read_bytes += b;
           if (consume) {
             side.absorb(std::move(bucket));
           } else {
@@ -666,7 +750,8 @@ Partition JobRunner::read_stage_input(std::size_t s, std::size_t p,
 
 double JobRunner::price_task(const TaskWork& tw, double extra_units,
                              std::size_t n, double fetch_share,
-                             double* fetch_out, double* compute_out) const {
+                             double* fetch_out, double* compute_out,
+                             double* spill_out) const {
   const NodeSpec& node = eng_.cluster_.node(n);
   const double rescale = 1.0 / cm_.data_scale;
 
@@ -677,6 +762,8 @@ double JobRunner::price_task(const TaskWork& tw, double extra_units,
     fetch_s += static_cast<double>(bytes) * rescale / bw;
   }
   fetch_s += cm_.fetch_latency_s * static_cast<double>(tw.remote_segments);
+  // Spilled shuffle rows are re-read from the writer's disk tier.
+  fetch_s += static_cast<double>(tw.disk_read_bytes) * rescale / cm_.disk_bw;
 
   double compute_s =
       (tw.work_units + extra_units) * rescale * cm_.sec_per_work_unit +
@@ -684,12 +771,18 @@ double JobRunner::price_task(const TaskWork& tw, double extra_units,
           cm_.sec_per_byte;
   compute_s /= node.speed;
 
+  // Working set past the per-slot spill threshold: the excess round-trips
+  // through local disk. These are the bytes MemoryLimits accounts as the
+  // task's working-set spill (and, past hard_ceiling, as an OOM).
   const double budget = static_cast<double>(node.memory_bytes) /
                         static_cast<double>(node.cores) * cm_.spill_fraction;
   const double resident =
       static_cast<double>(tw.bytes_in + tw.bytes_out) * rescale;
   if (resident > budget) {
     compute_s += (resident - budget) * cm_.spill_amplification / cm_.disk_bw;
+    if (spill_out) *spill_out = resident - budget;
+  } else if (spill_out) {
+    *spill_out = 0.0;
   }
 
   if (fetch_out) *fetch_out = fetch_s;
@@ -711,12 +804,28 @@ void JobRunner::execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
               .num_partitions;
       break;
     case StageInputKind::kCache:
-      a.cached = eng_.block_manager_.get(plan.anchor->id());
+      // Pin: the dataset must survive (and stay eviction-proof) for the
+      // whole attempt — concurrent jobs or the storage budget may otherwise
+      // free partitions mid-read.
+      a.cache_pin = eng_.block_manager_.pin(plan.anchor->id());
+      a.cached = a.cache_pin.get();
       if (a.cached == nullptr) {
         throw std::logic_error("run_job: cache anchor not materialized: " +
                                plan.anchor->label());
       }
-      rt.num_tasks = a.cached->partitions.size();
+      {
+        // Guard: a concurrent job may be healing this dataset's evicted
+        // blocks; the lock also publishes those heals to our task reads.
+        auto g = eng_.block_manager_.guard();
+        if (retain_ && !a.cached->complete()) {
+          // Recovery just ran and could not keep the blocks resident: the
+          // dataset does not fit the storage budget even freshly healed.
+          throw TaskOomError("cached dataset '" + plan.anchor->label() +
+                             "' cannot be kept resident under the storage "
+                             "budget");
+        }
+        rt.num_tasks = a.cached->partitions.size();
+      }
       break;
     case StageInputKind::kShuffle:
       // The partitioner was built when the first producer wrote; producers
@@ -770,7 +879,7 @@ void JobRunner::execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
   common::parallel_for(*eng_.pool_, rt.num_tasks, [&](std::size_t p) {
     TaskWork& tw = a.work[p];
     Partition part = read_stage_input(s, p, rt.task_node[p], a.cached,
-                                      parent_shuffles, /*consume=*/!ft_, tw);
+                                      parent_shuffles, /*consume=*/!retain_, tw);
 
     // Cache snapshot at the anchor point (before narrow ops).
     if (auto it = a.cache_snapshots.find(plan.anchor);
@@ -959,11 +1068,13 @@ void JobRunner::execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
   a.fetch_portion.assign(rt.num_tasks, 0.0);
   a.compute_portion.assign(rt.num_tasks, 0.0);
   a.attempts.assign(rt.num_tasks, 1);
+  a.spill_modeled.assign(rt.num_tasks, 0.0);
   for (std::size_t p = 0; p < rt.num_tasks; ++p) {
     const std::size_t n = rt.task_node[p];
     double duration =
         price_task(a.work[p], a.extra_work[p], n, node_fetch_share[n],
-                   &a.fetch_portion[p], &a.compute_portion[p]);
+                   &a.fetch_portion[p], &a.compute_portion[p],
+                   &a.spill_modeled[p]);
 
     // Deterministic fault injection: failed attempts burn a fraction of
     // the duration before Spark-style retry.
@@ -1016,6 +1127,195 @@ void JobRunner::execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
     a.ends[p] = *slot + a.durations[p];
     *slot = a.ends[p];
     a.makespan = std::max(a.makespan, a.ends[p]);
+  }
+
+  detect_oom(s, sm, a);
+}
+
+void JobRunner::detect_oom(std::size_t s, const StageMetrics& sm,
+                           Attempt& a) const {
+  const auto& rt = ctx_.rt[s];
+  a.oom_task = kNpos;
+  if (rt.num_tasks == 0) return;
+
+  if (mem_) {
+    // Enforced hard ceiling: a task whose modeled working set exceeds
+    // (node memory / cores) * hard_ceiling dies. The first death (earliest
+    // simulated end) kills the attempt.
+    const double rescale = 1.0 / cm_.data_scale;
+    const double ceiling_mult = eng_.options_.memory.hard_ceiling;
+    for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+      const NodeSpec& node = eng_.cluster_.node(rt.task_node[p]);
+      const double ceiling = static_cast<double>(node.memory_bytes) /
+                             static_cast<double>(node.cores) * ceiling_mult;
+      const double resident =
+          static_cast<double>(a.work[p].bytes_in + a.work[p].bytes_out) *
+          rescale;
+      if (resident > ceiling &&
+          (a.oom_task == kNpos || a.ends[p] < a.ends[a.oom_task])) {
+        a.oom_task = p;
+      }
+    }
+  }
+  if (oom_inj_) {
+    for (const auto& inj : eng_.options_.oom_schedule.ooms) {
+      if (inj.stage_id != sm.stage_id || sm.attempt_count > inj.attempts) {
+        continue;
+      }
+      const std::size_t victim = std::min(inj.task, rt.num_tasks - 1);
+      if (a.oom_task == kNpos || a.ends[victim] < a.ends[a.oom_task]) {
+        a.oom_task = victim;
+      }
+    }
+  }
+}
+
+bool JobRunner::grow_stage_partitions(std::size_t s, StageMetrics& sm) {
+  const StagePlan& plan = ctx_.plan.stages[s];
+  auto& rt = ctx_.rt[s];
+  const double growth = std::max(1.0, eng_.options_.memory.growth_factor);
+  const std::size_t old_p = rt.num_tasks;
+  std::size_t new_p =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(old_p) * growth));
+  if (new_p <= old_p) new_p = old_p + 1;
+
+  switch (plan.input) {
+    case StageInputKind::kCache:
+      // Task count pinned by the materialized blocks: cannot grow. The OOM
+      // loop keeps retrying at the same P and aborts at the attempt bound.
+      return false;
+
+    case StageInputKind::kSource:
+      // More input splits next attempt. Sources are deterministic per
+      // (partition, count), so the regenerated data is simply re-split.
+      if (!rt.scheme) return false;
+      rt.scheme->num_partitions = new_p;
+      rt.num_tasks = new_p;
+      return true;
+
+    case StageInputKind::kShuffle:
+      break;  // handled below
+  }
+
+  // Shuffle input: grow the reduce side. The retained parent map outputs are
+  // re-bucketed in place under a fresh partitioner with P' partitions — the
+  // per-key merge order at the reducers equals the map-task order, which is
+  // unchanged, so results stay bit-identical to an ample-memory run.
+  // Gather every live parent row first (moving the old buckets out).
+  struct RowBuf {
+    ShuffleOutput* so = nullptr;
+    std::size_t m = 0;
+    Partition merged;
+  };
+  std::vector<RowBuf> rows;
+  std::vector<ShuffleOutput*> outs;
+  for (const std::size_t parent : plan.parent_stages) {
+    const auto it = rt.shuffle_from_producer.find(parent);
+    if (it == rt.shuffle_from_producer.end()) continue;
+    ShuffleOutput& so = eng_.shuffles_.get_mutable(it->second);
+    outs.push_back(&so);
+    for (std::size_t m = 0; m < so.num_map_tasks; ++m) {
+      if (!so.lost.empty() && so.lost[m]) continue;  // healed next attempt
+      RowBuf rb;
+      rb.so = &so;
+      rb.m = m;
+      for (auto& bucket : so.buckets[m]) rb.merged.absorb(std::move(bucket));
+      rows.push_back(std::move(rb));
+    }
+  }
+  if (outs.empty()) return false;
+
+  std::vector<std::uint64_t> keys;
+  if (rt.partitioner->kind() == PartitionerKind::kRange) {
+    for (const auto& rb : rows) {
+      if (rb.merged.empty()) continue;
+      const std::size_t stride =
+          std::max<std::size_t>(1, rb.merged.size() / 32);
+      for (std::size_t i = 0; i < rb.merged.size(); i += stride) {
+        keys.push_back(rb.merged.records()[i].key);
+      }
+    }
+  }
+  auto grown =
+      make_partitioner(rt.partitioner->kind(), new_p, std::move(keys));
+
+  std::vector<std::size_t> nodes(rows.size());
+  std::vector<TaskWork> works(rows.size());
+  for (ShuffleOutput* so : outs) {
+    so->partitioner = grown;
+    so->passthrough = false;  // the re-bucketing below is a real shuffle
+    for (auto& row : so->buckets) {
+      row.assign(new_p, Partition());
+    }
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    RowBuf& rb = rows[i];
+    TaskWork& tw = works[i];
+    tw.records_in = rb.merged.size();
+    tw.bytes_in = rb.merged.bytes();
+    nodes[i] = rb.so->map_node[rb.m];
+    replay_bucket_row(*rb.so, rb.m, plan, rb.merged, tw);
+    tw.records_out = tw.records_in;
+    tw.bytes_out = tw.bytes_in;
+  }
+  for (ShuffleOutput* so : outs) {
+    std::uint64_t bytes = 0, nonempty = 0;
+    for (const auto& row : so->buckets) {
+      for (const auto& b : row) {
+        bytes += b.bytes();
+        if (!b.empty()) ++nonempty;
+      }
+    }
+    so->total_bytes = bytes + nonempty * cm_.bucket_header_bytes;
+  }
+
+  rt.partitioner = grown;
+  if (rt.scheme) rt.scheme->num_partitions = new_p;
+  rt.num_tasks = new_p;
+  ctx_.partitioner_cache.emplace(
+      std::make_pair(grown->kind(), new_p), grown);
+
+  // The re-bucketing ran on the map nodes; price it as recovery time.
+  price_recovery(nodes, works, sm);
+  if (mem_) eng_.shuffles_.enforce_budget();  // row footprints changed
+  return true;
+}
+
+void JobRunner::note_memory(std::size_t s, StageMetrics& sm,
+                            const Attempt& a) {
+  const auto& rt = ctx_.rt[s];
+  const double rescale = 1.0 / cm_.data_scale;
+  const std::size_t num_nodes = eng_.cluster_.num_nodes();
+
+  // Task working-set spills (the bytes price_task sent through disk).
+  for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+    if (a.spill_modeled[p] > 0.0) {
+      const auto b = static_cast<std::uint64_t>(a.spill_modeled[p]);
+      // run_stage attributes the ledger delta back to sm.spilled_bytes.
+      eng_.mem_ledger_.add_spill(rt.task_node[p], b);
+    }
+  }
+
+  // Per-node resident peak estimate: cached blocks + in-memory shuffle rows
+  // + the working sets of the tasks that can run concurrently (the largest
+  // `cores` task footprints on the node).
+  std::vector<std::vector<double>> ws(num_nodes);
+  for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+    ws[rt.task_node[p]].push_back(
+        static_cast<double>(a.work[p].bytes_in + a.work[p].bytes_out));
+  }
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    auto& v = ws[n];
+    std::sort(v.begin(), v.end(), std::greater<double>());
+    const std::size_t cores = eng_.cluster_.node(n).cores;
+    double working = 0.0;
+    for (std::size_t i = 0; i < std::min(cores, v.size()); ++i) working += v[i];
+    const double resident_raw =
+        static_cast<double>(eng_.block_manager_.used_bytes(n)) +
+        static_cast<double>(eng_.shuffles_.resident_bytes(n)) + working;
+    const auto modeled = static_cast<std::uint64_t>(resident_raw * rescale);
+    eng_.mem_ledger_.note_resident(n, modeled);
+    sm.peak_resident_bytes = std::max(sm.peak_resident_bytes, modeled);
   }
 }
 
@@ -1090,6 +1390,9 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
   sm.sim_start_s = now();
   sm.sim_time_s = a.makespan;
 
+  // Memory bookkeeping: task spills to the ledger, per-node resident peaks.
+  note_memory(s, sm, a);
+
   // ---- timeline samples ---------------------------------------------------
   // Byte-valued samples are rescaled to the modeled system's volume, like
   // the pricing above, so Fig. 12/13 read in paper-scale terms.
@@ -1129,9 +1432,10 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
   }
 
   // ---- release consumed parent shuffles ------------------------------------
-  // Classic mode only: fault-tolerant jobs keep every shuffle alive until
-  // job end so lineage replay can re-read surviving map outputs.
-  if (!ft_ && plan.input == StageInputKind::kShuffle) {
+  // Classic mode only: retained-data jobs (failure schedule, memory budget,
+  // OOM injection) keep every shuffle alive until job end so lineage replay
+  // and attempt retries can re-read surviving map outputs.
+  if (!retain_ && plan.input == StageInputKind::kShuffle) {
     for (const std::size_t parent : plan.parent_stages) {
       const auto it = rt.shuffle_from_producer.find(parent);
       if (it != rt.shuffle_from_producer.end()) {
@@ -1208,6 +1512,7 @@ bool JobRunner::stage_depends_on_node(std::size_t s, std::size_t node) const {
   } else if (plan.input == StageInputKind::kCache) {
     const CachedDataset* cd = eng_.block_manager_.get(plan.anchor->id());
     if (cd != nullptr) {
+      auto g = eng_.block_manager_.guard();
       for (std::size_t p = 0; p < cd->placement.size(); ++p) {
         if (cd->placement[p] == node &&
             (cd->available.empty() || cd->available[p])) {
@@ -1274,9 +1579,12 @@ void JobRunner::recover_stage_inputs(std::size_t s, StageMetrics& sm) {
     }
   } else if (plan.input == StageInputKind::kCache) {
     CachedDataset* cd = eng_.block_manager_.get_mutable(plan.anchor->id());
-    if (cd != nullptr && !cd->complete()) {
-      recover_cached_blocks(plan.anchor, sm);
+    bool incomplete = false;
+    if (cd != nullptr) {
+      auto g = eng_.block_manager_.guard();
+      incomplete = !cd->complete();
     }
+    if (incomplete) recover_cached_blocks(plan.anchor, sm);
   }
 }
 
@@ -1359,12 +1667,16 @@ void JobRunner::recover_map_tasks(std::size_t producer, StageMetrics& sm) {
       if (!so->lost.empty() && so->lost[m]) {
         so->lost[m] = 0;
         so->map_node[m] = new_node[i];
+        // The replayed row lives in memory on its new home node; any spill
+        // flag belonged to the old (dead) copy.
+        if (!so->on_disk.empty()) so->on_disk[m] = 0;
       }
     }
     sm.recomputed_tasks += 1;
     sm.recomputed_bytes += works[i].bytes_out;
   }
   price_recovery(new_node, works, sm);
+  if (mem_) eng_.shuffles_.enforce_budget();  // replays re-inflate map nodes
 }
 
 void JobRunner::replay_bucket_row(ShuffleOutput& so, std::size_t m,
@@ -1433,9 +1745,15 @@ void JobRunner::price_recovery(const std::vector<std::size_t>& nodes,
 
 void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
   CachedDataset* cd = eng_.block_manager_.get_mutable(anchor->id());
-  if (cd == nullptr || cd->complete()) return;
-  const std::vector<std::size_t> missing = cd->missing();
-  const std::size_t n_parts = cd->partitions.size();
+  if (cd == nullptr) return;
+  std::vector<std::size_t> missing;
+  std::size_t n_parts = 0;
+  {
+    auto g = eng_.block_manager_.guard();
+    if (cd->complete()) return;
+    missing = cd->missing();
+    n_parts = cd->partitions.size();
+  }
 
   // Fine-grained path: the cached node sits on a purely narrow chain above
   // a source or another materialized cache — recompute exactly the lost
@@ -1467,12 +1785,15 @@ void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
   }
 
   if (narrow_ok) {
+    BlockManager::Pin base_pin;
     if (cache_base) {
-      // Heal the base cache first (recursion bottoms out at sources).
+      // Pin first so a concurrent job's eviction scan cannot re-evict the
+      // base while we heal and copy from it, then heal (recursion bottoms
+      // out at sources).
+      base_pin = eng_.block_manager_.pin(base->id());
       recover_cached_blocks(base, sm);
     }
-    const CachedDataset* bcd =
-        cache_base ? eng_.block_manager_.get(base->id()) : nullptr;
+    const CachedDataset* bcd = cache_base ? base_pin.get() : nullptr;
     std::vector<std::size_t> new_node(missing.size());
     for (std::size_t i = 0; i < missing.size(); ++i) {
       new_node[i] = eng_.node_for(missing[i], n_parts);
@@ -1500,14 +1821,20 @@ void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
       tw.bytes_out = part.bytes();
       rebuilt[i] = std::move(part);
     });
-    for (std::size_t i = 0; i < missing.size(); ++i) {
-      const std::size_t m = missing[i];
-      cd->partitions[m] = std::move(rebuilt[i]);
-      cd->available[m] = 1;
-      cd->placement[m] = new_node[i];
-      cd->bytes += cd->partitions[m].bytes();
-      sm.recomputed_tasks += 1;
-      sm.recomputed_bytes += works[i].bytes_out;
+    {
+      auto g = eng_.block_manager_.guard();
+      for (std::size_t i = 0; i < missing.size(); ++i) {
+        const std::size_t m = missing[i];
+        // A concurrent job may have healed this block while we rebuilt it;
+        // the winner's copy is bit-identical, so just discard ours.
+        if (cd->available[m]) continue;
+        cd->partitions[m] = std::move(rebuilt[i]);
+        cd->available[m] = 1;
+        cd->placement[m] = new_node[i];
+        cd->bytes += cd->partitions[m].bytes();
+        sm.recomputed_tasks += 1;
+        sm.recomputed_bytes += works[i].bytes_out;
+      }
     }
     price_recovery(new_node, works, sm);
     return;
@@ -1533,6 +1860,7 @@ void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
   // Recovery sub-jobs always run on the engine clock (failure schedules are
   // a single-job-mode feature; the service rejects engines that enable one).
   sm.recovery_time_s += eng_.sim_clock_ - sim_before;
+  auto g = eng_.block_manager_.guard();
   for (const std::size_t m : missing) {
     if (m < ncd->partitions.size()) {
       sm.recomputed_tasks += 1;

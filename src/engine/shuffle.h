@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "engine/fault.h"
+#include "engine/metrics.h"
 #include "engine/partition.h"
 #include "engine/partitioner.h"
 
@@ -39,6 +40,11 @@ struct ShuffleOutput {
   /// has been dropped and must be recomputed from lineage before any
   /// consumer can read it. Empty vector == nothing lost.
   std::vector<char> lost;
+  /// on_disk[m]: map task m's bucket row was spilled to the node's simulated
+  /// disk tier under memory pressure — the records are still there (reads
+  /// work, at disk bandwidth) but the row no longer counts as resident.
+  /// Empty vector == nothing spilled.
+  std::vector<char> on_disk;
   std::uint64_t total_bytes = 0;  ///< includes per-bucket headers
   bool passthrough = false;       ///< co-partitioned: no real shuffle happened
 
@@ -47,6 +53,15 @@ struct ShuffleOutput {
       if (l) return true;
     }
     return false;
+  }
+  bool row_on_disk(std::size_t m) const noexcept {
+    return !on_disk.empty() && on_disk[m];
+  }
+  /// Record bytes of map row m (no framing headers).
+  std::uint64_t row_bytes(std::size_t m) const noexcept {
+    std::uint64_t b = 0;
+    for (const auto& bucket : buckets[m]) b += bucket.bytes();
+    return b;
   }
 };
 
@@ -75,14 +90,34 @@ class ShuffleManager {
   /// there and mark the task lost. Returns what was destroyed.
   LossReport invalidate_node(std::size_t node);
 
+  /// Arm the per-node in-memory shuffle budget (raw bytes). When a node's
+  /// resident rows exceed it, whole map rows are spilled oldest-shuffle
+  /// first (marked on_disk; data stays readable at disk speed). Spills are
+  /// reported to `ledger` with bytes multiplied by `ledger_scale`.
+  void configure_budget(std::vector<std::uint64_t> per_node_capacity,
+                        MemoryLedger* ledger, double ledger_scale);
+  /// Re-run the spill scan (put() runs it automatically; lineage replay and
+  /// adaptive repartition call it after mutating rows in place).
+  void enforce_budget();
+
+  /// In-memory (non-spilled, non-lost) row bytes on `node` (raw bytes).
+  std::uint64_t resident_bytes(std::size_t node) const;
+  /// Cumulative look at rows currently flagged on_disk on `node` (raw).
+  std::uint64_t spilled_bytes(std::size_t node) const;
+
   std::size_t count() const;
 
  private:
+  void enforce_locked();
+
   mutable std::mutex mu_;
   std::size_t next_id_ = 1;
   /// unique_ptr values: rehashing on insert must not invalidate references
   /// held by concurrently running jobs (see get/get_mutable).
   std::unordered_map<std::size_t, std::unique_ptr<ShuffleOutput>> outputs_;
+  std::vector<std::uint64_t> capacity_;  ///< empty: no budget armed
+  MemoryLedger* ledger_ = nullptr;
+  double ledger_scale_ = 1.0;
 };
 
 }  // namespace chopper::engine

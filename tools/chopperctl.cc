@@ -8,9 +8,12 @@
 //       previously saved DB and print/save the Fig. 6 configuration.
 //
 //   chopperctl run --workload W [--conf FILE] [--scale S] [--speculation]
-//                  [--aqe]
+//                  [--aqe] [--mem-scale M]
 //       Execute the workload — vanilla by default, with a CHOPPER config if
-//       --conf is given — and print the per-stage metrics.
+//       --conf is given — and print the per-stage metrics. --mem-scale M
+//       shrinks every worker's executor memory by M and turns on budget
+//       enforcement (DESIGN.md §11): caches evict, shuffles spill, and
+//       oversized task working sets OOM + retry at a grown partition count.
 //
 //   chopperctl inspect --db FILE
 //       Summarize a workload DB: observations and stage DAGs.
@@ -143,21 +146,50 @@ core::ChopperOptions chopper_options(bool tiny) {
 }
 
 void print_stages(const engine::Engine& eng) {
-  bench::Table table(
-      {"stage", "name", "P", "partitioner", "time(s)", "shuffle(KB)", "skew"});
+  // Only widen the table with memory columns when something happened.
+  std::size_t ooms = 0;
+  std::uint64_t evicted = 0, spilled = 0, peak = 0;
+  for (const auto& s : eng.metrics().stages()) {
+    ooms += s.oom_count;
+    evicted += s.evicted_bytes;
+    spilled += s.spilled_bytes;
+    peak = std::max(peak, s.peak_resident_bytes);
+  }
+  const bool mem = ooms > 0 || evicted > 0 || spilled > 0;
+
+  std::vector<std::string> cols = {"stage",   "name",        "P",   "partitioner",
+                                   "time(s)", "shuffle(KB)", "skew"};
+  if (mem) {
+    cols.insert(cols.end(), {"oom", "evict(KB)", "spill(KB)"});
+  }
+  bench::Table table(cols);
   for (const auto& s : eng.metrics().stages()) {
     std::string name = s.name;
     if (name.size() > 48) name = name.substr(0, 45) + "...";
-    table.add_row({std::to_string(s.stage_id), name,
-                   std::to_string(s.num_partitions),
-                   engine::to_string(s.partitioner),
-                   bench::Table::num(s.sim_time_s, 3),
-                   bench::Table::num(
-                       static_cast<double>(s.shuffle_bytes()) / 1024.0, 1),
-                   bench::Table::num(s.task_skew(), 2)});
+    std::vector<std::string> row = {
+        std::to_string(s.stage_id), name, std::to_string(s.num_partitions),
+        engine::to_string(s.partitioner), bench::Table::num(s.sim_time_s, 3),
+        bench::Table::num(static_cast<double>(s.shuffle_bytes()) / 1024.0, 1),
+        bench::Table::num(s.task_skew(), 2)};
+    if (mem) {
+      row.push_back(std::to_string(s.oom_count));
+      row.push_back(bench::Table::num(
+          static_cast<double>(s.evicted_bytes) / 1024.0, 1));
+      row.push_back(bench::Table::num(
+          static_cast<double>(s.spilled_bytes) / 1024.0, 1));
+    }
+    table.add_row(std::move(row));
   }
   table.print();
   std::printf("total simulated time: %.2fs\n", eng.metrics().total_sim_time());
+  if (mem || peak > 0) {
+    std::printf(
+        "memory: %zu OOM retries, %.1f KB evicted, %.1f KB spilled, peak "
+        "resident %.1f MB\n",
+        ooms, static_cast<double>(evicted) / 1024.0,
+        static_cast<double>(spilled) / 1024.0,
+        static_cast<double>(peak) / 1048576.0);
+  }
 }
 
 int cmd_profile(const Args& args) {
@@ -226,7 +258,18 @@ int cmd_run(const Args& args) {
     opts.adaptive.target_partition_bytes = 24ULL << 20;
     opts.adaptive.min_partitions = 8;
   }
-  engine::Engine eng(bench::bench_cluster(), opts);
+  double mem_scale = 1.0;
+  if (args.has("mem-scale")) {
+    mem_scale = args.get_double("mem-scale", 1.0);
+    if (mem_scale <= 0.0) {
+      throw UsageError("invalid --mem-scale '" + args.get("mem-scale") +
+                       "' (must be > 0)");
+    }
+    opts.memory.enforce = true;
+    std::printf("memory budgets enforced at %.2fx executor memory\n",
+                mem_scale);
+  }
+  engine::Engine eng(bench::bench_cluster(mem_scale), opts);
   if (args.has("conf")) {
     auto provider = std::make_shared<core::ConfigPlanProvider>();
     provider->reload(args.get("conf"), /*tolerant=*/true);
