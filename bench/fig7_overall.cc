@@ -6,7 +6,7 @@
 
 using namespace chopper;
 
-int main() {
+int main(int argc, char** argv) {
   struct Row {
     std::string name;
     double vanilla = 0.0;
@@ -39,5 +39,7 @@ int main() {
                                      1)});
   }
   table.print();
+  const std::string json = bench::json_flag(argc, argv);
+  if (!json.empty() && !table.write_json(json, "fig7_overall")) return 1;
   return 0;
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "common/rng.h"
+#include "obs/jsonl.h"
 
 namespace chopper::bench {
 
@@ -215,6 +217,43 @@ std::string Table::num(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+bool Table::write_json(const std::string& path, const std::string& name) const {
+  std::string out = "{\"bench\":";
+  obs::append_json_quoted(name, out);
+  out += ",\"columns\":[";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += ',';
+    obs::append_json_quoted(columns_[c], out);
+  }
+  out += "],\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out += ',';
+    out += '[';
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) out += ',';
+      obs::append_json_quoted(rows_[r][c], out);
+    }
+    out += ']';
+  }
+  out += "]}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("json table written to %s\n", path.c_str());
+  return true;
+}
+
+std::string json_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
 }
 
 void Table::print() const {

@@ -86,11 +86,20 @@ class Table {
   void add_row(std::vector<std::string> cells);
   void print() const;
 
+  /// Machine-readable dump: {"bench":NAME,"columns":[...],"rows":[[...]]}.
+  /// Returns false (with a stderr note) when the file cannot be written.
+  bool write_json(const std::string& path, const std::string& name) const;
+
   static std::string num(double v, int precision = 2);
 
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Shared `--json PATH` flag for bench binaries: returns the PATH operand
+/// when present (empty string otherwise) so a bench can mirror its printed
+/// table into a BENCH_*.json artifact for CI trend tracking.
+std::string json_flag(int argc, char** argv);
 
 }  // namespace chopper::bench

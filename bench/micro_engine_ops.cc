@@ -2,13 +2,37 @@
 // dispatch, shuffle bucketing with and without map-side combine, and the
 // wide-merge implementations. These guard the substrate's performance so
 // profiling sweeps stay cheap.
+//
+// The custom main() additionally enforces the event-log overhead contract
+// (DESIGN.md §12): with no sink attached, the per-task instrumentation
+// guard must not allocate — checked by counting global operator new calls
+// across 100k disabled-guard evaluations before the benchmarks run.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
 #include <unordered_map>
 
 #include "common/rng.h"
 #include "engine/partition.h"
 #include "engine/partitioner.h"
+#include "obs/event_log.h"
+#include "obs/sinks.h"
+
+namespace {
+std::atomic<std::size_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -89,6 +113,62 @@ void BM_MapSideCombine(benchmark::State& state) {
 }
 BENCHMARK(BM_MapSideCombine)->Arg(10)->Arg(1000)->Arg(100000);
 
+void BM_TraceEmitDisabled(benchmark::State& state) {
+  // The guard every instrumented hot path evaluates per task when no event
+  // log is attached: one relaxed atomic load, no branch taken.
+  obs::EventLog log;
+  std::size_t taken = 0;
+  for (auto _ : state) {
+    if (log.enabled()) ++taken;
+    benchmark::DoNotOptimize(taken);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmitDisabled);
+
+void BM_TraceEmitRing(benchmark::State& state) {
+  // Full emit cost into the bounded in-memory sink (the cheapest enabled
+  // configuration): seq/wall stamping + one striped-ring slot write.
+  obs::EventLog log;
+  log.attach(std::make_shared<obs::RingSink>(4096));
+  for (auto _ : state) {
+    obs::Event e;
+    e.kind = obs::EventKind::kTaskSpan;
+    e.task = 1;
+    e.node = 2;
+    e.t_end = 1.0;
+    log.emit(std::move(e));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmitRing);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Overhead-contract check: 100k disabled-guard evaluations must perform
+  // zero heap allocations (and never take the emit path).
+  {
+    obs::EventLog log;
+    const std::size_t before = g_allocs.load(std::memory_order_relaxed);
+    std::size_t taken = 0;
+    for (int i = 0; i < 100000; ++i) {
+      if (log.enabled()) ++taken;
+      benchmark::DoNotOptimize(taken);
+    }
+    const std::size_t after = g_allocs.load(std::memory_order_relaxed);
+    if (after != before || taken != 0) {
+      std::fprintf(stderr,
+                   "FAIL: disabled event-log guard allocated (%zu allocations "
+                   "across 100000 checks, %zu emits)\n",
+                   after - before, taken);
+      return 1;
+    }
+    std::printf("disabled event-log guard: 100000 checks, 0 allocations\n");
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -150,7 +150,7 @@ double weighted_share_ratio(service::SchedulingMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Multi-tenant service: mode x concurrency -> makespan / latency");
   std::printf("load: 12 jobs (8 heavy batch, 4 small interactive), "
@@ -172,6 +172,8 @@ int main() {
     }
   }
   table.print();
+  const std::string json = bench::json_flag(argc, argv);
+  if (!json.empty() && !table.write_json(json, "service_throughput")) return 1;
   std::printf("\nFAIR bounds the small-pool p99 that FIFO lets heavy batch "
               "jobs inflate.\n");
 

@@ -1,6 +1,7 @@
 #include "chopper/chopper.h"
 
 #include "common/logging.h"
+#include "obs/event_log.h"
 
 namespace chopper::core {
 
@@ -12,7 +13,15 @@ Chopper::Chopper(engine::ClusterSpec cluster, ChopperOptions options)
       optimizer_(db_, options_.optimizer) {}
 
 std::unique_ptr<engine::Engine> Chopper::make_engine() const {
-  return std::make_unique<engine::Engine>(cluster_, options_.engine_options);
+  auto eng = std::make_unique<engine::Engine>(cluster_, options_.engine_options);
+  if (event_log_ != nullptr) eng->set_event_log(event_log_);
+  return eng;
+}
+
+void Chopper::set_event_log(obs::EventLog* log) noexcept {
+  event_log_ = log;
+  collector_.set_event_log(log);
+  optimizer_.set_event_log(log);
 }
 
 double Chopper::profile(const std::string& workload,

@@ -106,12 +106,18 @@ class Chopper {
   /// Engine configured like the profiling engines (for the optimized run).
   std::unique_ptr<engine::Engine> make_engine() const;
 
+  /// Wire a structured event log through the whole pipeline: every engine
+  /// make_engine() creates, the collector (ingest markers) and the optimizer
+  /// (plan decisions). Pass nullptr to detach.
+  void set_event_log(obs::EventLog* log) noexcept;
+
  private:
   engine::ClusterSpec cluster_;
   ChopperOptions options_;
   WorkloadDb db_;
   StatsCollector collector_;
   Optimizer optimizer_;
+  obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace chopper::core

@@ -1,5 +1,7 @@
 #include "chopper/collector.h"
 
+#include "obs/event_log.h"
+
 namespace chopper::core {
 
 double StatsCollector::ingest(const engine::MetricsRegistry& metrics,
@@ -61,6 +63,15 @@ double StatsCollector::ingest(const engine::MetricsRegistry& metrics,
     st.dwd_sum = workload_input_bytes * static_cast<double>(s.input_bytes);
     st.fit_count = 1;
     db_.add_structure(workload, std::move(st));
+  }
+  if (event_log_ != nullptr && event_log_->enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kCollectorIngest;
+    e.name = workload;
+    e.value = workload_input_bytes;
+    e.count = metrics.stages().size();
+    if (is_default) e.flags |= obs::kFlagDefaultRun;
+    event_log_->emit(std::move(e));
   }
   return workload_input_bytes;
 }

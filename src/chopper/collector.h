@@ -8,11 +8,20 @@
 #include "chopper/workload_db.h"
 #include "engine/metrics.h"
 
+namespace chopper::obs {
+class EventLog;
+}
+
 namespace chopper::core {
 
 class StatsCollector {
  public:
   explicit StatsCollector(WorkloadDb& db) : db_(db) {}
+
+  /// Structured event log: every ingest() emits one kCollectorIngest marker
+  /// carrying the resolved workload input bytes, so a HistoryReader can
+  /// re-drive the collector offline run-by-run (nullptr: none).
+  void set_event_log(obs::EventLog* log) noexcept { event_log_ = log; }
 
   /// Ingest every stage of a finished run.
   ///
@@ -28,6 +37,7 @@ class StatsCollector {
 
  private:
   WorkloadDb& db_;
+  obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace chopper::core

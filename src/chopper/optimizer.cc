@@ -5,6 +5,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/event_log.h"
+
 namespace chopper::core {
 
 namespace {
@@ -276,6 +278,24 @@ std::vector<PlannedStage> Optimizer::get_global_par(
       plan.push_back(std::move(ps));
     }
     if (group.size() > 1) ++group_id;
+  }
+  if (event_log_ != nullptr && event_log_->enabled()) {
+    for (const PlannedStage& ps : plan) {
+      obs::Event e;
+      e.kind = obs::EventKind::kPlanDecision;
+      e.signature = ps.signature;
+      e.name = ps.name;
+      e.detail = workload;
+      e.partitioner = static_cast<std::uint64_t>(ps.partitioner);
+      e.num_partitions = ps.num_partitions;
+      e.value = ps.cost;
+      e.value2 = options_.gamma;
+      e.p_min = ps.p_min;
+      e.group = ps.group;
+      if (ps.fixed) e.flags |= obs::kFlagFixed;
+      if (ps.insert_repartition) e.flags |= obs::kFlagRepartition;
+      event_log_->emit(std::move(e));
+    }
   }
   return plan;
 }

@@ -20,6 +20,10 @@
 #include "chopper/cost.h"
 #include "chopper/workload_db.h"
 
+namespace chopper::obs {
+class EventLog;
+}
+
 namespace chopper::core {
 
 struct OptimizerOptions {
@@ -85,6 +89,10 @@ class Optimizer {
 
   const OptimizerOptions& options() const noexcept { return options_; }
 
+  /// Structured event log: get_global_par emits one kPlanDecision per
+  /// planned stage of the deployable plan (nullptr: none).
+  void set_event_log(obs::EventLog* log) noexcept { event_log_ = log; }
+
  private:
   CostBaselines baselines(const std::string& workload,
                           std::uint64_t signature) const;
@@ -93,6 +101,7 @@ class Optimizer {
 
   WorkloadDb& db_;
   OptimizerOptions options_;
+  obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace chopper::core

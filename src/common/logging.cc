@@ -1,7 +1,9 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace chopper::common {
@@ -32,6 +34,35 @@ void set_log_level(LogLevel level) noexcept {
 
 LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+std::optional<LogLevel> parse_log_level(const std::string& s) noexcept {
+  std::string v;
+  v.reserve(s.size());
+  for (const char c : s) {
+    v.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off" || v == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void set_log_level_default(LogLevel fallback) noexcept {
+  const char* env = std::getenv("CHOPPER_LOG_LEVEL");
+  if (env != nullptr && *env != '\0') {
+    if (const auto lvl = parse_log_level(env)) {
+      set_log_level(*lvl);
+      return;
+    }
+    std::fprintf(stderr,
+                 "[WARN ] ignoring invalid CHOPPER_LOG_LEVEL='%s' "
+                 "(debug|info|warn|error|off)\n",
+                 env);
+  }
+  set_log_level(fallback);
 }
 
 namespace detail {

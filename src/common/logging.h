@@ -1,8 +1,11 @@
 // Minimal leveled logger. Thread-safe, writes to stderr.
 // Default level is kWarn so library code stays quiet in tests and benches;
-// examples raise it to kInfo to narrate what the system is doing.
+// examples raise it to kInfo to narrate what the system is doing. The
+// CHOPPER_LOG_LEVEL environment variable (debug|info|warn|error|off)
+// overrides whatever default a binary picks via set_log_level_default.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +15,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive); nullopt on
+/// anything else.
+std::optional<LogLevel> parse_log_level(const std::string& s) noexcept;
+
+/// Set the level a binary wants by default, unless the CHOPPER_LOG_LEVEL
+/// environment variable names a valid level — the environment wins. An
+/// unparseable value falls back to `fallback` (and is reported on stderr).
+void set_log_level_default(LogLevel fallback) noexcept;
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/event_log.h"
+
 namespace chopper::engine {
 
 void BlockManager::put(std::size_t dataset_id, CachedDataset data) {
@@ -152,6 +154,16 @@ void BlockManager::enforce_locked() {
         if (ledger_ != nullptr) {
           ledger_->add_evict(node, static_cast<std::uint64_t>(
                                        static_cast<double>(b) * ledger_scale_));
+        }
+        if (event_log_ != nullptr && event_log_->enabled()) {
+          obs::Event ev;
+          ev.kind = obs::EventKind::kBlockEvict;
+          ev.sim = event_log_->sim_hint();
+          ev.dataset = id;
+          ev.task = p;
+          ev.node = node;
+          ev.bytes = b;
+          event_log_->emit(std::move(ev));
         }
         if (used <= capacity_[node]) break;
       }

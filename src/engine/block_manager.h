@@ -30,6 +30,10 @@
 #include "engine/partition.h"
 #include "engine/partitioner.h"
 
+namespace chopper::obs {
+class EventLog;
+}
+
 namespace chopper::engine {
 
 class Dataset;
@@ -114,6 +118,11 @@ class BlockManager {
   /// Resident cached bytes currently placed on `node` (raw bytes).
   std::uint64_t used_bytes(std::size_t node) const;
 
+  /// Structured event log for kBlockEvict events (nullptr: none). Evictions
+  /// are stamped with the log's sim-time hint (the eviction scan has no
+  /// clock of its own).
+  void set_event_log(obs::EventLog* log) noexcept { event_log_ = log; }
+
   /// Scoped lock over every CachedDataset's bookkeeping fields
   /// (partitions/available/placement/bytes). Concurrent service jobs heal
   /// evicted blocks while the eviction scan reads the same fields, so the
@@ -144,6 +153,7 @@ class BlockManager {
   std::vector<std::uint64_t> capacity_;  ///< empty: no budget armed
   MemoryLedger* ledger_ = nullptr;
   double ledger_scale_ = 1.0;
+  obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace chopper::engine

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/event_log.h"
+
 namespace chopper::engine {
 
 Engine::Engine(ClusterSpec cluster, EngineOptions options)
@@ -127,5 +129,23 @@ void Engine::reset_metrics() {
 }
 
 void Engine::uncache_all() { block_manager_.clear(); }
+
+void Engine::set_event_log(obs::EventLog* log) {
+  event_log_ = log;
+  block_manager_.set_event_log(log);
+  shuffles_.set_event_log(log);
+  if (log != nullptr && log->enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kClusterInfo;
+    e.sim = sim_clock_;
+    e.name = "cluster";
+    e.count = cluster_.num_nodes();
+    for (const NodeSpec& n : cluster_.nodes()) {
+      e.list.push_back(n.cores);
+      e.list2.push_back(n.memory_bytes);
+    }
+    log->emit(std::move(e));
+  }
+}
 
 }  // namespace chopper::engine

@@ -30,6 +30,10 @@
 #include "engine/plan.h"
 #include "engine/shuffle.h"
 
+namespace chopper::obs {
+class EventLog;
+}
+
 namespace chopper::engine {
 
 /// Spark-3-AQE-style runtime partition coalescing: when no plan provider
@@ -242,6 +246,15 @@ class Engine {
   /// Current simulated time (advances as jobs run).
   double sim_now() const noexcept { return sim_clock_; }
 
+  /// Attach a structured event log (obs/event_log.h); nullptr detaches. The
+  /// engine and its shuffle/block managers emit lifecycle events through it;
+  /// with no log (or no sink attached to it) the instrumentation is a single
+  /// relaxed-atomic check per site. Not owned — the log must outlive the
+  /// engine or be detached first. Emits a kClusterInfo event describing the
+  /// cluster when a non-null, enabled log is attached.
+  void set_event_log(obs::EventLog* log);
+  obs::EventLog* event_log() const noexcept { return event_log_; }
+
   /// Node index a partition p of a P-partition stage is placed on:
   /// deterministic, interleaved proportional to node slot counts. Dead nodes
   /// are skipped (placement re-interleaves over surviving slots); throws
@@ -291,6 +304,7 @@ class Engine {
   std::vector<char> node_alive_;
   std::vector<FailureState> failure_state_;
   double sim_clock_ = 0.0;
+  obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
   /// Atomic: concurrent service jobs draw ids without a lock.
   std::atomic<std::size_t> next_job_id_{0};
   std::atomic<std::size_t> next_stage_id_{0};

@@ -39,6 +39,7 @@
 #include "common/hash.h"
 #include "common/rng.h"
 #include "engine/engine.h"
+#include "obs/event_log.h"
 
 namespace chopper::engine {
 
@@ -392,6 +393,7 @@ class JobRunner {
     std::vector<std::size_t> attempts;  ///< injected-fault attempts per task
     std::vector<double> starts;
     std::vector<double> ends;
+    std::vector<std::size_t> slots;  ///< core slot index on the task's node
     double makespan = 0.0;
     std::vector<PendingShuffle> pending;
     std::uint64_t stage_shuffle_write = 0;
@@ -420,6 +422,9 @@ class JobRunner {
     } else {
       eng_.sim_clock_ += dt;
     }
+    // Keep the event log's sim hint fresh for clockless emitters (budget
+    // scans in BlockManager/ShuffleManager stamp events with the hint).
+    if (tracing()) eng_.event_log_->set_sim_hint(now());
   }
   void set_now(double t) noexcept {
     if (ctx_.control) {
@@ -427,6 +432,7 @@ class JobRunner {
     } else {
       eng_.sim_clock_ = t;
     }
+    if (tracing()) eng_.event_log_->set_sim_hint(now());
   }
   /// Abort (via the standard JobAbortedError path) when the job was
   /// cancelled or its virtual deadline passed. Called at stage boundaries.
@@ -473,6 +479,24 @@ class JobRunner {
 
   void release_job_shuffles();
 
+  // Structured event log (obs/event_log.h). tracing() — one relaxed atomic
+  // load behind a null check — is the only cost instrumented paths pay when
+  // no log or sink is attached; every emit site is guarded by it.
+  bool tracing() const noexcept {
+    return eng_.event_log_ != nullptr && eng_.event_log_->enabled();
+  }
+  /// Emit with an explicit sim-time stamp, refreshing the hint clockless
+  /// subsystems (eviction/spill scans) stamp their own events with.
+  void emit_at(double sim, obs::Event e) const {
+    e.sim = sim;
+    eng_.event_log_->set_sim_hint(sim);
+    eng_.event_log_->emit(std::move(e));
+  }
+  void emit(obs::Event e) const { emit_at(now(), std::move(e)); }
+  void emit_job_finish(const JobMetrics& jm) const;
+  void emit_stage_end(std::size_t s, const StageMetrics& sm,
+                      const Attempt& a) const;
+
   Engine& eng_;
   Engine::JobContext& ctx_;
   const CostModel& cm_;
@@ -492,6 +516,15 @@ JobResult JobRunner::run() {
   job_metrics_.job_id = ctx_.job_id;
   job_metrics_.name = ctx_.name;
 
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kJobSubmit;
+    e.job = ctx_.job_id;
+    e.name = ctx_.name;
+    e.count = ctx_.plan.stages.size();
+    emit(std::move(e));
+  }
+
   try {
     for (std::size_t s = 0; s < ctx_.plan.stages.size(); ++s) run_stage(s);
   } catch (const std::exception& e) {
@@ -502,6 +535,7 @@ JobResult JobRunner::run() {
     job_metrics_.error = e.what();
     job_metrics_.sim_time_s = now() - job_sim_start;
     job_metrics_.wall_time_s = seconds_since(job_t0);
+    if (tracing()) emit_job_finish(job_metrics_);
     eng_.metrics_.add_job(std::move(job_metrics_));
     throw;
   }
@@ -528,8 +562,104 @@ JobResult JobRunner::run() {
 
   job_metrics_.sim_time_s = ctx_.result.sim_time_s;
   job_metrics_.wall_time_s = ctx_.result.wall_time_s;
+  if (tracing()) emit_job_finish(job_metrics_);
   eng_.metrics_.add_job(std::move(job_metrics_));
   return std::move(ctx_.result);
+}
+
+void JobRunner::emit_job_finish(const JobMetrics& jm) const {
+  obs::Event e;
+  e.kind = obs::EventKind::kJobFinish;
+  e.job = jm.job_id;
+  e.name = jm.name;
+  e.sim_time_s = jm.sim_time_s;
+  e.wall_time_s = jm.wall_time_s;
+  e.list.assign(jm.stage_ids.begin(), jm.stage_ids.end());
+  if (jm.failed) e.flags |= obs::kFlagFailed;
+  e.detail = jm.error;
+  e.stage_attempts = jm.stage_attempts;
+  e.recomputed_tasks = jm.recomputed_tasks;
+  e.lost_bytes = jm.lost_bytes;
+  e.recomputed_bytes = jm.recomputed_bytes;
+  e.recovery_time_s = jm.recovery_time_s;
+  e.oom_count = jm.oom_count;
+  e.evicted_bytes = jm.evicted_bytes;
+  e.spilled_bytes = jm.spilled_bytes;
+  e.peak_resident_bytes = jm.peak_resident_bytes;
+  emit(std::move(e));
+}
+
+void JobRunner::emit_stage_end(std::size_t s, const StageMetrics& sm,
+                               const Attempt& a) const {
+  // One span per committed task. Span times are stage-window-relative (the
+  // exporter and replay add sim_start_s); fields mirror TaskMetrics exactly
+  // so replay is bit-identical.
+  for (std::size_t p = 0; p < sm.tasks.size(); ++p) {
+    const TaskMetrics& tm = sm.tasks[p];
+    obs::Event e;
+    e.kind = obs::EventKind::kTaskSpan;
+    e.job = sm.job_id;
+    e.stage = sm.stage_id;
+    e.plan_index = s;
+    e.task = tm.task_index;
+    e.node = tm.node;
+    e.slot = p < a.slots.size() ? a.slots[p] : 0;
+    e.attempt = tm.attempts;
+    e.t_start = tm.sim_start;
+    e.t_end = tm.sim_end;
+    e.compute_s = tm.compute_s;
+    e.fetch_s = tm.fetch_s;
+    e.records_in = tm.records_in;
+    e.records_out = tm.records_out;
+    e.bytes_in = tm.bytes_in;
+    e.bytes_out = tm.bytes_out;
+    e.shuffle_read_remote = tm.shuffle_read_remote;
+    e.shuffle_read_local = tm.shuffle_read_local;
+    if (tm.shuffle_read_remote > 0) e.flags |= obs::kFlagRemoteFetch;
+    if (tm.shuffle_read_local > 0) e.flags |= obs::kFlagLocalFetch;
+    if (p < a.spill_modeled.size() && a.spill_modeled[p] > 0.0) {
+      e.flags |= obs::kFlagSpilled;
+      e.spilled_bytes = static_cast<std::uint64_t>(a.spill_modeled[p]);
+    }
+    emit(std::move(e));
+  }
+
+  // The closing stage record carries every scalar StageMetrics field, so a
+  // HistoryReader can rebuild the row without the live run.
+  obs::Event e;
+  e.kind = obs::EventKind::kStageEnd;
+  e.job = sm.job_id;
+  e.stage = sm.stage_id;
+  e.plan_index = s;
+  e.signature = sm.signature;
+  e.name = sm.name;
+  if (sm.is_shuffle_map) e.flags |= obs::kFlagShuffleMap;
+  if (sm.fixed_partitions) e.flags |= obs::kFlagFixedPartitions;
+  if (sm.user_fixed) e.flags |= obs::kFlagUserFixed;
+  e.num_partitions = sm.num_partitions;
+  e.partitioner = static_cast<std::uint64_t>(sm.partitioner);
+  e.anchor_op = static_cast<std::uint64_t>(sm.anchor_op);
+  e.list = sm.parent_signatures;
+  e.records_in = sm.input_records;
+  e.bytes_in = sm.input_bytes;
+  e.records_out = sm.output_records;
+  e.bytes_out = sm.output_bytes;
+  e.shuffle_read_bytes = sm.shuffle_read_bytes;
+  e.shuffle_write_bytes = sm.shuffle_write_bytes;
+  e.attempt = sm.attempt_count;
+  e.recomputed_tasks = sm.recomputed_tasks;
+  e.recomputed_bytes = sm.recomputed_bytes;
+  e.recovery_time_s = sm.recovery_time_s;
+  e.oom_count = sm.oom_count;
+  e.list2.assign(sm.oomed_partition_counts.begin(),
+                 sm.oomed_partition_counts.end());
+  e.evicted_bytes = sm.evicted_bytes;
+  e.spilled_bytes = sm.spilled_bytes;
+  e.peak_resident_bytes = sm.peak_resident_bytes;
+  e.sim_time_s = sm.sim_time_s;
+  e.sim_start_s = sm.sim_start_s;
+  e.wall_time_s = sm.wall_time_s;
+  emit(std::move(e));
 }
 
 void JobRunner::check_interrupt() const {
@@ -564,6 +694,19 @@ void JobRunner::run_stage(std::size_t s) {
                   plan.anchor->shuffle_request().user_fixed;
   job_metrics_.stage_ids.push_back(sm.stage_id);
 
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kStageStart;
+    e.job = ctx_.job_id;
+    e.stage = sm.stage_id;
+    e.plan_index = s;
+    e.signature = sm.signature;
+    e.name = sm.name;
+    if (sm.is_shuffle_map) e.flags |= obs::kFlagShuffleMap;
+    e.num_partitions = ctx_.rt[s].num_tasks;
+    emit(std::move(e));
+  }
+
   const std::size_t max_attempts = std::max<std::size_t>(
       1, eng_.options_.failure_schedule.max_stage_attempts);
 
@@ -590,6 +733,21 @@ void JobRunner::run_stage(std::size_t s) {
       ++sm.oom_count;
       sm.oomed_partition_counts.push_back(ctx_.rt[s].num_tasks);
       eng_.mem_ledger_.add_oom(ctx_.rt[s].task_node[a.oom_task]);
+      if (tracing()) {
+        obs::Event e;
+        e.kind = obs::EventKind::kStageRetry;
+        e.job = ctx_.job_id;
+        e.stage = sm.stage_id;
+        e.plan_index = s;
+        e.attempt = attempt;
+        e.task = a.oom_task;
+        e.node = ctx_.rt[s].task_node[a.oom_task];
+        e.num_partitions = ctx_.rt[s].num_tasks;
+        e.value = wasted;
+        e.flags |= obs::kFlagOom;
+        e.detail = "oom";
+        emit(std::move(e));
+      }
       ++consecutive_oom;
       if (attempt >= max_attempts) {
         throw TaskOomError(
@@ -610,6 +768,18 @@ void JobRunner::run_stage(std::size_t s) {
       // The attempt was cut down mid-window by a node this stage depends
       // on; the wasted sim time is already accounted. Retry from the top
       // (recovery will heal the inputs the failure just destroyed).
+      if (tracing()) {
+        obs::Event e;
+        e.kind = obs::EventKind::kStageRetry;
+        e.job = ctx_.job_id;
+        e.stage = sm.stage_id;
+        e.plan_index = s;
+        e.attempt = attempt;
+        e.num_partitions = ctx_.rt[s].num_tasks;
+        e.flags |= obs::kFlagFailed;
+        e.detail = "fetch-failure";
+        emit(std::move(e));
+      }
       if (attempt >= max_attempts) {
         throw JobAbortedError("stage " + plan.name + " exceeded " +
                               std::to_string(max_attempts) +
@@ -655,6 +825,7 @@ void JobRunner::run_stage(std::size_t s) {
   job_metrics_.spilled_bytes += sm.spilled_bytes;
   job_metrics_.peak_resident_bytes =
       std::max(job_metrics_.peak_resident_bytes, sm.peak_resident_bytes);
+  if (tracing()) emit_stage_end(s, sm, a);
   eng_.metrics_.add_stage(std::move(sm));
 }
 
@@ -1119,12 +1290,14 @@ void JobRunner::execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
   }
   a.starts.assign(rt.num_tasks, 0.0);
   a.ends.assign(rt.num_tasks, 0.0);
+  a.slots.assign(rt.num_tasks, 0);
   a.makespan = 0.0;
   for (std::size_t p = 0; p < rt.num_tasks; ++p) {
     auto& slots = slot_free[rt.task_node[p]];
     auto slot = std::min_element(slots.begin(), slots.end());
     a.starts[p] = *slot;
     a.ends[p] = *slot + a.durations[p];
+    a.slots[p] = static_cast<std::size_t>(slot - slots.begin());
     *slot = a.ends[p];
     a.makespan = std::max(a.makespan, a.ends[p]);
   }
@@ -1344,6 +1517,17 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
     // node failure, even if the user drops their dataset handle.
     cd.lineage = const_cast<Dataset*>(ds)->shared_from_this();
     for (const auto& p : cd.partitions) cd.bytes += p.bytes();
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kBlockStore;
+      e.job = ctx_.job_id;
+      e.stage = sm.stage_id;
+      e.dataset = ds->id();
+      e.name = ds->label();
+      e.bytes = cd.bytes;
+      e.count = cd.partitions.size();
+      emit(std::move(e));
+    }
     eng_.block_manager_.put(ds->id(), std::move(cd));
   }
 
@@ -1354,6 +1538,19 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
     crt.shuffle_from_producer.emplace(s, ps.so.shuffle_id);
     rt.written.push_back({ps.so.shuffle_id, ps.consumer});
     ctx_.job_shuffle_ids.push_back(ps.so.shuffle_id);
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kShuffleWrite;
+      e.job = ctx_.job_id;
+      e.stage = sm.stage_id;
+      e.plan_index = ps.consumer;  // flow target: the consuming stage
+      e.shuffle = ps.so.shuffle_id;
+      e.bytes = ps.so.total_bytes;
+      e.count = ps.so.num_map_tasks;
+      e.num_partitions = crt.num_tasks;
+      if (ps.so.passthrough) e.flags |= obs::kFlagPassthrough;
+      emit(std::move(e));
+    }
     eng_.shuffles_.put(std::move(ps.so));
   }
   a.pending.clear();
@@ -1466,6 +1663,18 @@ void JobRunner::fire_failure(std::size_t i, double at_time) {
   LossReport lr = eng_.shuffles_.invalidate_node(f.node);
   lr += eng_.block_manager_.invalidate_node(f.node);
   job_metrics_.lost_bytes += lr.lost_bytes;
+  if (tracing()) {
+    // fire_failure runs before the clock is moved to the failure instant, so
+    // stamp the event with at_time explicitly rather than now().
+    obs::Event e;
+    e.kind = obs::EventKind::kNodeDown;
+    e.job = ctx_.job_id;
+    e.node = f.node;
+    e.count = lr.lost_tasks;
+    e.lost_bytes = lr.lost_bytes;
+    if (f.rejoin_after_s >= 0.0) e.value = f.rejoin_after_s;
+    emit_at(at_time, std::move(e));
+  }
 }
 
 void JobRunner::process_barrier_failures(std::size_t stage_global_id) {
@@ -1479,6 +1688,13 @@ void JobRunner::process_barrier_failures(std::size_t stage_global_id) {
       fs.rejoined = true;
       const std::size_t n = sched.failures[i].node;
       if (n < eng_.cluster_.num_nodes()) eng_.node_alive_[n] = 1;
+      if (tracing()) {
+        obs::Event e;
+        e.kind = obs::EventKind::kNodeUp;
+        e.job = ctx_.job_id;
+        e.node = n;
+        emit(std::move(e));
+      }
     }
   }
   for (std::size_t i = 0; i < sched.failures.size(); ++i) {
@@ -1555,6 +1771,16 @@ bool JobRunner::scan_window_failures(std::size_t s, StageMetrics& sm,
       // failure instant; everything it ran so far is wasted sim time.
       set_now(best_t);
       sm.recovery_time_s += best_t - attempt_start;
+      if (tracing()) {
+        obs::Event e;
+        e.kind = obs::EventKind::kFetchFailure;
+        e.job = ctx_.job_id;
+        e.stage = sm.stage_id;
+        e.plan_index = s;
+        e.node = sched.failures[best].node;
+        e.value = best_t - attempt_start;  // wasted attempt time
+        emit(std::move(e));
+      }
       return true;
     }
     // A node nobody in this stage touches: the stage sails on; keep
@@ -1674,6 +1900,16 @@ void JobRunner::recover_map_tasks(std::size_t producer, StageMetrics& sm) {
     }
     sm.recomputed_tasks += 1;
     sm.recomputed_bytes += works[i].bytes_out;
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kShuffleReplay;
+      e.job = ctx_.job_id;
+      e.stage = sm.stage_id;
+      e.task = m;
+      e.node = new_node[i];
+      e.bytes = works[i].bytes_out;
+      emit(std::move(e));
+    }
   }
   price_recovery(new_node, works, sm);
   if (mem_) eng_.shuffles_.enforce_budget();  // replays re-inflate map nodes
@@ -1834,6 +2070,17 @@ void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
         cd->bytes += cd->partitions[m].bytes();
         sm.recomputed_tasks += 1;
         sm.recomputed_bytes += works[i].bytes_out;
+        if (tracing()) {
+          obs::Event e;
+          e.kind = obs::EventKind::kBlockHeal;
+          e.job = ctx_.job_id;
+          e.stage = sm.stage_id;
+          e.dataset = anchor->id();
+          e.task = m;
+          e.node = new_node[i];
+          e.bytes = works[i].bytes_out;
+          emit(std::move(e));
+        }
       }
     }
     price_recovery(new_node, works, sm);
@@ -1865,6 +2112,17 @@ void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
     if (m < ncd->partitions.size()) {
       sm.recomputed_tasks += 1;
       sm.recomputed_bytes += ncd->partitions[m].bytes();
+      if (tracing()) {
+        obs::Event e;
+        e.kind = obs::EventKind::kBlockHeal;
+        e.job = ctx_.job_id;
+        e.stage = sm.stage_id;
+        e.dataset = anchor->id();
+        e.task = m;
+        e.bytes = ncd->partitions[m].bytes();
+        e.detail = "wholesale";
+        emit(std::move(e));
+      }
     }
   }
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/event_log.h"
+
 namespace chopper::engine {
 
 std::size_t ShuffleManager::next_id() {
@@ -147,6 +149,16 @@ void ShuffleManager::enforce_locked() {
         if (ledger_ != nullptr) {
           ledger_->add_spill(node, static_cast<std::uint64_t>(
                                        static_cast<double>(b) * ledger_scale_));
+        }
+        if (event_log_ != nullptr && event_log_->enabled()) {
+          obs::Event ev;
+          ev.kind = obs::EventKind::kShuffleSpill;
+          ev.sim = event_log_->sim_hint();
+          ev.shuffle = id;
+          ev.task = m;
+          ev.node = node;
+          ev.bytes = b;
+          event_log_->emit(std::move(ev));
         }
         if (used <= capacity_[node]) break;
       }

@@ -26,6 +26,10 @@
 #include "engine/partition.h"
 #include "engine/partitioner.h"
 
+namespace chopper::obs {
+class EventLog;
+}
+
 namespace chopper::engine {
 
 struct ShuffleOutput {
@@ -107,6 +111,10 @@ class ShuffleManager {
 
   std::size_t count() const;
 
+  /// Structured event log for kShuffleSpill events (nullptr: none). Spills
+  /// are stamped with the log's sim-time hint (the scan has no clock).
+  void set_event_log(obs::EventLog* log) noexcept { event_log_ = log; }
+
  private:
   void enforce_locked();
 
@@ -118,6 +126,7 @@ class ShuffleManager {
   std::vector<std::uint64_t> capacity_;  ///< empty: no budget armed
   MemoryLedger* ledger_ = nullptr;
   double ledger_scale_ = 1.0;
+  obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace chopper::engine

@@ -1,0 +1,368 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "obs/jsonl.h"
+
+namespace chopper::obs {
+namespace {
+
+/// Synthetic Chrome pid for the scheduler/arbiter lane (pool grants).
+constexpr std::uint64_t kSchedulerPid = 1000;
+
+double us(double seconds) { return seconds * 1e6; }
+
+void append_num(double v, std::string& out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+void append_u64(std::uint64_t v, std::string& out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+struct StageInfo {
+  double sim_start_s = 0.0;
+  double sim_time_s = 0.0;
+  std::string name;
+  std::uint64_t job = kNoId;
+  // Anchors for shuffle flow arrows: the stage's first and last task spans.
+  bool has_spans = false;
+  double first_ts = 0.0, last_ts = 0.0;
+  std::uint64_t first_node = 0, first_slot = 0;
+  std::uint64_t last_node = 0, last_slot = 0;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::string& out) : out_(out) { out_ += "{\"traceEvents\":["; }
+
+  void open_event() {
+    if (!first_) out_ += ',';
+    first_ = false;
+    out_ += '{';
+    first_field_ = true;
+  }
+  void close_event() { out_ += '}'; }
+
+  void field(const char* key, const std::string& value, bool quote) {
+    if (!first_field_) out_ += ',';
+    first_field_ = false;
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+    if (quote) {
+      append_json_quoted(value, out_);
+    } else {
+      out_ += value;
+    }
+  }
+  void num(const char* key, double v) {
+    std::string s;
+    append_num(v, s);
+    field(key, s, false);
+  }
+  void u64(const char* key, std::uint64_t v) {
+    std::string s;
+    append_u64(v, s);
+    field(key, s, false);
+  }
+  void str(const char* key, const std::string& v) { field(key, v, true); }
+
+  /// args must be raw JSON (already serialized object body).
+  void raw(const char* key, const std::string& v) { field(key, v, false); }
+
+  void finish() { out_ += "],\"displayTimeUnit\":\"ms\"}\n"; }
+
+ private:
+  std::string& out_;
+  bool first_ = true;
+  bool first_field_ = true;
+};
+
+void meta_name(Writer& w, const char* ph_name, std::uint64_t pid,
+               std::uint64_t tid, const std::string& name) {
+  w.open_event();
+  w.str("ph", "M");
+  w.str("name", ph_name);
+  w.u64("pid", pid);
+  w.u64("tid", tid);
+  std::string args = "{\"name\":";
+  append_json_quoted(name, args);
+  args += '}';
+  w.raw("args", args);
+  w.close_event();
+}
+
+void instant(Writer& w, const std::string& name, double ts, std::uint64_t pid,
+             std::uint64_t tid, const std::string& args_raw) {
+  w.open_event();
+  w.str("ph", "i");
+  w.str("name", name);
+  w.str("s", "p");  // process-scoped marker
+  w.num("ts", ts);
+  w.u64("pid", pid);
+  w.u64("tid", tid);
+  if (!args_raw.empty()) w.raw("args", args_raw);
+  w.close_event();
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<Event>& events) {
+  std::vector<const Event*> sorted;
+  sorted.reserve(events.size());
+  for (const Event& e : events) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Event* a, const Event* b) { return a->seq < b->seq; });
+
+  // Pass 1: index stages (timing + span anchors) and the cluster shape.
+  std::unordered_map<std::uint64_t, StageInfo> stages;  // by global stage id
+  // (job, consumer plan index) -> consumer global stage id, resolved in seq
+  // order so the *next* start of that plan index after the write wins.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::uint64_t>>
+      starts_by_plan;
+  std::vector<std::size_t> cores;
+  for (const Event* e : sorted) {
+    switch (e->kind) {
+      case EventKind::kClusterInfo:
+        cores.assign(e->list.begin(), e->list.end());
+        break;
+      case EventKind::kStageStart:
+        starts_by_plan[{e->job, e->plan_index}].push_back(e->stage);
+        stages[e->stage].name = e->name;
+        stages[e->stage].job = e->job;
+        break;
+      case EventKind::kStageEnd: {
+        StageInfo& si = stages[e->stage];
+        si.sim_start_s = e->sim_start_s;
+        si.sim_time_s = e->sim_time_s;
+        if (si.name.empty()) si.name = e->name;
+        si.job = e->job;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Span anchors need the stage window offset, so resolve them after the
+  // stage index is complete.
+  for (const Event* e : sorted) {
+    if (e->kind != EventKind::kTaskSpan) continue;
+    auto it = stages.find(e->stage);
+    if (it == stages.end()) continue;
+    StageInfo& si = it->second;
+    const double t0 = us(si.sim_start_s + e->t_start);
+    const double t1 = us(si.sim_start_s + e->t_end);
+    if (!si.has_spans || t0 < si.first_ts) {
+      si.first_ts = t0;
+      si.first_node = e->node;
+      si.first_slot = e->slot;
+    }
+    if (!si.has_spans || t1 > si.last_ts) {
+      si.last_ts = t1;
+      si.last_node = e->node;
+      si.last_slot = e->slot;
+    }
+    si.has_spans = true;
+  }
+
+  std::string out;
+  out.reserve(events.size() * 128 + 4096);
+  Writer w(out);
+
+  // Process/thread naming metadata.
+  std::uint64_t max_node = 0;
+  for (const Event* e : sorted) {
+    if (e->kind == EventKind::kTaskSpan && e->node != kNoId) {
+      max_node = std::max(max_node, e->node);
+    }
+  }
+  for (std::uint64_t n = 0; n <= max_node || n < cores.size(); ++n) {
+    char label[64];
+    if (n < cores.size()) {
+      std::snprintf(label, sizeof(label), "node %" PRIu64 " (%zu cores)", n,
+                    cores[n]);
+    } else {
+      std::snprintf(label, sizeof(label), "node %" PRIu64, n);
+    }
+    meta_name(w, "process_name", n, 0, label);
+    if (n >= 64) break;  // defensive bound on malformed logs
+  }
+  meta_name(w, "process_name", kSchedulerPid, 0, "scheduler pools");
+
+  std::unordered_map<std::string, std::uint64_t> pool_tids;
+  std::uint64_t flow_id = 0;
+
+  for (const Event* e : sorted) {
+    switch (e->kind) {
+      case EventKind::kTaskSpan: {
+        auto it = stages.find(e->stage);
+        if (it == stages.end()) break;
+        const StageInfo& si = it->second;
+        w.open_event();
+        w.str("ph", "X");
+        char name[96];
+        std::snprintf(name, sizeof(name), "%s #%" PRIu64,
+                      si.name.empty() ? "task" : si.name.c_str(), e->task);
+        w.str("name", name);
+        w.num("ts", us(si.sim_start_s + e->t_start));
+        w.num("dur", us(e->t_end - e->t_start));
+        w.u64("pid", e->node);
+        w.u64("tid", e->slot == kNoId ? 0 : e->slot);
+        std::string args = "{\"job\":";
+        append_u64(e->job, args);
+        args += ",\"stage\":";
+        append_u64(e->stage, args);
+        args += ",\"records_in\":";
+        append_u64(e->records_in, args);
+        args += ",\"records_out\":";
+        append_u64(e->records_out, args);
+        args += ",\"bytes_in\":";
+        append_u64(e->bytes_in, args);
+        args += ",\"attempts\":";
+        append_u64(e->attempt, args);
+        if (e->flags & kFlagRemoteFetch) args += ",\"remote_fetch\":true";
+        if (e->flags & kFlagSpilled) args += ",\"spilled\":true";
+        args += '}';
+        w.raw("args", args);
+        w.close_event();
+        break;
+      }
+      case EventKind::kShuffleWrite: {
+        // Flow arrow: producer stage's last task -> consumer's first task.
+        auto pit = stages.find(e->stage);
+        if (pit == stages.end() || !pit->second.has_spans) break;
+        const StageInfo& prod = pit->second;
+        // Consumer: first start of (job, plan_index) after this write.
+        const auto cit = starts_by_plan.find({e->job, e->plan_index});
+        if (cit == starts_by_plan.end()) break;
+        const StageInfo* cons = nullptr;
+        for (const std::uint64_t sid : cit->second) {
+          auto sit = stages.find(sid);
+          if (sit != stages.end() && sit->second.has_spans &&
+              sit->second.sim_start_s >= prod.sim_start_s) {
+            cons = &sit->second;
+            break;
+          }
+        }
+        if (cons == nullptr) break;
+        const std::uint64_t id = ++flow_id;
+        std::string args = "{\"bytes\":";
+        append_u64(e->bytes, args);
+        args += ",\"shuffle\":";
+        append_u64(e->shuffle, args);
+        args += '}';
+        w.open_event();
+        w.str("ph", "s");
+        w.str("name", "shuffle");
+        w.str("cat", "shuffle");
+        w.u64("id", id);
+        w.num("ts", prod.last_ts);
+        w.u64("pid", prod.last_node);
+        w.u64("tid", prod.last_slot == kNoId ? 0 : prod.last_slot);
+        w.raw("args", args);
+        w.close_event();
+        w.open_event();
+        w.str("ph", "f");
+        w.str("bp", "e");
+        w.str("name", "shuffle");
+        w.str("cat", "shuffle");
+        w.u64("id", id);
+        w.num("ts", cons->first_ts);
+        w.u64("pid", cons->first_node);
+        w.u64("tid", cons->first_slot == kNoId ? 0 : cons->first_slot);
+        w.close_event();
+        break;
+      }
+      case EventKind::kPoolGrant: {
+        auto [it, inserted] =
+            pool_tids.try_emplace(e->name, pool_tids.size() + 1);
+        if (inserted) {
+          meta_name(w, "thread_name", kSchedulerPid, it->second,
+                    e->name.empty() ? "pool" : e->name);
+        }
+        w.open_event();
+        w.str("ph", "X");
+        char name[96];
+        std::snprintf(name, sizeof(name), "grant t%" PRIu64, e->token);
+        w.str("name", name);
+        w.num("ts", us(e->t_start));
+        w.num("dur", us(e->value));
+        w.u64("pid", kSchedulerPid);
+        w.u64("tid", it->second);
+        w.close_event();
+        break;
+      }
+      case EventKind::kStageRetry: {
+        std::string args = "{\"reason\":";
+        append_json_quoted(e->detail, args);
+        args += ",\"attempt\":";
+        append_u64(e->attempt, args);
+        args += '}';
+        instant(w, "stage retry", us(e->sim),
+                e->node == kNoId ? 0 : e->node, 0, args);
+        break;
+      }
+      case EventKind::kFetchFailure:
+        instant(w, "fetch failure", us(e->sim), e->node == kNoId ? 0 : e->node,
+                0, "");
+        break;
+      case EventKind::kNodeDown:
+        instant(w, "node down", us(e->sim), e->node == kNoId ? 0 : e->node, 0,
+                "");
+        break;
+      case EventKind::kNodeUp:
+        instant(w, "node up", us(e->sim), e->node == kNoId ? 0 : e->node, 0,
+                "");
+        break;
+      case EventKind::kBlockEvict: {
+        std::string args = "{\"bytes\":";
+        append_u64(e->bytes, args);
+        args += '}';
+        instant(w, "block evict", us(e->sim), e->node == kNoId ? 0 : e->node,
+                0, args);
+        break;
+      }
+      case EventKind::kShuffleSpill: {
+        std::string args = "{\"bytes\":";
+        append_u64(e->bytes, args);
+        args += '}';
+        instant(w, "shuffle spill", us(e->sim), e->node == kNoId ? 0 : e->node,
+                0, args);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  w.finish();
+  return out;
+}
+
+bool write_chrome_trace(const std::vector<Event>& events,
+                        const std::string& path, std::string* error) {
+  const std::string doc = to_chrome_trace(events);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    if (error) *error = "cannot open for writing: " + path;
+    return false;
+  }
+  const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (n != doc.size()) {
+    if (error) *error = "short write: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace chopper::obs

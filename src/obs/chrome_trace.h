@@ -1,0 +1,28 @@
+// Chrome trace_event exporter: converts an event log into a JSON file that
+// chrome://tracing and Perfetto load directly.
+//
+// Mapping (DESIGN.md §12): cluster nodes become processes, core slots become
+// threads, committed task attempts become complete ("X") slices, shuffle
+// writes become flow arrows ("s"/"f") from the producer stage's last task to
+// the consumer stage's first task, pool grants become slices on a synthetic
+// "scheduler pools" process, and retries / fetch failures / evictions /
+// spills / node down-up become instant ("i") markers. Timestamps are
+// simulated time in microseconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace chopper::obs {
+
+/// Render `events` as a Chrome trace JSON document.
+std::string to_chrome_trace(const std::vector<Event>& events);
+
+/// Write to_chrome_trace(events) to `path`. Returns false (with the reason
+/// in `*error` when non-null) on IO failure.
+bool write_chrome_trace(const std::vector<Event>& events,
+                        const std::string& path, std::string* error = nullptr);
+
+}  // namespace chopper::obs

@@ -1,0 +1,223 @@
+#include "obs/history.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/jsonl.h"
+
+namespace chopper::obs {
+
+engine::TaskMetrics task_from_event(const Event& e) {
+  engine::TaskMetrics tm;
+  tm.task_index = static_cast<std::size_t>(e.task);
+  tm.node = static_cast<std::size_t>(e.node);
+  tm.sim_start = e.t_start;
+  tm.sim_end = e.t_end;
+  tm.compute_s = e.compute_s;
+  tm.fetch_s = e.fetch_s;
+  tm.attempts = static_cast<std::size_t>(e.attempt);
+  tm.records_in = e.records_in;
+  tm.records_out = e.records_out;
+  tm.bytes_in = e.bytes_in;
+  tm.bytes_out = e.bytes_out;
+  tm.shuffle_read_remote = e.shuffle_read_remote;
+  tm.shuffle_read_local = e.shuffle_read_local;
+  return tm;
+}
+
+engine::StageMetrics stage_from_event(const Event& e,
+                                      std::vector<engine::TaskMetrics> tasks) {
+  engine::StageMetrics sm;
+  sm.stage_id = static_cast<std::size_t>(e.stage);
+  sm.job_id = static_cast<std::size_t>(e.job);
+  sm.signature = e.signature;
+  sm.name = e.name;
+  sm.is_shuffle_map = (e.flags & kFlagShuffleMap) != 0;
+  sm.num_partitions = static_cast<std::size_t>(e.num_partitions);
+  sm.partitioner = static_cast<engine::PartitionerKind>(e.partitioner);
+  sm.anchor_op = static_cast<engine::OpKind>(e.anchor_op);
+  sm.parent_signatures = e.list;
+  sm.fixed_partitions = (e.flags & kFlagFixedPartitions) != 0;
+  sm.user_fixed = (e.flags & kFlagUserFixed) != 0;
+  sm.input_records = e.records_in;
+  sm.input_bytes = e.bytes_in;
+  sm.output_records = e.records_out;
+  sm.output_bytes = e.bytes_out;
+  sm.shuffle_read_bytes = e.shuffle_read_bytes;
+  sm.shuffle_write_bytes = e.shuffle_write_bytes;
+  sm.attempt_count = static_cast<std::size_t>(e.attempt);
+  sm.recomputed_tasks = static_cast<std::size_t>(e.recomputed_tasks);
+  sm.recomputed_bytes = e.recomputed_bytes;
+  sm.recovery_time_s = e.recovery_time_s;
+  sm.oom_count = static_cast<std::size_t>(e.oom_count);
+  sm.oomed_partition_counts.assign(e.list2.begin(), e.list2.end());
+  sm.evicted_bytes = e.evicted_bytes;
+  sm.spilled_bytes = e.spilled_bytes;
+  sm.peak_resident_bytes = e.peak_resident_bytes;
+  sm.sim_time_s = e.sim_time_s;
+  sm.sim_start_s = e.sim_start_s;
+  sm.wall_time_s = e.wall_time_s;
+  sm.tasks = std::move(tasks);
+  return sm;
+}
+
+engine::JobMetrics job_from_event(const Event& e) {
+  engine::JobMetrics jm;
+  jm.job_id = static_cast<std::size_t>(e.job);
+  jm.name = e.name;
+  jm.sim_time_s = e.sim_time_s;
+  jm.wall_time_s = e.wall_time_s;
+  jm.stage_ids.assign(e.list.begin(), e.list.end());
+  jm.failed = (e.flags & kFlagFailed) != 0;
+  jm.error = e.detail;
+  jm.stage_attempts = static_cast<std::size_t>(e.stage_attempts);
+  jm.recomputed_tasks = static_cast<std::size_t>(e.recomputed_tasks);
+  jm.lost_bytes = e.lost_bytes;
+  jm.recomputed_bytes = e.recomputed_bytes;
+  jm.recovery_time_s = e.recovery_time_s;
+  jm.oom_count = static_cast<std::size_t>(e.oom_count);
+  jm.evicted_bytes = e.evicted_bytes;
+  jm.spilled_bytes = e.spilled_bytes;
+  jm.peak_resident_bytes = e.peak_resident_bytes;
+  return jm;
+}
+
+HistoryReader::HistoryReader(std::vector<Event> events)
+    : events_(std::move(events)) {
+  std::sort(events_.begin(), events_.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+}
+
+HistoryReader HistoryReader::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("cannot open event log: " + path);
+  std::string content;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+
+  std::vector<Event> events;
+  std::size_t skipped = 0;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    const std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (parse_jsonl_header(line)) {
+        saw_header = true;
+        continue;
+      }
+    }
+    if (auto e = from_jsonl(line)) {
+      events.push_back(std::move(*e));
+    } else {
+      ++skipped;
+    }
+  }
+  if (!saw_header) {
+    throw std::runtime_error("not a chopper event log (missing header): " +
+                             path);
+  }
+  HistoryReader r(std::move(events));
+  r.skipped_ = skipped;
+  return r;
+}
+
+void HistoryReader::replay_into(engine::MetricsRegistry& registry) const {
+  std::unordered_map<std::uint64_t, std::vector<engine::TaskMetrics>> spans;
+  for (const Event& e : events_) {
+    switch (e.kind) {
+      case EventKind::kTaskSpan:
+        spans[e.stage].push_back(task_from_event(e));
+        break;
+      case EventKind::kStageEnd: {
+        auto it = spans.find(e.stage);
+        std::vector<engine::TaskMetrics> tasks;
+        if (it != spans.end()) {
+          tasks = std::move(it->second);
+          spans.erase(it);
+        }
+        registry.add_stage(stage_from_event(e, std::move(tasks)));
+        break;
+      }
+      case EventKind::kJobFinish:
+        registry.add_job(job_from_event(e));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+std::vector<engine::StageMetrics> HistoryReader::stages() const {
+  engine::MetricsRegistry reg;
+  replay_into(reg);
+  return reg.stages();
+}
+
+std::vector<engine::JobMetrics> HistoryReader::jobs() const {
+  engine::MetricsRegistry reg;
+  replay_into(reg);
+  return reg.jobs();
+}
+
+std::vector<std::size_t> HistoryReader::cluster_cores() const {
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kClusterInfo) {
+      return std::vector<std::size_t>(e.list.begin(), e.list.end());
+    }
+  }
+  return {};
+}
+
+std::vector<std::uint64_t> HistoryReader::cluster_memory() const {
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kClusterInfo) return e.list2;
+  }
+  return {};
+}
+
+std::size_t HistoryReader::for_each_ingest(const IngestFn& fn) const {
+  engine::MetricsRegistry run;
+  std::unordered_map<std::uint64_t, std::vector<engine::TaskMetrics>> spans;
+  std::size_t markers = 0;
+  for (const Event& e : events_) {
+    switch (e.kind) {
+      case EventKind::kTaskSpan:
+        spans[e.stage].push_back(task_from_event(e));
+        break;
+      case EventKind::kStageEnd: {
+        auto it = spans.find(e.stage);
+        std::vector<engine::TaskMetrics> tasks;
+        if (it != spans.end()) {
+          tasks = std::move(it->second);
+          spans.erase(it);
+        }
+        run.add_stage(stage_from_event(e, std::move(tasks)));
+        break;
+      }
+      case EventKind::kJobFinish:
+        run.add_job(job_from_event(e));
+        break;
+      case EventKind::kCollectorIngest:
+        ++markers;
+        fn(run, e.name, e.value, (e.flags & kFlagDefaultRun) != 0);
+        run.clear();
+        break;
+      default:
+        break;
+    }
+  }
+  return markers;
+}
+
+}  // namespace chopper::obs

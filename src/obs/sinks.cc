@@ -1,0 +1,114 @@
+#include "obs/sinks.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/jsonl.h"
+
+namespace chopper::obs {
+
+namespace {
+constexpr std::size_t kDrainThreshold = 64 * 1024;  // bytes per stripe buffer
+}
+
+// -- JsonlFileSink ------------------------------------------------------------
+
+JsonlFileSink::JsonlFileSink(const std::string& path, std::size_t stripes)
+    : path_(path) {
+  if (stripes == 0) stripes = 1;
+  stripes_.reserve(stripes);
+  for (std::size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (!file_) {
+    throw std::runtime_error("cannot open event log for writing: " + path);
+  }
+  const std::string header = jsonl_header() + "\n";
+  std::fwrite(header.data(), 1, header.size(), file_);
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  flush();
+  std::lock_guard lock(file_mu_);
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void JsonlFileSink::append(const Event& e) {
+  Stripe& s = *stripes_[e.seq % stripes_.size()];
+  std::lock_guard lock(s.mu);
+  append_jsonl(e, s.buf);
+  if (s.buf.size() >= kDrainThreshold) drain(s);
+}
+
+void JsonlFileSink::drain(Stripe& s) {
+  std::lock_guard lock(file_mu_);
+  if (file_ && !s.buf.empty()) {
+    std::fwrite(s.buf.data(), 1, s.buf.size(), file_);
+  }
+  s.buf.clear();
+}
+
+void JsonlFileSink::flush() {
+  for (auto& sp : stripes_) {
+    std::lock_guard lock(sp->mu);
+    drain(*sp);
+  }
+  std::lock_guard lock(file_mu_);
+  if (file_) std::fflush(file_);
+}
+
+// -- RingSink -----------------------------------------------------------------
+
+RingSink::RingSink(std::size_t capacity, std::size_t stripes)
+    : capacity_(capacity ? capacity : 1), slots_(capacity_) {
+  if (stripes == 0) stripes = 1;
+  stripes = std::min(stripes, capacity_);
+  stripes_.reserve(stripes);
+  for (std::size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+void RingSink::append(const Event& e) {
+  const std::size_t slot = e.seq % capacity_;
+  std::lock_guard lock(*stripes_[slot % stripes_.size()]);
+  slots_[slot].event = e;
+  slots_[slot].used = true;
+  appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Event> RingSink::snapshot() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (const auto& m : stripes_) locks.emplace_back(*m);
+  std::vector<Event> out;
+  out.reserve(capacity_);
+  for (const Slot& s : slots_) {
+    if (s.used) out.push_back(s.event);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::uint64_t RingSink::total() const noexcept {
+  return appended_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t RingSink::dropped() const {
+  std::uint64_t retained = 0;
+  {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(stripes_.size());
+    for (const auto& m : stripes_) locks.emplace_back(*m);
+    for (const Slot& s : slots_) retained += s.used ? 1 : 0;
+  }
+  const std::uint64_t tot = total();
+  return tot > retained ? tot - retained : 0;
+}
+
+}  // namespace chopper::obs

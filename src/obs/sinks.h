@@ -1,0 +1,78 @@
+// Concrete TraceSinks: a JSONL file writer and a bounded in-memory ring.
+//
+// Both are lock-striped on seq so concurrent emitters from different engine
+// threads rarely contend: an appender takes only its stripe's mutex; the
+// file sink additionally takes a file mutex when a stripe buffer fills and
+// is drained to disk (amortized over ~64 KiB of events).
+//
+// Consequence: the JSONL file is NOT in seq order — readers must sort (see
+// event.h's ordering contract; HistoryReader::load does this).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+
+namespace chopper::obs {
+
+/// Appends events to a JSONL file (header line + one event object per line).
+class JsonlFileSink : public TraceSink {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit JsonlFileSink(const std::string& path, std::size_t stripes = 8);
+  ~JsonlFileSink() override;
+
+  JsonlFileSink(const JsonlFileSink&) = delete;
+  JsonlFileSink& operator=(const JsonlFileSink&) = delete;
+
+  void append(const Event& e) override;
+  void flush() override;
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  struct Stripe {
+    std::mutex mu;
+    std::string buf;
+  };
+
+  void drain(Stripe& s);  // caller holds s.mu
+
+  std::string path_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::mutex file_mu_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Keeps the most recent `capacity` events in memory ("flight recorder").
+/// Overflow overwrites the oldest slot; dropped() counts the overwrites.
+class RingSink : public TraceSink {
+ public:
+  explicit RingSink(std::size_t capacity, std::size_t stripes = 8);
+
+  void append(const Event& e) override;
+
+  /// Retained events, sorted by seq (oldest surviving first).
+  std::vector<Event> snapshot() const;
+  /// Total events ever appended.
+  std::uint64_t total() const noexcept;
+  /// Events overwritten by newer ones (total - retained).
+  std::uint64_t dropped() const;
+
+ private:
+  struct Slot {
+    Event event;
+    bool used = false;
+  };
+
+  std::size_t capacity_;
+  std::vector<Slot> slots_;
+  mutable std::vector<std::unique_ptr<std::mutex>> stripes_;
+  std::atomic<std::uint64_t> appended_{0};
+};
+
+}  // namespace chopper::obs

@@ -95,6 +95,9 @@ JobServer::JobServer(engine::Engine& engine, JobServerOptions options)
   if (options_.max_concurrent_jobs == 0) {
     throw std::invalid_argument("JobServer: max_concurrent_jobs must be > 0");
   }
+  // Pool grants flow to whatever event log the engine carries (set it on the
+  // engine before constructing the server).
+  ledger_.set_event_log(engine_.event_log());
 }
 
 JobServer::~JobServer() {

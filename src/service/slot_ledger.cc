@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/event_log.h"
+
 namespace chopper::service {
 
 const char* to_string(SchedulingMode mode) noexcept {
@@ -94,7 +96,22 @@ void SlotLedger::maybe_grant() {
   j.granted_s += j.duration;
   pool_granted_[j.pool] += j.duration;
   log_.push_back({chosen, j.pool, j.grant_start, j.duration});
+  if (event_log_ != nullptr && event_log_->enabled()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kPoolGrant;
+    e.sim = j.grant_start;
+    e.token = chosen;
+    e.name = j.pool;
+    e.t_start = j.grant_start;
+    e.value = j.duration;
+    event_log_->emit(std::move(e));
+  }
   cv_.notify_all();
+}
+
+void SlotLedger::set_event_log(obs::EventLog* log) noexcept {
+  std::lock_guard lock(mu_);
+  event_log_ = log;
 }
 
 std::size_t SlotLedger::pick() const {

@@ -38,6 +38,10 @@
 
 #include "engine/engine.h"
 
+namespace chopper::obs {
+class EventLog;
+}
+
 namespace chopper::service {
 
 enum class SchedulingMode { kFifo, kFair };
@@ -107,6 +111,9 @@ class SlotLedger final : public engine::VirtualTimeArbiter {
   /// Full grant history (fairness-ratio analysis in tests and benches).
   std::vector<GrantEvent> grant_log() const;
 
+  /// Structured event log for kPoolGrant events (nullptr: none).
+  void set_event_log(obs::EventLog* log) noexcept;
+
  private:
   struct JobRec {
     std::string pool;
@@ -136,6 +143,7 @@ class SlotLedger final : public engine::VirtualTimeArbiter {
   std::size_t next_token_ = 1;
   double now_ = 0.0;
   std::vector<GrantEvent> log_;
+  obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace chopper::service

@@ -1,0 +1,489 @@
+// The structured event log (DESIGN.md §12): JSONL wire round-trip, ring
+// overflow semantics, deterministic replay parity against a live run with
+// fault + OOM injection, offline WorkloadDb population from a profiling
+// sweep's log, and Chrome trace export sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chopper/chopper.h"
+#include "engine/engine.h"
+#include "obs/chrome_trace.h"
+#include "obs/event_log.h"
+#include "obs/history.h"
+#include "obs/jsonl.h"
+#include "obs/sinks.h"
+#include "workloads/kmeans.h"
+
+namespace chopper {
+namespace {
+
+using obs::Event;
+using obs::EventKind;
+
+std::string temp_path(const std::string& leaf) {
+  return ::testing::TempDir() + "/" + leaf;
+}
+
+// ---------------------------------------------------------------------------
+// Engine-run helpers (same shapes as the fault-tolerance tests).
+
+engine::EngineOptions small_options() {
+  engine::EngineOptions o;
+  o.default_parallelism = 8;
+  o.host_threads = 4;
+  return o;
+}
+
+engine::SourceFn iota_source(std::size_t total) {
+  return [total](std::size_t index, std::size_t count) {
+    engine::Partition p;
+    const std::size_t begin = total * index / count;
+    const std::size_t end = total * (index + 1) / count;
+    for (std::size_t i = begin; i < end; ++i) {
+      engine::Record r;
+      r.key = i;
+      r.values = {static_cast<double>(i)};
+      p.push(std::move(r));
+    }
+    return p;
+  };
+}
+
+engine::DatasetPtr sum_by_mod(std::size_t records, std::size_t mod) {
+  return engine::Dataset::source("iota", 4, iota_source(records))
+      ->map("mod",
+            [mod](const engine::Record& r) {
+              engine::Record out = r;
+              out.key = r.key % mod;
+              return out;
+            })
+      ->reduce_by_key("sum", [](engine::Record& acc,
+                                const engine::Record& next) {
+        acc.values[0] += next.values[0];
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Field-exact metric comparisons. EXPECT_EQ on doubles is deliberate: the
+// JSONL writer uses %.17g, so replay must be bit-identical, not just close.
+
+void expect_task_eq(const engine::TaskMetrics& a, const engine::TaskMetrics& b,
+                    const std::string& where) {
+  SCOPED_TRACE(where);
+  EXPECT_EQ(a.task_index, b.task_index);
+  EXPECT_EQ(a.node, b.node);
+  EXPECT_EQ(a.sim_start, b.sim_start);
+  EXPECT_EQ(a.sim_end, b.sim_end);
+  EXPECT_EQ(a.compute_s, b.compute_s);
+  EXPECT_EQ(a.fetch_s, b.fetch_s);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.records_in, b.records_in);
+  EXPECT_EQ(a.records_out, b.records_out);
+  EXPECT_EQ(a.bytes_in, b.bytes_in);
+  EXPECT_EQ(a.bytes_out, b.bytes_out);
+  EXPECT_EQ(a.shuffle_read_remote, b.shuffle_read_remote);
+  EXPECT_EQ(a.shuffle_read_local, b.shuffle_read_local);
+}
+
+void expect_stage_eq(const engine::StageMetrics& a,
+                     const engine::StageMetrics& b) {
+  SCOPED_TRACE("stage " + std::to_string(a.stage_id) + " (" + a.name + ")");
+  EXPECT_EQ(a.stage_id, b.stage_id);
+  EXPECT_EQ(a.job_id, b.job_id);
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.is_shuffle_map, b.is_shuffle_map);
+  EXPECT_EQ(a.num_partitions, b.num_partitions);
+  EXPECT_EQ(a.partitioner, b.partitioner);
+  EXPECT_EQ(a.anchor_op, b.anchor_op);
+  EXPECT_EQ(a.parent_signatures, b.parent_signatures);
+  EXPECT_EQ(a.fixed_partitions, b.fixed_partitions);
+  EXPECT_EQ(a.user_fixed, b.user_fixed);
+  EXPECT_EQ(a.input_records, b.input_records);
+  EXPECT_EQ(a.input_bytes, b.input_bytes);
+  EXPECT_EQ(a.output_records, b.output_records);
+  EXPECT_EQ(a.output_bytes, b.output_bytes);
+  EXPECT_EQ(a.shuffle_read_bytes, b.shuffle_read_bytes);
+  EXPECT_EQ(a.shuffle_write_bytes, b.shuffle_write_bytes);
+  EXPECT_EQ(a.attempt_count, b.attempt_count);
+  EXPECT_EQ(a.recomputed_tasks, b.recomputed_tasks);
+  EXPECT_EQ(a.recomputed_bytes, b.recomputed_bytes);
+  EXPECT_EQ(a.recovery_time_s, b.recovery_time_s);
+  EXPECT_EQ(a.oom_count, b.oom_count);
+  EXPECT_EQ(a.oomed_partition_counts, b.oomed_partition_counts);
+  EXPECT_EQ(a.evicted_bytes, b.evicted_bytes);
+  EXPECT_EQ(a.spilled_bytes, b.spilled_bytes);
+  EXPECT_EQ(a.peak_resident_bytes, b.peak_resident_bytes);
+  EXPECT_EQ(a.sim_time_s, b.sim_time_s);
+  EXPECT_EQ(a.sim_start_s, b.sim_start_s);
+  EXPECT_EQ(a.wall_time_s, b.wall_time_s);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    expect_task_eq(a.tasks[i], b.tasks[i], "task " + std::to_string(i));
+  }
+}
+
+void expect_job_eq(const engine::JobMetrics& a, const engine::JobMetrics& b) {
+  SCOPED_TRACE("job " + std::to_string(a.job_id) + " (" + a.name + ")");
+  EXPECT_EQ(a.job_id, b.job_id);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.sim_time_s, b.sim_time_s);
+  EXPECT_EQ(a.wall_time_s, b.wall_time_s);
+  EXPECT_EQ(a.stage_ids, b.stage_ids);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.stage_attempts, b.stage_attempts);
+  EXPECT_EQ(a.recomputed_tasks, b.recomputed_tasks);
+  EXPECT_EQ(a.lost_bytes, b.lost_bytes);
+  EXPECT_EQ(a.recomputed_bytes, b.recomputed_bytes);
+  EXPECT_EQ(a.recovery_time_s, b.recovery_time_s);
+  EXPECT_EQ(a.oom_count, b.oom_count);
+  EXPECT_EQ(a.evicted_bytes, b.evicted_bytes);
+  EXPECT_EQ(a.spilled_bytes, b.spilled_bytes);
+  EXPECT_EQ(a.peak_resident_bytes, b.peak_resident_bytes);
+}
+
+void expect_registry_eq(const engine::MetricsRegistry& live,
+                        const obs::HistoryReader& reader) {
+  const auto stages = reader.stages();
+  const auto jobs = reader.jobs();
+  ASSERT_EQ(stages.size(), live.stages().size());
+  ASSERT_EQ(jobs.size(), live.jobs().size());
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    expect_stage_eq(live.stages()[i], stages[i]);
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_job_eq(live.jobs()[i], jobs[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 1. JSONL round-trip: every kind and every field survives write -> parse.
+
+Event sample_event(EventKind kind, std::uint64_t i) {
+  Event e;
+  e.kind = kind;
+  e.sim = 0.1 * static_cast<double>(i) + 1e-17;  // exercise %.17g exactness
+  e.job = i;
+  e.stage = i + 1;
+  e.plan_index = i % 3;
+  e.task = i * 7;
+  e.node = i % 5;
+  e.slot = i % 4;
+  e.shuffle = i + 100;
+  e.dataset = i + 200;
+  e.token = i + 300;
+  e.signature = 0x9e3779b97f4a7c15ULL ^ i;
+  e.attempt = i % 6;
+  e.flags = static_cast<std::uint32_t>(i * 37) & 0xfffu;
+  e.t_start = -1.5 + static_cast<double>(i);
+  e.t_end = 2.25 * static_cast<double>(i);
+  e.compute_s = 1.0 / 3.0;
+  e.fetch_s = 2.0 / 7.0;
+  e.sim_time_s = 123.456789012345678;
+  e.sim_start_s = 0.25;
+  e.wall_time_s = 1e-9;
+  e.recovery_time_s = 3.5;
+  e.value = -0.0625;
+  e.value2 = 1e300;
+  e.records_in = i * 11;
+  e.records_out = i * 13;
+  e.bytes_in = i * 17;
+  e.bytes_out = i * 19;
+  e.shuffle_read_remote = i * 23;
+  e.shuffle_read_local = i * 29;
+  e.shuffle_read_bytes = i * 31;
+  e.shuffle_write_bytes = i * 41;
+  e.bytes = i * 37;
+  e.p_min = i % 8;
+  e.num_partitions = 8 + i;
+  e.count = i;
+  e.stage_attempts = i % 4;
+  e.recomputed_tasks = i % 9;
+  e.lost_bytes = i * 43;
+  e.recomputed_bytes = i * 47;
+  e.oom_count = i % 3;
+  e.evicted_bytes = i * 53;
+  e.spilled_bytes = i * 59;
+  e.peak_resident_bytes = i * 61;
+  e.partitioner = i % 2;
+  e.anchor_op = i % 7;
+  e.group = static_cast<std::int64_t>(i) - 2;
+  e.name = "name-\"quoted\"\n\t#" + std::to_string(i);
+  e.detail = "detail \\ with backslash and \x01 control";
+  e.list = {i, i + 1, i + 2};
+  e.list2 = {i * 2};
+  return e;
+}
+
+TEST(ObsJsonl, RoundTripPreservesEveryFieldOfEveryKind) {
+  const std::string path = temp_path("obs_roundtrip.jsonl");
+  obs::EventLog log;
+  auto ring = std::make_shared<obs::RingSink>(1024);
+  log.attach(ring);
+  log.attach(std::make_shared<obs::JsonlFileSink>(path));
+
+  const EventKind kinds[] = {
+      EventKind::kClusterInfo,  EventKind::kJobSubmit,
+      EventKind::kJobFinish,    EventKind::kStageStart,
+      EventKind::kStageRetry,   EventKind::kStageEnd,
+      EventKind::kTaskSpan,     EventKind::kShuffleWrite,
+      EventKind::kShuffleSpill, EventKind::kShuffleReplay,
+      EventKind::kFetchFailure, EventKind::kNodeDown,
+      EventKind::kNodeUp,       EventKind::kBlockStore,
+      EventKind::kBlockEvict,   EventKind::kBlockHeal,
+      EventKind::kPlanDecision, EventKind::kPoolGrant,
+      EventKind::kCollectorIngest};
+  std::uint64_t i = 0;
+  for (const auto kind : kinds) log.emit(sample_event(kind, i++));
+  // A default-constructed payload exercises the omit-default-fields path.
+  Event bare;
+  bare.kind = EventKind::kStageStart;
+  log.emit(std::move(bare));
+  log.detach_all();  // flushes the file sink
+
+  // The ring snapshot is the stamped ground truth (seq + wall assigned).
+  const auto want = ring->snapshot();
+  ASSERT_EQ(want.size(), std::size(kinds) + 1);
+
+  const auto reader = obs::HistoryReader::load(path);
+  EXPECT_EQ(reader.skipped_lines(), 0u);
+  ASSERT_EQ(reader.events().size(), want.size());
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    SCOPED_TRACE("event seq " + std::to_string(want[k].seq));
+    EXPECT_TRUE(reader.events()[k] == want[k]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ObsJsonl, LoaderSkipsMalformedLinesAndCountsThem) {
+  const std::string path = temp_path("obs_malformed.jsonl");
+  {
+    obs::EventLog log;
+    log.attach(std::make_shared<obs::JsonlFileSink>(path));
+    log.emit(sample_event(EventKind::kTaskSpan, 1));
+    log.detach_all();
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{not json at all\n", f);
+    std::fputs("\n", f);
+    std::fclose(f);
+  }
+  const auto reader = obs::HistoryReader::load(path);
+  EXPECT_EQ(reader.events().size(), 1u);
+  EXPECT_GE(reader.skipped_lines(), 1u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// 2. Ring overflow: last `capacity` events survive, oldest first.
+
+TEST(ObsRingSink, OverflowKeepsNewestAndCountsDropped) {
+  obs::EventLog log;
+  auto ring = std::make_shared<obs::RingSink>(8);
+  log.attach(ring);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    Event e;
+    e.kind = EventKind::kTaskSpan;
+    e.task = i;
+    log.emit(std::move(e));
+  }
+  EXPECT_EQ(ring->total(), 20u);
+  EXPECT_EQ(ring->dropped(), 12u);
+  const auto snap = ring->snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].seq, 12 + i);  // the 8 newest, ordered by seq
+    EXPECT_EQ(snap[i].task, 12 + i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Replay parity: a faulty, OOMing run's log rebuilds the registry
+//    bit-for-bit.
+
+TEST(ObsReplay, FaultAndOomRunReplaysBitExact) {
+  const std::string path = temp_path("obs_replay.jsonl");
+  engine::EngineOptions opts = small_options();
+  // Node 1 dies at the reduce barrier (stage id 1) and its map outputs must
+  // be replayed; the reduce stage additionally OOMs twice on task 0, forcing
+  // a repartitioned retry.
+  opts.failure_schedule.failures.push_back(engine::NodeFailure{
+      /*node=*/1, /*at_sim_time=*/-1.0, /*at_stage_id=*/1,
+      /*rejoin_after_s=*/-1.0});
+  opts.oom_schedule.ooms.push_back(
+      engine::OomInjection{/*stage_id=*/1, /*attempts=*/2, /*task=*/0});
+
+  engine::Engine eng(engine::ClusterSpec::uniform(2, 2), opts);
+  obs::EventLog log;
+  log.attach(std::make_shared<obs::JsonlFileSink>(path));
+  eng.set_event_log(&log);
+  const auto res = eng.collect(sum_by_mod(4000, 37));
+  eng.set_event_log(nullptr);
+  log.detach_all();
+
+  ASSERT_GT(res.recomputed_tasks, 0u);  // the failure really bit
+  ASSERT_EQ(res.oom_count, 2u);        // and so did the OOM injection
+
+  const auto reader = obs::HistoryReader::load(path);
+  EXPECT_EQ(reader.skipped_lines(), 0u);
+  expect_registry_eq(eng.metrics(), reader);
+
+  // The cluster topology rides along in the log.
+  EXPECT_EQ(reader.cluster_cores(), (std::vector<std::size_t>{2, 2}));
+  EXPECT_EQ(reader.cluster_memory().size(), 2u);
+
+  // replay_into() produces the same registry again.
+  engine::MetricsRegistry rebuilt;
+  reader.replay_into(rebuilt);
+  ASSERT_EQ(rebuilt.stages().size(), eng.metrics().stages().size());
+  std::remove(path.c_str());
+}
+
+TEST(ObsReplay, AbortedJobReplaysWithFailureRecorded) {
+  const std::string path = temp_path("obs_replay_fail.jsonl");
+  engine::EngineOptions opts = small_options();
+  // An OOM that survives every retry aborts the job.
+  opts.oom_schedule.ooms.push_back(
+      engine::OomInjection{/*stage_id=*/1, /*attempts=*/100, /*task=*/0});
+
+  engine::Engine eng(engine::ClusterSpec::uniform(2, 2), opts);
+  obs::EventLog log;
+  log.attach(std::make_shared<obs::JsonlFileSink>(path));
+  eng.set_event_log(&log);
+  EXPECT_THROW(eng.collect(sum_by_mod(2000, 11)), engine::TaskOomError);
+  eng.set_event_log(nullptr);
+  log.detach_all();
+
+  const auto reader = obs::HistoryReader::load(path);
+  expect_registry_eq(eng.metrics(), reader);
+  const auto jobs = reader.jobs();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_TRUE(jobs[0].failed);
+  EXPECT_FALSE(jobs[0].error.empty());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// 4. Offline WorkloadDb: a profiling sweep's log, re-ingested through
+//    for_each_ingest, fits the same models and yields the same plan.
+
+core::ChopperOptions tiny_chopper_options() {
+  core::ChopperOptions o;
+  o.engine_options.default_parallelism = 64;
+  o.engine_options.host_threads = 4;
+  o.profile_partitions = {16, 48};
+  o.profile_fractions = {0.5, 1.0};
+  o.profile_both_partitioners = false;
+  o.optimizer.space.min_partitions = 8;
+  o.optimizer.space.max_partitions = 128;
+  o.optimizer.space.round_to = 4;
+  return o;
+}
+
+workloads::KMeansParams tiny_kmeans() {
+  workloads::KMeansParams p;
+  p.data.total_points = 8'000;
+  p.data.dims = 4;
+  p.k = 4;
+  p.iterations = 1;
+  p.init_rounds = 2;
+  p.source_partitions = 64;
+  return p;
+}
+
+TEST(ObsOfflineIngest, LoggedSweepFitsSamePlanAsLiveProfiling) {
+  const std::string path = temp_path("obs_sweep.jsonl");
+  const workloads::KMeansWorkload wl(tiny_kmeans());
+
+  // Live sweep with the event log wired through the whole pipeline.
+  core::Chopper live(engine::ClusterSpec::uniform(3, 4),
+                     tiny_chopper_options());
+  obs::EventLog log;
+  log.attach(std::make_shared<obs::JsonlFileSink>(path));
+  live.set_event_log(&log);
+  const double input = live.profile(wl.name(), wl.runner(), 1.0);
+  const auto a = live.plan(wl.name(), input);  // logs kPlanDecision per stage
+  live.set_event_log(nullptr);
+  log.detach_all();
+
+  // Offline: a fresh Chopper fed only from the log.
+  core::Chopper offline(engine::ClusterSpec::uniform(3, 4),
+                        tiny_chopper_options());
+  const auto reader = obs::HistoryReader::load(path);
+  const std::size_t markers = reader.for_each_ingest(
+      [&](const engine::MetricsRegistry& run, const std::string& workload,
+          double input_bytes, bool is_default) {
+        offline.ingest_run(run, workload, input_bytes, is_default);
+      });
+  // 1 default run + 2 fractions x 2 partition counts.
+  EXPECT_EQ(markers, 5u);
+  EXPECT_EQ(offline.db().total_observations(),
+            live.db().total_observations());
+
+  const auto b = offline.plan(wl.name(), input);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("planned stage " + std::to_string(i) + " (" + a[i].name +
+                 ")");
+    EXPECT_EQ(a[i].signature, b[i].signature);
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].partitioner, b[i].partitioner);
+    EXPECT_EQ(a[i].num_partitions, b[i].num_partitions);
+    EXPECT_EQ(a[i].cost, b[i].cost);
+    EXPECT_EQ(a[i].fixed, b[i].fixed);
+    EXPECT_EQ(a[i].insert_repartition, b[i].insert_repartition);
+    EXPECT_EQ(a[i].group, b[i].group);
+    EXPECT_EQ(a[i].p_min, b[i].p_min);
+  }
+
+  // The optimizer's decisions were themselves logged.
+  std::size_t plan_decisions = 0;
+  for (const auto& e : reader.events()) {
+    if (e.kind == EventKind::kPlanDecision) ++plan_decisions;
+  }
+  EXPECT_GT(plan_decisions, 0u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// 5. Chrome export: structurally valid trace JSON with the expected phases.
+
+TEST(ObsChromeTrace, ExportContainsSlicesAndMetadata) {
+  const std::string path = temp_path("obs_trace_src.jsonl");
+  engine::Engine eng(engine::ClusterSpec::uniform(2, 2), small_options());
+  obs::EventLog log;
+  auto ring = std::make_shared<obs::RingSink>(1 << 14);
+  log.attach(ring);
+  eng.set_event_log(&log);
+  (void)eng.collect(sum_by_mod(2000, 13));
+  eng.set_event_log(nullptr);
+  log.detach_all();
+
+  const std::string json = obs::to_chrome_trace(ring->snapshot());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // task slices
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);  // flow start
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);  // flow finish
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+
+  const std::string out = temp_path("obs_trace.json");
+  std::string error;
+  ASSERT_TRUE(obs::write_chrome_trace(ring->snapshot(), out, &error)) << error;
+  std::remove(path.c_str());
+  std::remove(out.c_str());
+}
+
+}  // namespace
+}  // namespace chopper

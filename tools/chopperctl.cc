@@ -24,8 +24,21 @@
 //       JobServer over one shared engine and print per-job latency, the pool
 //       shares and the grant schedule summary.
 //
-// The cluster and workload presets match the bench harness (the paper's
-// heterogeneous 5-worker cluster, Table-I-proportional inputs).
+//   chopperctl history LOG
+//       Summarize a structured event log (written with --event-log):
+//       per-job and per-stage tables, straggler/critical-path analysis and
+//       per-node utilization — all rebuilt offline via HistoryReader.
+//
+//   chopperctl trace LOG --chrome OUT.json
+//       Export an event log to Chrome trace_event JSON (load in Perfetto or
+//       chrome://tracing): nodes become processes, core slots become
+//       threads, shuffles become flow arrows.
+//
+// run and serve accept --event-log FILE to record the structured event
+// stream consumed by history/trace. The cluster and workload presets match
+// the bench harness (the paper's heterogeneous 5-worker cluster,
+// Table-I-proportional inputs). CHOPPER_LOG_LEVEL overrides the default
+// stderr log level.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -38,6 +51,10 @@
 #include "chopper/chopper.h"
 #include "common/logging.h"
 #include "harness.h"
+#include "obs/chrome_trace.h"
+#include "obs/event_log.h"
+#include "obs/history.h"
+#include "obs/sinks.h"
 #include "service/job_server.h"
 
 using namespace chopper;
@@ -51,15 +68,66 @@ class UsageError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-void print_usage(std::FILE* out) {
-  std::fprintf(out,
-               "usage: chopperctl profile|plan|run|inspect|serve [--flags]\n"
-               "see the header of tools/chopperctl.cc for details\n");
+/// Per-subcommand usage blocks. An empty `cmd` (or an unknown one) prints
+/// every block.
+void print_usage(std::FILE* out, const std::string& cmd = "") {
+  const bool all = cmd.empty();
+  if (all) {
+    std::fprintf(out,
+                 "usage: chopperctl COMMAND [--flags]\n"
+                 "commands: profile plan run inspect serve history trace\n\n");
+  }
+  if (all || cmd == "profile") {
+    std::fprintf(out,
+                 "  chopperctl profile --workload kmeans|pca|sql [--scale S] "
+                 "[--db FILE] [--tiny]\n"
+                 "      run the profiling sweep and save the workload DB\n");
+  }
+  if (all || cmd == "plan") {
+    std::fprintf(out,
+                 "  chopperctl plan --workload W --db FILE [--scale S] "
+                 "[--naive] [--out FILE] [--tiny]\n"
+                 "      compute the CHOPPER plan from a saved DB\n");
+  }
+  if (all || cmd == "run") {
+    std::fprintf(out,
+                 "  chopperctl run --workload W [--conf FILE] [--scale S] "
+                 "[--speculation] [--aqe]\n"
+                 "                 [--mem-scale M] [--event-log FILE] [--tiny]\n"
+                 "      execute the workload and print per-stage metrics\n");
+  }
+  if (all || cmd == "inspect") {
+    std::fprintf(out,
+                 "  chopperctl inspect --db FILE\n"
+                 "      summarize a workload DB: observations and stage DAGs\n");
+  }
+  if (all || cmd == "serve") {
+    std::fprintf(out,
+                 "  chopperctl serve [--jobs N] [--mode fifo|fair] "
+                 "[--max-concurrent K]\n"
+                 "                   [--event-log FILE] [--tiny]\n"
+                 "      multi-tenant demo over one shared engine\n");
+  }
+  if (all || cmd == "history") {
+    std::fprintf(out,
+                 "  chopperctl history LOG [--stragglers N]\n"
+                 "      summarize an event log: jobs, stages, stragglers,\n"
+                 "      critical path and per-node utilization\n");
+  }
+  if (all || cmd == "trace") {
+    std::fprintf(out,
+                 "  chopperctl trace LOG --chrome OUT.json\n"
+                 "      export an event log to Chrome trace_event JSON\n");
+  }
+  if (all) {
+    std::fprintf(out, "\nsee the header of tools/chopperctl.cc for details\n");
+  }
 }
 
 struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
 
   std::string get(const std::string& key, const std::string& fallback = "") const {
     const auto it = flags.find(key);
@@ -96,7 +164,11 @@ std::optional<Args> parse(int argc, char** argv) {
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
-    if (flag.rfind("--", 0) != 0) return std::nullopt;
+    if (flag.rfind("--", 0) != 0) {
+      // Positional operand (history/trace take the log path this way).
+      args.positional.push_back(std::move(flag));
+      continue;
+    }
     flag = flag.substr(2);
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       args.flags[flag] = argv[++i];
@@ -105,6 +177,31 @@ std::optional<Args> parse(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Reject flag names the subcommand does not define (exit 2 via UsageError),
+/// so a typo like --event-lgo fails loudly instead of being ignored.
+void validate_flags(const Args& args) {
+  static const std::map<std::string, std::vector<std::string>> known = {
+      {"profile", {"workload", "scale", "db", "tiny"}},
+      {"plan", {"workload", "db", "scale", "naive", "out", "tiny"}},
+      {"run",
+       {"workload", "conf", "scale", "speculation", "aqe", "mem-scale",
+        "event-log", "tiny"}},
+      {"inspect", {"db"}},
+      {"serve", {"jobs", "mode", "max-concurrent", "event-log", "tiny"}},
+      {"history", {"stragglers"}},
+      {"trace", {"chrome"}},
+  };
+  const auto it = known.find(args.command);
+  if (it == known.end()) return;  // unknown command: main exits 3
+  for (const auto& [flag, value] : args.flags) {
+    if (std::find(it->second.begin(), it->second.end(), flag) ==
+        it->second.end()) {
+      throw UsageError("unknown flag --" + flag + " for '" + args.command +
+                       "'");
+    }
+  }
 }
 
 std::unique_ptr<workloads::Workload> make_workload(const std::string& name,
@@ -270,6 +367,13 @@ int cmd_run(const Args& args) {
                 mem_scale);
   }
   engine::Engine eng(bench::bench_cluster(mem_scale), opts);
+  obs::EventLog event_log;
+  if (args.has("event-log")) {
+    event_log.attach(
+        std::make_shared<obs::JsonlFileSink>(args.get("event-log")));
+    eng.set_event_log(&event_log);
+    std::printf("recording event log to %s\n", args.get("event-log").c_str());
+  }
   if (args.has("conf")) {
     auto provider = std::make_shared<core::ConfigPlanProvider>();
     provider->reload(args.get("conf"), /*tolerant=*/true);
@@ -282,6 +386,12 @@ int cmd_run(const Args& args) {
   }
   wl->run(eng, scale);
   print_stages(eng);
+  if (args.has("event-log")) {
+    event_log.detach_all();
+    std::printf("event log: %llu events -> %s\n",
+                static_cast<unsigned long long>(event_log.emitted()),
+                args.get("event-log").c_str());
+  }
   return 0;
 }
 
@@ -318,6 +428,13 @@ int cmd_serve(const Args& args) {
   const bool tiny = args.has("tiny");
 
   engine::Engine eng(bench::bench_cluster(), bench::vanilla_options());
+  obs::EventLog event_log;
+  if (args.has("event-log")) {
+    event_log.attach(
+        std::make_shared<obs::JsonlFileSink>(args.get("event-log")));
+    eng.set_event_log(&event_log);  // before JobServer: the ledger wires in
+    std::printf("recording event log to %s\n", args.get("event-log").c_str());
+  }
 
   service::JobServerOptions sopts;
   sopts.mode = mode_s == "fair" ? service::SchedulingMode::kFair
@@ -387,32 +504,219 @@ int cmd_serve(const Args& args) {
   ptable.print();
   std::printf("virtual makespan: %.1fs over %zu grants\n", makespan,
               server.grant_log().size());
+  if (args.has("event-log")) {
+    event_log.detach_all();
+    std::printf("event log: %llu events -> %s\n",
+                static_cast<unsigned long long>(event_log.emitted()),
+                args.get("event-log").c_str());
+  }
+  return 0;
+}
+
+int cmd_history(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "history requires a LOG file operand\n");
+    print_usage(stderr, "history");
+    return 2;
+  }
+  const auto reader = obs::HistoryReader::load(args.positional.front());
+  if (reader.skipped_lines() > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
+                 reader.skipped_lines());
+  }
+  const auto jobs = reader.jobs();
+  const auto stages = reader.stages();
+
+  // ---- job summary ---------------------------------------------------------
+  bench::Table jt({"job", "name", "stages", "sim(s)", "wall(s)", "status"});
+  for (const auto& jm : jobs) {
+    jt.add_row({std::to_string(jm.job_id), jm.name,
+                std::to_string(jm.stage_ids.size()),
+                bench::Table::num(jm.sim_time_s, 3),
+                bench::Table::num(jm.wall_time_s, 3),
+                jm.failed ? "FAILED" : "ok"});
+  }
+  std::printf("%zu jobs, %zu stages, %zu events\n", jobs.size(), stages.size(),
+              reader.events().size());
+  jt.print();
+
+  // ---- stage summary -------------------------------------------------------
+  bench::Table st({"stage", "job", "name", "P", "tasks", "time(s)",
+                   "shuffle(KB)", "attempts"});
+  for (const auto& sm : stages) {
+    std::string name = sm.name;
+    if (name.size() > 40) name = name.substr(0, 37) + "...";
+    st.add_row({std::to_string(sm.stage_id), std::to_string(sm.job_id), name,
+                std::to_string(sm.num_partitions),
+                std::to_string(sm.tasks.size()),
+                bench::Table::num(sm.sim_time_s, 3),
+                bench::Table::num(
+                    static_cast<double>(sm.shuffle_bytes()) / 1024.0, 1),
+                std::to_string(sm.attempt_count)});
+  }
+  st.print();
+
+  // ---- stragglers ----------------------------------------------------------
+  // A straggler is a task whose duration dominates its stage's median; the
+  // stage's makespan is its slowest task, so these are the tasks that set
+  // the critical path inside each stage.
+  struct Straggler {
+    std::size_t stage, task, node;
+    double dur, median, ratio;
+  };
+  std::vector<Straggler> stragglers;
+  for (const auto& sm : stages) {
+    if (sm.tasks.empty()) continue;
+    std::vector<double> durs;
+    durs.reserve(sm.tasks.size());
+    for (const auto& tm : sm.tasks) durs.push_back(tm.sim_end - tm.sim_start);
+    std::vector<double> sorted = durs;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    if (median <= 0.0) continue;
+    for (std::size_t p = 0; p < sm.tasks.size(); ++p) {
+      const double ratio = durs[p] / median;
+      if (ratio >= 1.5) {
+        stragglers.push_back({sm.stage_id, sm.tasks[p].task_index,
+                              sm.tasks[p].node, durs[p], median, ratio});
+      }
+    }
+  }
+  std::sort(stragglers.begin(), stragglers.end(),
+            [](const Straggler& a, const Straggler& b) {
+              return a.ratio > b.ratio;
+            });
+  const std::size_t top = args.get_size("stragglers", 10);
+  if (!stragglers.empty()) {
+    std::printf("\nstragglers (task >= 1.5x stage median, top %zu):\n",
+                std::min(top, stragglers.size()));
+    bench::Table gt({"stage", "task", "node", "dur(s)", "median(s)", "x"});
+    for (std::size_t i = 0; i < stragglers.size() && i < top; ++i) {
+      const auto& g = stragglers[i];
+      gt.add_row({std::to_string(g.stage), std::to_string(g.task),
+                  std::to_string(g.node), bench::Table::num(g.dur, 3),
+                  bench::Table::num(g.median, 3),
+                  bench::Table::num(g.ratio, 2)});
+    }
+    gt.print();
+  } else {
+    std::printf("\nno stragglers (no task >= 1.5x its stage median)\n");
+  }
+
+  // ---- critical path -------------------------------------------------------
+  // Stages of one job execute sequentially on the simulated cluster, so the
+  // job's critical path is the chain of slowest tasks: one row per stage,
+  // sorted by share of total simulated time.
+  double total_sim = 0.0;
+  for (const auto& sm : stages) total_sim += sm.sim_time_s;
+  if (total_sim > 0.0) {
+    std::vector<const engine::StageMetrics*> by_time;
+    for (const auto& sm : stages) by_time.push_back(&sm);
+    std::sort(by_time.begin(), by_time.end(),
+              [](const auto* a, const auto* b) {
+                return a->sim_time_s > b->sim_time_s;
+              });
+    std::printf("\ncritical path (stage share of %.3fs total):\n", total_sim);
+    bench::Table ct({"stage", "name", "time(s)", "share", "cumulative"});
+    double cum = 0.0;
+    for (std::size_t i = 0; i < by_time.size() && i < 10; ++i) {
+      const auto& sm = *by_time[i];
+      cum += sm.sim_time_s;
+      std::string name = sm.name;
+      if (name.size() > 40) name = name.substr(0, 37) + "...";
+      ct.add_row({std::to_string(sm.stage_id), name,
+                  bench::Table::num(sm.sim_time_s, 3),
+                  bench::Table::num(100.0 * sm.sim_time_s / total_sim, 1) + "%",
+                  bench::Table::num(100.0 * cum / total_sim, 1) + "%"});
+    }
+    ct.print();
+  }
+
+  // ---- per-node utilization ------------------------------------------------
+  const auto cores = reader.cluster_cores();
+  double t_min = 0.0, t_max = 0.0;
+  bool any = false;
+  std::map<std::size_t, double> busy;
+  for (const auto& sm : stages) {
+    for (const auto& tm : sm.tasks) {
+      const double t0 = sm.sim_start_s + tm.sim_start;
+      const double t1 = sm.sim_start_s + tm.sim_end;
+      busy[tm.node] += t1 - t0;
+      t_min = any ? std::min(t_min, t0) : t0;
+      t_max = any ? std::max(t_max, t1) : t1;
+      any = true;
+    }
+  }
+  if (any && t_max > t_min) {
+    const double window = t_max - t_min;
+    std::printf("\nper-node utilization over [%.3fs, %.3fs]:\n", t_min, t_max);
+    bench::Table nt({"node", "cores", "busy(s)", "utilization"});
+    for (const auto& [node, b] : busy) {
+      const std::size_t c = node < cores.size() ? cores[node] : 1;
+      nt.add_row({std::to_string(node), std::to_string(c),
+                  bench::Table::num(b, 3),
+                  bench::Table::num(
+                      100.0 * b / (window * static_cast<double>(c)), 1) +
+                      "%"});
+    }
+    nt.print();
+  }
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "trace requires a LOG file operand\n");
+    print_usage(stderr, "trace");
+    return 2;
+  }
+  if (!args.has("chrome")) {
+    std::fprintf(stderr, "trace requires --chrome OUT.json\n");
+    print_usage(stderr, "trace");
+    return 2;
+  }
+  const auto reader = obs::HistoryReader::load(args.positional.front());
+  std::string error;
+  if (!obs::write_chrome_trace(reader.events(), args.get("chrome"), &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote Chrome trace of %zu events to %s "
+              "(open in Perfetto or chrome://tracing)\n",
+              reader.events().size(), args.get("chrome").c_str());
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  common::set_log_level(common::LogLevel::kInfo);
+  // CHOPPER_LOG_LEVEL overrides the CLI's chatty default.
+  common::set_log_level_default(common::LogLevel::kInfo);
   const auto args = parse(argc, argv);
   if (!args) {
     print_usage(stderr);
     return 2;
   }
   try {
+    validate_flags(*args);
     if (args->command == "profile") return cmd_profile(*args);
     if (args->command == "plan") return cmd_plan(*args);
     if (args->command == "run") return cmd_run(*args);
     if (args->command == "inspect") return cmd_inspect(*args);
     if (args->command == "serve") return cmd_serve(*args);
+    if (args->command == "history") return cmd_history(*args);
+    if (args->command == "trace") return cmd_trace(*args);
   } catch (const UsageError& e) {
+    // Exit 2: the command was recognized but a flag value is unusable.
     std::fprintf(stderr, "error: %s\n", e.what());
-    print_usage(stderr);
+    print_usage(stderr, args->command);
     return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  // Exit 3: no such subcommand (distinct from flag/usage errors above).
   std::fprintf(stderr, "unknown command: %s\n", args->command.c_str());
-  return 2;
+  print_usage(stderr);
+  return 3;
 }

@@ -1,0 +1,51 @@
+# Event-log CLI flow: run with --event-log, then replay the log through
+# `history` and export it with `trace`. Also pins the distinct exit codes:
+# unknown command -> 3, bad flag -> 2.
+set(LOG ${WORKDIR}/obs_cli.jsonl)
+set(TRACE ${WORKDIR}/obs_cli_trace.json)
+
+execute_process(COMMAND ${CTL} run --workload kmeans --tiny --event-log ${LOG}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run --event-log failed: ${rc}")
+endif()
+if(NOT EXISTS ${LOG})
+  message(FATAL_ERROR "event log was not written: ${LOG}")
+endif()
+
+execute_process(COMMAND ${CTL} history ${LOG}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "history failed: ${rc}")
+endif()
+foreach(section "jobs" "stages" "critical path" "per-node utilization")
+  if(NOT out MATCHES "${section}")
+    message(FATAL_ERROR "history output missing '${section}' section:\n${out}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CTL} trace ${LOG} --chrome ${TRACE}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace failed: ${rc}")
+endif()
+file(READ ${TRACE} trace_json)
+if(NOT trace_json MATCHES "traceEvents")
+  message(FATAL_ERROR "trace output is not a Chrome trace document")
+endif()
+
+# Exit-code contract: unknown command is 3, a bad flag on a known command is 2.
+execute_process(COMMAND ${CTL} bogus RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "unknown command: expected exit 3, got ${rc}")
+endif()
+execute_process(COMMAND ${CTL} run --no-such-flag
+                RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "bad flag: expected exit 2, got ${rc}")
+endif()
+execute_process(COMMAND ${CTL} history RESULT_VARIABLE rc ERROR_QUIET
+                OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "history without a log: expected exit 2, got ${rc}")
+endif()
