@@ -1,24 +1,39 @@
-// Google-benchmark microbenchmarks of the engine's hot paths: partitioner
-// dispatch, shuffle bucketing with and without map-side combine, and the
-// wide-merge implementations. These guard the substrate's performance so
-// profiling sweeps stay cheap.
+// Microbenchmarks of the engine's hot paths: partitioner dispatch, the
+// batched data plane (radix shuffle scatter, map-side combine, reduce-side
+// merge), and the event-log emit guard.
+//
+// Two layers:
+//  * The always-run data-plane sections compare the batched SoA
+//    implementations (engine/dataplane) against faithful replicas of the
+//    pre-§13 per-record code (vector<Record> buckets, unordered_map merges)
+//    and enforce the allocation contract with a global operator-new
+//    counter: the batched paths must allocate at least 4x fewer times than
+//    the legacy paths, else the binary exits 1 (CI regression gate).
+//    `--json PATH` mirrors the section table into a BENCH_*.json artifact.
+//  * google-benchmark micro-timers for profiling individual primitives.
 //
 // The custom main() additionally enforces the event-log overhead contract
 // (DESIGN.md §12): with no sink attached, the per-task instrumentation
 // guard must not allocate — checked by counting global operator new calls
-// across 100k disabled-guard evaluations before the benchmarks run.
+// across 100k disabled-guard evaluations before anything else runs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
+#include "engine/dataplane.h"
 #include "engine/partition.h"
 #include "engine/partitioner.h"
+#include "harness.h"
 #include "obs/event_log.h"
 #include "obs/sinks.h"
 
@@ -38,18 +53,236 @@ namespace {
 
 using namespace chopper;
 
-engine::Partition make_records(std::size_t n, std::size_t distinct_keys) {
-  common::Xoshiro256 rng(99);
+engine::Partition make_records(std::size_t n, std::size_t distinct_keys,
+                               std::uint64_t seed = 99) {
+  common::Xoshiro256 rng(seed);
   engine::Partition p;
   p.reserve(n);
+  p.reserve_values(2 * n);
   for (std::size_t i = 0; i < n; ++i) {
-    engine::Record r;
-    r.key = rng.next_below(distinct_keys);
-    r.values = {rng.next_double(), 1.0};
-    p.push(std::move(r));
+    const double vals[2] = {rng.next_double(), 1.0};
+    p.emplace(rng.next_below(distinct_keys), vals, 2, 0);
   }
   return p;
 }
+
+void sum_fn(engine::Record& acc, const engine::Record& next) {
+  acc.values[0] += next.values[0];
+  acc.values[1] += next.values[1];
+}
+
+// ---------------------------------------------------------------------------
+// Data-plane sections: batched implementations vs pre-batched replicas.
+// ---------------------------------------------------------------------------
+
+struct Section {
+  std::string name;
+  std::size_t records = 0;
+  double legacy_s = 0.0;
+  double batched_s = 0.0;
+  std::size_t legacy_allocs = 0;
+  std::size_t batched_allocs = 0;
+
+  double speedup() const { return legacy_s / std::max(batched_s, 1e-12); }
+  double legacy_allocs_per_krec() const {
+    return 1e3 * static_cast<double>(legacy_allocs) /
+           static_cast<double>(records);
+  }
+  double batched_allocs_per_krec() const {
+    return 1e3 * static_cast<double>(batched_allocs) /
+           static_cast<double>(records);
+  }
+};
+
+template <typename F>
+double best_seconds(F&& f, int reps) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+template <typename Legacy, typename Batched>
+Section measure(std::string name, std::size_t records, Legacy&& legacy,
+                Batched&& batched) {
+  Section s;
+  s.name = std::move(name);
+  s.records = records;
+  legacy();  // warmup
+  batched();
+  std::size_t a0 = g_allocs.load(std::memory_order_relaxed);
+  legacy();
+  s.legacy_allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+  a0 = g_allocs.load(std::memory_order_relaxed);
+  batched();
+  s.batched_allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+  s.legacy_s = best_seconds(legacy, 5);
+  s.batched_s = best_seconds(batched, 5);
+  return s;
+}
+
+/// Shuffle write: legacy = per-record partitioner call + per-record
+/// vector<Record> push (the old Partition storage); batched = single-pass
+/// radix scatter into exactly-reserved arenas.
+Section shuffle_write_section(const engine::Partition& data,
+                              const engine::Partitioner& part,
+                              const std::string& name) {
+  const std::size_t r_count = part.num_partitions();
+  auto legacy = [&] {
+    std::vector<std::vector<engine::Record>> buckets(r_count);
+    engine::Record scratch;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data.materialize_into(i, scratch);
+      buckets[part.partition_of(scratch.key)].push_back(scratch);
+    }
+    benchmark::DoNotOptimize(buckets.data());
+  };
+  auto batched = [&] {
+    std::vector<engine::Partition> buckets(r_count);
+    engine::dataplane::radix_scatter(data, part, buckets);
+    benchmark::DoNotOptimize(buckets.data());
+  };
+  return measure(name, data.size(), legacy, batched);
+}
+
+/// Reduce-side merge: legacy = unordered_map accumulation + sorted-key
+/// emission with a second at() probe per key; batched = stable index sort +
+/// run scan.
+Section reduce_merge_section(const std::vector<engine::Partition>& parts) {
+  std::size_t records = 0;
+  for (const auto& p : parts) records += p.size();
+  auto legacy = [&] {
+    std::unordered_map<std::uint64_t, engine::Record> acc;
+    engine::Record scratch;
+    for (const auto& part : parts) {
+      for (std::size_t i = 0; i < part.size(); ++i) {
+        part.materialize_into(i, scratch);
+        auto [it, inserted] = acc.try_emplace(scratch.key, scratch);
+        if (!inserted) sum_fn(it->second, scratch);
+      }
+    }
+    std::vector<std::uint64_t> keys;
+    keys.reserve(acc.size());
+    for (const auto& [k, v] : acc) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    engine::Partition out;
+    out.reserve(keys.size());
+    for (const auto k : keys) out.push(acc.at(k));
+    benchmark::DoNotOptimize(out.size());
+  };
+  auto batched = [&] {
+    std::vector<engine::Partition> copy = parts;  // bulk arena copies
+    const auto out =
+        engine::dataplane::merge_reduce_by_key(std::move(copy), sum_fn);
+    benchmark::DoNotOptimize(out.size());
+  };
+  return measure("reduce_merge", records, legacy, batched);
+}
+
+/// Map-side combine: legacy = per-bucket unordered_map + sorted keys +
+/// at() emission; batched = counting sort by bucket + per-bucket run scan.
+Section combine_section(const engine::Partition& data,
+                        const engine::Partitioner& part) {
+  const std::size_t r_count = part.num_partitions();
+  auto legacy = [&] {
+    std::vector<std::unordered_map<std::uint64_t, engine::Record>> accs(
+        r_count);
+    engine::Record scratch;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data.materialize_into(i, scratch);
+      auto& acc = accs[part.partition_of(scratch.key)];
+      auto [it, inserted] = acc.try_emplace(scratch.key, scratch);
+      if (!inserted) sum_fn(it->second, scratch);
+    }
+    std::vector<std::vector<engine::Record>> row(r_count);
+    for (std::size_t r = 0; r < r_count; ++r) {
+      std::vector<std::uint64_t> keys;
+      keys.reserve(accs[r].size());
+      for (const auto& [k, v] : accs[r]) keys.push_back(k);
+      std::sort(keys.begin(), keys.end());
+      row[r].reserve(keys.size());
+      for (const auto k : keys) row[r].push_back(accs[r].at(k));
+    }
+    benchmark::DoNotOptimize(row.data());
+  };
+  auto batched = [&] {
+    std::vector<engine::Partition> row(r_count);
+    engine::dataplane::combine_scatter(data, part, sum_fn, row);
+    benchmark::DoNotOptimize(row.data());
+  };
+  return measure("map_side_combine", data.size(), legacy, batched);
+}
+
+/// Runs every section, prints the table, enforces the allocation contract.
+/// Returns false when a batched path stopped beating its legacy replica on
+/// allocation count by the required margin.
+bool run_dataplane_sections(const std::string& json_path) {
+  const std::size_t kRecords = 1 << 16;
+  const auto data = make_records(kRecords, 1 << 12);
+
+  std::vector<Section> sections;
+  {
+    const engine::HashPartitioner hash(100);
+    sections.push_back(shuffle_write_section(data, hash, "shuffle_write_hash"));
+  }
+  {
+    common::Xoshiro256 rng(7);
+    std::vector<std::uint64_t> sample(2048);
+    for (auto& k : sample) k = rng.next_below(1 << 12);
+    const auto range = engine::RangePartitioner::from_sample(100, sample);
+    sections.push_back(
+        shuffle_write_section(data, *range, "shuffle_write_range"));
+  }
+  {
+    // Post-combine shape: each map task's shuffle row is key-sorted (that is
+    // what combine_scatter emits) and carries high key cardinality — a key
+    // appears ~once per contributing map task, not dozens of times per row.
+    std::vector<engine::Partition> parts(8);
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      parts[i] = make_records(8192, 1 << 16, 99 + i);
+      parts[i].stable_sort_by_key();
+    }
+    sections.push_back(reduce_merge_section(parts));
+  }
+  {
+    const engine::HashPartitioner hash(100);
+    sections.push_back(combine_section(data, hash));
+  }
+
+  bench::Table t({"section", "legacy Mrec/s", "batched Mrec/s", "speedup",
+                  "legacy allocs/krec", "batched allocs/krec"});
+  bool ok = true;
+  for (const auto& s : sections) {
+    const double n = static_cast<double>(s.records);
+    t.add_row({s.name, bench::Table::num(n / s.legacy_s / 1e6),
+               bench::Table::num(n / s.batched_s / 1e6),
+               bench::Table::num(s.speedup()),
+               bench::Table::num(s.legacy_allocs_per_krec()),
+               bench::Table::num(s.batched_allocs_per_krec())});
+    // Allocation contract: the batched path exists to eliminate per-record
+    // heap traffic; demand a >= 4x reduction (in practice it is >100x).
+    if (s.batched_allocs * 4 >= s.legacy_allocs) {
+      std::fprintf(stderr,
+                   "FAIL: %s batched path allocated %zu times vs legacy %zu "
+                   "(need >= 4x reduction)\n",
+                   s.name.c_str(), s.batched_allocs, s.legacy_allocs);
+      ok = false;
+    }
+  }
+  bench::print_header("micro_engine_ops: batched data plane vs legacy");
+  t.print();
+  if (!json_path.empty()) t.write_json(json_path, "micro_engine_ops");
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark micro-timers.
+// ---------------------------------------------------------------------------
 
 void BM_HashPartitioner(benchmark::State& state) {
   const engine::HashPartitioner part(static_cast<std::size_t>(state.range(0)));
@@ -81,37 +314,48 @@ void BM_RangePartitioner(benchmark::State& state) {
 }
 BENCHMARK(BM_RangePartitioner)->Arg(100)->Arg(500)->Arg(2000);
 
-void BM_BucketByPartition(benchmark::State& state) {
+void BM_RadixScatter(benchmark::State& state) {
   const std::size_t r_count = static_cast<std::size_t>(state.range(0));
   const engine::HashPartitioner part(r_count);
   const auto data = make_records(8192, 1u << 16);
   for (auto _ : state) {
     std::vector<engine::Partition> buckets(r_count);
-    for (const auto& r : data.records()) {
-      buckets[part.partition_of(r.key)].push(r);
-    }
+    engine::dataplane::radix_scatter(data, part, buckets);
     benchmark::DoNotOptimize(buckets.data());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(data.size()));
 }
-BENCHMARK(BM_BucketByPartition)->Arg(100)->Arg(500);
+BENCHMARK(BM_RadixScatter)->Arg(100)->Arg(500);
 
-void BM_MapSideCombine(benchmark::State& state) {
+void BM_CombineScatter(benchmark::State& state) {
   const std::size_t distinct = static_cast<std::size_t>(state.range(0));
+  const engine::HashPartitioner part(100);
   const auto data = make_records(8192, distinct);
   for (auto _ : state) {
-    std::unordered_map<std::uint64_t, engine::Record> acc;
-    for (const auto& r : data.records()) {
-      auto [it, inserted] = acc.try_emplace(r.key, r);
-      if (!inserted) it->second.values[1] += r.values[1];
-    }
-    benchmark::DoNotOptimize(acc.size());
+    std::vector<engine::Partition> buckets(part.num_partitions());
+    engine::dataplane::combine_scatter(data, part, sum_fn, buckets);
+    benchmark::DoNotOptimize(buckets.data());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(data.size()));
 }
-BENCHMARK(BM_MapSideCombine)->Arg(10)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_CombineScatter)->Arg(10)->Arg(1000)->Arg(100000);
+
+void BM_ReduceMerge(benchmark::State& state) {
+  std::vector<engine::Partition> parts(4);
+  for (auto& p : parts) {
+    p = make_records(4096, static_cast<std::size_t>(state.range(0)));
+  }
+  for (auto _ : state) {
+    std::vector<engine::Partition> copy = parts;
+    const auto out =
+        engine::dataplane::merge_reduce_by_key(std::move(copy), sum_fn);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * 4096);
+}
+BENCHMARK(BM_ReduceMerge)->Arg(64)->Arg(4096);
 
 void BM_TraceEmitDisabled(benchmark::State& state) {
   // The guard every instrumented hot path evaluates per task when no event
@@ -166,6 +410,13 @@ int main(int argc, char** argv) {
     }
     std::printf("disabled event-log guard: 100000 checks, 0 allocations\n");
   }
+
+  // Data-plane sections always run — they carry the allocation regression
+  // gate. With --json the binary is in CI artifact mode and stops here.
+  const std::string json_path = bench::json_flag(argc, argv);
+  if (!run_dataplane_sections(json_path)) return 1;
+  if (!json_path.empty()) return 0;
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -17,6 +17,17 @@ double stage_cost(const StageModel& model, double input_bytes,
   return cost;
 }
 
+double stage_cost(const StageModel::BoundInput& bound, double num_partitions,
+                  const CostWeights& w, const CostBaselines& base) {
+  const double texe = bound.texe(num_partitions);
+  double cost = w.alpha * texe / std::max(base.texe_default, 1e-9);
+  if (base.shuffle_default > 0.0) {
+    const double shuffle = bound.shuffle(num_partitions);
+    cost += w.beta * shuffle / base.shuffle_default;
+  }
+  return cost;
+}
+
 std::vector<std::size_t> candidate_partitions(const SearchSpace& space) {
   std::vector<std::size_t> out;
   const double lo = static_cast<double>(std::max<std::size_t>(1, space.min_partitions));
@@ -43,9 +54,10 @@ MinParResult get_min_par(const StageModel& model, double input_bytes,
                          const SearchSpace& space) {
   MinParResult best;
   bool first = true;
+  // Bind the D half of the basis once; only the P terms vary per candidate.
+  const StageModel::BoundInput bound = model.bind_input(input_bytes);
   for (const std::size_t p : candidate_partitions(space)) {
-    const double c =
-        stage_cost(model, input_bytes, static_cast<double>(p), w, base);
+    const double c = stage_cost(bound, static_cast<double>(p), w, base);
     if (first || c < best.cost) {
       best.num_partitions = p;
       best.cost = c;

@@ -36,6 +36,11 @@ double stage_cost(const StageModel& model, double input_bytes,
                   double num_partitions, const CostWeights& w,
                   const CostBaselines& base);
 
+/// Eq. 3 with the stage's D terms pre-bound (StageModel::bind_input) —
+/// bit-identical to the overload above, cheaper inside candidate sweeps.
+double stage_cost(const StageModel::BoundInput& bound, double num_partitions,
+                  const CostWeights& w, const CostBaselines& base);
+
 struct SearchSpace {
   std::size_t min_partitions = 10;
   std::size_t max_partitions = 2000;

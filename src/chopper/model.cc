@@ -104,6 +104,55 @@ double StageModel::predict(const std::vector<double>& w, double d,
   return out;
 }
 
+StageModel::BoundInput StageModel::bind_input(double input_bytes) const {
+  BoundInput b;
+  b.m_ = this;
+  if (!trained_) return b;
+  const double d = std::max(0.0, input_bytes) * kBytesScale;
+  const double df[4] = {d * d * d, d * d, d, std::sqrt(d)};
+  // Same running-sum prefix predict() would produce over features 0..3.
+  double td = 0.0;
+  double sd = 0.0;
+  for (std::size_t j = 0; j < 4; ++j) {
+    const double v =
+        feat_std_[j] > 0.0 ? (df[j] - feat_mean_[j]) / feat_std_[j] : 0.0;
+    td += w_texe_[j] * v;
+    sd += w_shuffle_[j] * v;
+  }
+  b.d_texe_ = td;
+  b.d_shuffle_ = sd;
+  return b;
+}
+
+double StageModel::BoundInput::eval(const std::vector<double>& w,
+                                    double d_partial,
+                                    double num_partitions) const {
+  const double p = std::max(0.0, num_partitions) * kPartitionScale;
+  const double pf[4] = {p * p * p, p * p, p, std::sqrt(p)};
+  // Continue the addition sequence exactly where bind_input() stopped.
+  double out = d_partial;
+  for (std::size_t j = 4; j + 1 < kNumFeatures; ++j) {
+    const double v = m_->feat_std_[j] > 0.0
+                         ? (pf[j - 4] - m_->feat_mean_[j]) / m_->feat_std_[j]
+                         : 0.0;
+    out += w[j] * v;
+  }
+  out += w[kNumFeatures - 1] * 1.0;  // intercept is never standardized
+  return out;
+}
+
+double StageModel::BoundInput::texe(double num_partitions) const {
+  if (!m_->trained_) return std::max(m_->mean_texe_, kMinTexe);
+  return std::max(eval(m_->w_texe_, d_texe_, num_partitions), kMinTexe);
+}
+
+double StageModel::BoundInput::shuffle(double num_partitions) const {
+  if (!m_->trained_) return std::max(m_->mean_shuffle_, 0.0);
+  // Undo the MiB target scaling applied in fit().
+  return std::max(
+      eval(m_->w_shuffle_, d_shuffle_, num_partitions) * 1024.0 * 1024.0, 0.0);
+}
+
 double StageModel::predict_texe(double input_bytes,
                                 double num_partitions) const {
   if (!trained_) return std::max(mean_texe_, kMinTexe);

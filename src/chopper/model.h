@@ -50,6 +50,28 @@ class StageModel {
   /// Predicted shuffle volume (bytes), clamped to >= 0.
   double predict_shuffle(double input_bytes, double num_partitions) const;
 
+  /// Partial evaluation with the D half of the basis pre-summed: D is fixed
+  /// per stage while the optimizer sweeps P candidates, so the four D terms
+  /// (and their standardization) need computing only once. The per-P
+  /// evaluation performs the remaining additions in the same order as
+  /// predict(), so results are bit-identical to predict_texe/predict_shuffle.
+  /// The view borrows the model; it must not outlive it.
+  class BoundInput {
+   public:
+    double texe(double num_partitions) const;
+    double shuffle(double num_partitions) const;
+
+   private:
+    friend class StageModel;
+    double eval(const std::vector<double>& w, double d_partial,
+                double num_partitions) const;
+
+    const StageModel* m_ = nullptr;
+    double d_texe_ = 0.0;     ///< running sum over the D terms, texe weights
+    double d_shuffle_ = 0.0;  ///< ditto, shuffle weights
+  };
+  BoundInput bind_input(double input_bytes) const;
+
   /// Mean squared relative training error of the t_exe model (diagnostic).
   double texe_fit_error() const noexcept { return texe_rel_err_; }
 

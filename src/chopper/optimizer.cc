@@ -194,7 +194,18 @@ std::vector<PlannedStage> Optimizer::get_global_par(
         engine::PartitionerKind kind;
         std::size_t p;
       };
+      // Per-member evaluation state, computed once: the input estimate and
+      // baselines are fixed per signature, and the models' D basis terms
+      // are pre-bound so the O(candidates x members) sweep below only
+      // evaluates the cheap P half of the polynomial.
+      struct SigEval {
+        CostBaselines base;
+        StageModel::BoundInput range;
+        StageModel::BoundInput hash;
+      };
       std::vector<Candidate> candidates;
+      std::vector<SigEval> evals;
+      evals.reserve(group.size());
       std::size_t group_p_min = 0;
       for (const auto sig : group) {
         const double d =
@@ -203,17 +214,25 @@ std::vector<PlannedStage> Optimizer::get_global_par(
         candidates.push_back({c.partitioner, c.num_partitions});
         pmin_by_sig[sig] = c.p_min;
         group_p_min = std::max(group_p_min, c.p_min);
+        SigEval ev;
+        ev.base = baselines(workload, sig);
+        ev.range = db_.model(workload, sig, engine::PartitionerKind::kRange)
+                       ->bind_input(d);
+        ev.hash = db_.model(workload, sig, engine::PartitionerKind::kHash)
+                      ->bind_input(d);
+        evals.push_back(std::move(ev));
       }
       bool first = true;
       double best_total = 0.0;
       for (const auto& cand : candidates) {
         double total = 0.0;
-        for (const auto sig : group) {
-          const double d =
-              db_.stage_input_estimate(workload, sig, workload_input_bytes);
-          const StageModel* model = db_.model(workload, sig, cand.kind);
-          total += stage_cost(*model, d, static_cast<double>(cand.p),
-                              options_.weights, baselines(workload, sig));
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          const SigEval& ev = evals[i];
+          const StageModel::BoundInput& bound =
+              cand.kind == engine::PartitionerKind::kRange ? ev.range
+                                                           : ev.hash;
+          total += stage_cost(bound, static_cast<double>(cand.p),
+                              options_.weights, ev.base);
         }
         if (first || total < best_total) {
           best_total = total;

@@ -1,0 +1,361 @@
+#include "engine/dataplane.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <utility>
+
+namespace chopper::engine::dataplane {
+
+namespace {
+
+/// (key, index) pairs sorted ascending by key with ties broken by index —
+/// i.e. equal keys keep their encounter order, which is what makes every
+/// merge below apply the user's reduce fn in exactly the sequence the old
+/// per-record hash-map implementations did. Sorting flat 16-byte pairs
+/// (rather than an index permutation with indirect comparisons) keeps the
+/// sort cache-resident.
+using KeyIdx = std::pair<std::uint64_t, std::size_t>;
+
+/// Stable LSD radix sort of (key, index) pairs by key. Byte planes whose
+/// values are all equal are skipped, so narrow key domains cost only the
+/// passes they need. Stability keeps equal keys in encounter order — the
+/// same order a comparison sort with an index tie-break would produce —
+/// while every pass streams memory sequentially instead of branching on
+/// comparisons, which is what makes it beat std::sort on wide inputs.
+void radix_sort_keys(KeyIdx* first, std::size_t n,
+                     std::vector<KeyIdx>& scratch) {
+  if (n < 128) {  // tiny runs: introsort's constants win
+    std::sort(first, first + n);  // pair order == stable sort by key
+    return;
+  }
+  std::array<std::array<std::uint32_t, 256>, 8> hist{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = first[i].first;
+    for (std::size_t b = 0; b < 8; ++b) ++hist[b][(k >> (8 * b)) & 0xff];
+  }
+  scratch.resize(n);
+  KeyIdx* src = first;
+  KeyIdx* dst = scratch.data();
+  for (std::size_t b = 0; b < 8; ++b) {
+    // A full bucket means every key shares this byte: nothing to reorder.
+    if (hist[b][(src[0].first >> (8 * b)) & 0xff] == n) continue;
+    std::array<std::uint32_t, 256> offs;
+    std::uint32_t sum = 0;
+    for (std::size_t v = 0; v < 256; ++v) {
+      offs[v] = sum;
+      sum += hist[b][v];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[offs[(src[i].first >> (8 * b)) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != first) std::copy(src, src + n, first);
+}
+
+std::vector<KeyIdx> sorted_keys(const Partition& p) {
+  std::vector<KeyIdx> ks(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) ks[i] = {p.key(i), i};
+  std::vector<KeyIdx> scratch;
+  radix_sort_keys(ks.data(), ks.size(), scratch);
+  return ks;
+}
+
+bool keys_sorted(const Partition& p) {
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    if (p.key(i) < p.key(i - 1)) return false;
+  }
+  return true;
+}
+
+/// K-way merge-reduce over key-sorted runs. Equivalent to stable-sorting the
+/// concatenation and run-scanning it (equal keys are consumed in part order,
+/// encounter order within a part), but every read advances sequentially
+/// through its run — no hash table, no global sort, no gather.
+Partition kway_reduce(std::vector<Partition>& parts, const ReduceFn& fn) {
+  const std::size_t k_runs = parts.size();
+  std::vector<std::size_t> cur(k_runs, 0);
+  Partition out;
+  Record acc;
+  Record next;
+  while (true) {
+    bool any = false;
+    std::uint64_t k = 0;
+    for (std::size_t p = 0; p < k_runs; ++p) {
+      if (cur[p] < parts[p].size() &&
+          (!any || parts[p].key(cur[p]) < k)) {
+        k = parts[p].key(cur[p]);
+        any = true;
+      }
+    }
+    if (!any) break;
+    bool first = true;
+    for (std::size_t p = 0; p < k_runs; ++p) {
+      while (cur[p] < parts[p].size() && parts[p].key(cur[p]) == k) {
+        if (first) {
+          parts[p].materialize_into(cur[p], acc);
+          first = false;
+        } else {
+          parts[p].materialize_into(cur[p], next);
+          fn(acc, next);
+        }
+        ++cur[p];
+      }
+    }
+    out.push(acc);
+  }
+  return out;
+}
+
+}  // namespace
+
+void radix_scatter(const Partition& in, const Partitioner& part,
+                   std::span<Partition> buckets) {
+  const std::size_t n = in.size();
+  if (n == 0) return;
+
+  // Pass 1: bucket each record once and histogram record/payload counts.
+  std::vector<std::uint32_t> bucket_of(n);
+  std::vector<std::size_t> recs(buckets.size(), 0);
+  std::vector<std::size_t> vals(buckets.size(), 0);
+  BucketMemo memo(part);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<std::uint32_t>(memo.bucket_of(in.key(i)));
+    bucket_of[i] = b;
+    ++recs[b];
+    vals[b] += in.values(i).size();
+  }
+
+  for (std::size_t r = 0; r < buckets.size(); ++r) {
+    if (recs[r] == 0) continue;
+    buckets[r].reserve(buckets[r].size() + recs[r]);
+    buckets[r].reserve_values(buckets[r].values_size() + vals[r]);
+  }
+
+  // Pass 2: scatter into exactly-sized arenas.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const double> v = in.values(i);
+    buckets[bucket_of[i]].emplace(in.key(i), v.data(), v.size(), in.aux(i));
+  }
+}
+
+void combine_scatter(const Partition& in, const Partitioner& part,
+                     const ReduceFn& fn, std::span<Partition> buckets) {
+  const std::size_t n = in.size();
+  if (n == 0) return;
+  const std::size_t r_count = buckets.size();
+
+  std::vector<std::uint32_t> bucket_of(n);
+  std::vector<std::size_t> counts(r_count, 0);
+  BucketMemo memo(part);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<std::uint32_t>(memo.bucket_of(in.key(i)));
+    bucket_of[i] = b;
+    ++counts[b];
+  }
+
+  // Stable counting sort into bucket-major (key, index) runs, then sort
+  // each bucket's run by key (ties keep encounter order via the index).
+  std::vector<std::size_t> offs(r_count + 1, 0);
+  for (std::size_t r = 0; r < r_count; ++r) offs[r + 1] = offs[r] + counts[r];
+  std::vector<KeyIdx> ks(n);
+  {
+    std::vector<std::size_t> cur(offs.begin(), offs.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      ks[cur[bucket_of[i]]++] = {in.key(i), i};
+    }
+  }
+
+  Record acc;   // reused scratch accumulators: values.assign reuses capacity
+  Record next;
+  std::vector<KeyIdx> scratch;
+  for (std::size_t r = 0; r < r_count; ++r) {
+    const auto first = ks.begin() + static_cast<std::ptrdiff_t>(offs[r]);
+    const auto last = ks.begin() + static_cast<std::ptrdiff_t>(offs[r + 1]);
+    if (first == last) continue;
+    radix_sort_keys(&*first, static_cast<std::size_t>(last - first), scratch);
+    std::size_t distinct = 1;
+    for (auto it = first + 1; it != last; ++it) {
+      if (it->first != (it - 1)->first) ++distinct;
+    }
+    buckets[r].reserve(buckets[r].size() + distinct);
+
+    auto it = first;
+    while (it != last) {
+      const std::uint64_t k = it->first;
+      in.materialize_into(it->second, acc);
+      ++it;
+      while (it != last && it->first == k) {
+        in.materialize_into(it->second, next);
+        fn(acc, next);
+        ++it;
+      }
+      buckets[r].push(acc);
+    }
+  }
+}
+
+Partition merge_concat(std::vector<Partition>&& parts) {
+  Partition out;
+  std::size_t recs = 0;
+  std::size_t vals = 0;
+  for (const auto& p : parts) {
+    recs += p.size();
+    vals += p.values_size();
+  }
+  out.reserve(recs);
+  out.reserve_values(vals);
+  for (auto& p : parts) out.absorb(std::move(p));
+  return out;
+}
+
+Partition merge_sorted(std::vector<Partition>&& parts) {
+  Partition out = merge_concat(std::move(parts));
+  out.stable_sort_by_key();
+  return out;
+}
+
+Partition merge_reduce_by_key(std::vector<Partition>&& parts,
+                              const ReduceFn& fn) {
+  // Combined shuffle rows arrive key-sorted (combine_scatter emits runs in
+  // ascending key order), so the common case merges sorted runs directly.
+  if (!parts.empty() &&
+      std::all_of(parts.begin(), parts.end(), keys_sorted)) {
+    return kway_reduce(parts, fn);
+  }
+  Partition all = merge_concat(std::move(parts));
+  const std::size_t n = all.size();
+  if (n == 0) return {};
+  const auto ks = sorted_keys(all);
+
+  std::size_t distinct = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (ks[i].first != ks[i - 1].first) ++distinct;
+  }
+  Partition out;
+  out.reserve(distinct);
+
+  Record acc;
+  Record next;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t k = ks[i].first;
+    all.materialize_into(ks[i].second, acc);
+    ++i;
+    while (i < n && ks[i].first == k) {
+      all.materialize_into(ks[i].second, next);
+      fn(acc, next);
+      ++i;
+    }
+    out.push(acc);
+  }
+  return out;
+}
+
+Partition merge_group_by_key(std::vector<Partition>&& parts) {
+  Partition all = merge_concat(std::move(parts));
+  const std::size_t n = all.size();
+  if (n == 0) return {};
+  const auto ks = sorted_keys(all);
+
+  std::size_t distinct = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (ks[i].first != ks[i - 1].first) ++distinct;
+  }
+  Partition out;
+  out.reserve(distinct);
+  out.reserve_values(all.values_size());
+
+  Record g;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t k = ks[i].first;
+    g.key = k;
+    g.values.clear();
+    g.aux_bytes = 0;
+    while (i < n && ks[i].first == k) {
+      const std::span<const double> v = all.values(ks[i].second);
+      g.values.insert(g.values.end(), v.begin(), v.end());
+      g.aux_bytes += all.aux(ks[i].second);
+      ++i;
+    }
+    out.push(g);
+  }
+  return out;
+}
+
+Partition merge_join(Partition&& left, Partition&& right, const JoinFn& fn,
+                     bool cogroup) {
+  const auto lk = sorted_keys(left);
+  const auto rk = sorted_keys(right);
+  Partition out;
+
+  std::vector<Record> ls;  // reused per-key match buffers (user-fn path)
+  std::vector<Record> rs;
+  Record j;
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < lk.size() || b < rk.size()) {
+    // Next key in the ascending union of both sides.
+    std::uint64_t k;
+    if (a < lk.size() && (b >= rk.size() || lk[a].first <= rk[b].first)) {
+      k = lk[a].first;
+    } else {
+      k = rk[b].first;
+    }
+    const std::size_t a0 = a;
+    const std::size_t b0 = b;
+    while (a < lk.size() && lk[a].first == k) ++a;
+    while (b < rk.size() && rk[b].first == k) ++b;
+
+    if (!cogroup && (a == a0 || b == b0)) continue;  // inner join
+
+    if (fn) {
+      ls.clear();
+      rs.clear();
+      for (std::size_t t = a0; t < a; ++t) {
+        ls.push_back(left.record_at(lk[t].second));
+      }
+      for (std::size_t t = b0; t < b; ++t) {
+        rs.push_back(right.record_at(rk[t].second));
+      }
+      for (const auto& rec : fn(k, ls, rs)) out.push(rec);
+      continue;
+    }
+    if (cogroup) {
+      j.key = k;
+      j.values.clear();
+      j.aux_bytes = 0;
+      for (std::size_t t = a0; t < a; ++t) {
+        const std::span<const double> v = left.values(lk[t].second);
+        j.values.insert(j.values.end(), v.begin(), v.end());
+        j.aux_bytes += left.aux(lk[t].second);
+      }
+      for (std::size_t t = b0; t < b; ++t) {
+        const std::span<const double> v = right.values(rk[t].second);
+        j.values.insert(j.values.end(), v.begin(), v.end());
+        j.aux_bytes += right.aux(rk[t].second);
+      }
+      out.push(j);
+    } else {
+      for (std::size_t t = a0; t < a; ++t) {
+        const std::span<const double> lv = left.values(lk[t].second);
+        const std::uint32_t la = left.aux(lk[t].second);
+        for (std::size_t u = b0; u < b; ++u) {
+          const std::span<const double> rv = right.values(rk[u].second);
+          j.key = k;
+          j.values.clear();
+          j.values.reserve(lv.size() + rv.size());
+          j.values.insert(j.values.end(), lv.begin(), lv.end());
+          j.values.insert(j.values.end(), rv.begin(), rv.end());
+          j.aux_bytes = la + right.aux(rk[u].second);
+          out.push(j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace chopper::engine::dataplane

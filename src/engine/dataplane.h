@@ -1,0 +1,86 @@
+// The engine's batched data plane (DESIGN.md §13): single-pass radix
+// shuffle scatter, map-side combine, and the reduce-side wide merges.
+//
+// Everything here operates on the SoA Partition arena and is written to be
+// bit-identical with the historical per-record implementations:
+//  * scatter preserves per-bucket encounter order;
+//  * combine/reduce initialize each key's accumulator from its first
+//    encounter and apply the reduce fn in encounter order (stable index
+//    sorts preserve it), then emit in ascending key order — exactly the
+//    sequence the old hash-map + sorted-keys code produced;
+//  * merges emit the same deterministic key order std::map iteration gave.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/dataset.h"
+#include "engine/partition.h"
+#include "engine/partitioner.h"
+
+namespace chopper::engine::dataplane {
+
+/// Memoizes Partitioner::partition_of across runs of equal keys — a single
+/// branch replaces the range partitioner's binary search (and the hash mix)
+/// whenever consecutive records share a key, which sorted/grouped map
+/// outputs do constantly.
+class BucketMemo {
+ public:
+  explicit BucketMemo(const Partitioner& part) noexcept : part_(part) {}
+
+  std::size_t bucket_of(std::uint64_t key) {
+    if (!valid_ || key != last_key_) {
+      last_key_ = key;
+      last_bucket_ = part_.partition_of(key);
+      valid_ = true;
+    }
+    return last_bucket_;
+  }
+
+ private:
+  const Partitioner& part_;
+  std::uint64_t last_key_ = 0;
+  std::size_t last_bucket_ = 0;
+  bool valid_ = false;
+};
+
+/// Single-pass radix shuffle write: compute every record's bucket once,
+/// histogram record/payload counts, reserve each destination exactly, then
+/// scatter. Appends to `buckets` preserving the input's encounter order
+/// within each bucket (bit-identical to per-record push).
+void radix_scatter(const Partition& in, const Partitioner& part,
+                   std::span<Partition> buckets);
+
+/// Map-side combine + scatter for reduceByKey: pre-merges `in` per (bucket,
+/// key) with `fn` before anything reaches the shuffle, emitting each
+/// bucket's combined records in ascending key order. Accumulators
+/// initialize from the key's first encounter and `fn` applies in encounter
+/// order — the same sequence (and therefore the same floats) as the
+/// historical unordered_map implementation.
+void combine_scatter(const Partition& in, const Partitioner& part,
+                     const ReduceFn& fn, std::span<Partition> buckets);
+
+// -- reduce-side wide merges (start of the consuming stage) ------------------
+
+/// reduceByKey merge: sort-based run scan over the concatenated inputs,
+/// emitting one record per key in ascending key order. No hash map, no
+/// second per-key lookup.
+Partition merge_reduce_by_key(std::vector<Partition>&& parts,
+                              const ReduceFn& fn);
+
+/// groupByKey merge: concatenates every key's payload values (and sums
+/// aux_bytes) in encounter order, emitting ascending by key.
+Partition merge_group_by_key(std::vector<Partition>&& parts);
+
+/// join / cogroup merge over the ascending union of both sides' keys.
+Partition merge_join(Partition&& left, Partition&& right, const JoinFn& fn,
+                     bool cogroup);
+
+/// Plain concatenation (repartition / union).
+Partition merge_concat(std::vector<Partition>&& parts);
+
+/// Concatenation + stable sort by key (sortByKey).
+Partition merge_sorted(std::vector<Partition>&& parts);
+
+}  // namespace chopper::engine::dataplane

@@ -109,6 +109,11 @@ struct EngineOptions {
   std::size_t host_threads = 0;
   /// Record per-second utilization samples (Fig. 11-14).
   bool record_timeline = true;
+  /// Map-side combine for reduceByKey (Spark's combiner, DESIGN.md §13):
+  /// pre-merges map output per (bucket, key) before it reaches the shuffle,
+  /// shrinking shuffle bytes. Final results are identical either way; off
+  /// routes all reduction to the reduce-side merge.
+  bool map_side_combine = true;
   AdaptiveCoalescing adaptive;
   FaultInjection faults;
   /// Whole-node failures with real data loss + lineage recovery (fault.h).

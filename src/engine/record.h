@@ -6,9 +6,15 @@
 // payload (strings, blobs) without actually storing it. Byte accounting —
 // which drives shuffle sizes and the simulated cost model — always includes
 // aux_bytes, so workloads can faithfully model wide rows cheaply.
+//
+// `Record` is the boundary type user closures see; inside the engine the
+// data plane stores records batched in a `Partition` arena (SoA layout,
+// DESIGN.md §13) and hands out non-owning `RecordView`s to avoid per-record
+// heap traffic on the hot paths.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace chopper::engine {
@@ -21,13 +27,37 @@ struct Record {
   bool operator==(const Record&) const = default;
 };
 
+/// Non-owning view of one record stored inside a Partition arena. Valid only
+/// while the owning Partition is alive and unmodified.
+struct RecordView {
+  std::uint64_t key = 0;
+  std::span<const double> values;
+  std::uint32_t aux_bytes = 0;
+
+  /// Owning copy (allocates — keep off hot paths; prefer
+  /// Partition::materialize_into with a reused scratch Record).
+  Record materialize() const {
+    return Record{key, std::vector<double>(values.begin(), values.end()),
+                  aux_bytes};
+  }
+};
+
 /// Serialized-size model for a record: key + payload doubles + opaque bytes
 /// + a fixed framing overhead (mirrors Spark's serialized tuple overhead).
 inline constexpr std::uint64_t kRecordFramingBytes = 16;
 
+inline std::uint64_t record_bytes(std::size_t num_values,
+                                  std::uint32_t aux_bytes) noexcept {
+  return kRecordFramingBytes + 8 + 8 * static_cast<std::uint64_t>(num_values) +
+         aux_bytes;
+}
+
 inline std::uint64_t record_bytes(const Record& r) noexcept {
-  return kRecordFramingBytes + 8 + 8 * static_cast<std::uint64_t>(r.values.size()) +
-         r.aux_bytes;
+  return record_bytes(r.values.size(), r.aux_bytes);
+}
+
+inline std::uint64_t record_bytes(const RecordView& r) noexcept {
+  return record_bytes(r.values.size(), r.aux_bytes);
 }
 
 }  // namespace chopper::engine

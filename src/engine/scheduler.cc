@@ -38,6 +38,7 @@
 
 #include "common/hash.h"
 #include "common/rng.h"
+#include "engine/dataplane.h"
 #include "engine/engine.h"
 #include "obs/event_log.h"
 
@@ -76,108 +77,9 @@ constexpr double kBucketWork = 0.35;
 constexpr double kCombineWork = 0.6;
 
 // ---------------------------------------------------------------------------
-// Wide-dependency merges (executed at the start of the consuming stage).
-// ---------------------------------------------------------------------------
-
-Partition merge_reduce_by_key(std::vector<Partition>&& parts,
-                              const ReduceFn& fn) {
-  std::unordered_map<std::uint64_t, Record> acc;
-  for (auto& part : parts) {
-    for (auto& r : part.mutable_records()) {
-      auto [it, inserted] = acc.try_emplace(r.key, std::move(r));
-      if (!inserted) fn(it->second, r);
-    }
-  }
-  std::vector<std::uint64_t> keys;
-  keys.reserve(acc.size());
-  for (const auto& [k, v] : acc) keys.push_back(k);
-  std::sort(keys.begin(), keys.end());
-  Partition out;
-  out.reserve(keys.size());
-  for (const auto k : keys) out.push(std::move(acc.at(k)));
-  return out;
-}
-
-Partition merge_group_by_key(std::vector<Partition>&& parts) {
-  std::map<std::uint64_t, Record> acc;
-  for (auto& part : parts) {
-    for (auto& r : part.mutable_records()) {
-      auto [it, inserted] = acc.try_emplace(r.key, std::move(r));
-      if (!inserted) {
-        auto& g = it->second;
-        g.values.insert(g.values.end(), r.values.begin(), r.values.end());
-        g.aux_bytes += r.aux_bytes;
-      }
-    }
-  }
-  Partition out;
-  out.reserve(acc.size());
-  for (auto& [k, v] : acc) out.push(std::move(v));
-  return out;
-}
-
-Partition merge_join(Partition&& left, Partition&& right, const JoinFn& fn,
-                     bool cogroup) {
-  std::map<std::uint64_t, std::pair<std::vector<Record>, std::vector<Record>>>
-      groups;
-  for (auto& r : left.mutable_records()) {
-    groups[r.key].first.push_back(std::move(r));
-  }
-  for (auto& r : right.mutable_records()) {
-    groups[r.key].second.push_back(std::move(r));
-  }
-  Partition out;
-  for (auto& [key, sides] : groups) {
-    auto& [ls, rs] = sides;
-    if (!cogroup && (ls.empty() || rs.empty())) continue;  // inner join
-    if (fn) {
-      for (auto& rec : fn(key, ls, rs)) out.push(std::move(rec));
-      continue;
-    }
-    if (cogroup) {
-      Record g;
-      g.key = key;
-      for (const auto& l : ls) {
-        g.values.insert(g.values.end(), l.values.begin(), l.values.end());
-        g.aux_bytes += l.aux_bytes;
-      }
-      for (const auto& r : rs) {
-        g.values.insert(g.values.end(), r.values.begin(), r.values.end());
-        g.aux_bytes += r.aux_bytes;
-      }
-      out.push(std::move(g));
-    } else {
-      for (const auto& l : ls) {
-        for (const auto& r : rs) {
-          Record j;
-          j.key = key;
-          j.values.reserve(l.values.size() + r.values.size());
-          j.values.insert(j.values.end(), l.values.begin(), l.values.end());
-          j.values.insert(j.values.end(), r.values.begin(), r.values.end());
-          j.aux_bytes = l.aux_bytes + r.aux_bytes;
-          out.push(std::move(j));
-        }
-      }
-    }
-  }
-  return out;
-}
-
-Partition merge_concat(std::vector<Partition>&& parts) {
-  Partition out;
-  for (auto& p : parts) out.absorb(std::move(p));
-  return out;
-}
-
-Partition merge_sorted(std::vector<Partition>&& parts) {
-  Partition out = merge_concat(std::move(parts));
-  std::stable_sort(out.mutable_records().begin(), out.mutable_records().end(),
-                   [](const Record& a, const Record& b) { return a.key < b.key; });
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Narrow operator chain.
+// Narrow operator chain. User closures see owning `Record`s; the loops feed
+// them from the partition arena through a reused scratch record so the only
+// per-record heap traffic is whatever the closure itself does.
 // ---------------------------------------------------------------------------
 
 Partition apply_narrow_op(const Dataset& op, Partition&& in, std::size_t task,
@@ -189,20 +91,30 @@ Partition apply_narrow_op(const Dataset& op, Partition&& in, std::size_t task,
     case OpKind::kMapValues: {
       Partition out;
       out.reserve(in.size());
-      for (const auto& r : in.records()) out.push(op.map_fn()(r));
+      Record scratch;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        in.materialize_into(i, scratch);
+        out.push(op.map_fn()(scratch));
+      }
       return out;
     }
     case OpKind::kFilter: {
       Partition out;
-      for (const auto& r : in.records()) {
-        if (op.filter_fn()(r)) out.push(r);
+      Record scratch;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        in.materialize_into(i, scratch);
+        if (op.filter_fn()(scratch)) out.push(in.view(i));
       }
       return out;
     }
     case OpKind::kFlatMap: {
       Partition out;
-      for (const auto& r : in.records()) {
-        for (auto& produced : op.flat_map_fn()(r)) out.push(std::move(produced));
+      Record scratch;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        in.materialize_into(i, scratch);
+        for (auto& produced : op.flat_map_fn()(scratch)) {
+          out.push(produced);
+        }
       }
       return out;
     }
@@ -212,8 +124,8 @@ Partition apply_narrow_op(const Dataset& op, Partition&& in, std::size_t task,
       common::Xoshiro256 rng(
           common::hash_combine(op.sample_seed(), task + 1));
       Partition out;
-      for (const auto& r : in.records()) {
-        if (rng.next_double() < op.sample_fraction()) out.push(r);
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        if (rng.next_double() < op.sample_fraction()) out.push(in.view(i));
       }
       return out;
     }
@@ -236,14 +148,9 @@ bool is_narrow_kind(OpKind op) {
   }
 }
 
-/// Deep copy of a partition's records (Partition itself is move-only in
-/// spirit: copies are always explicit in this file).
-Partition copy_partition(const Partition& in) {
-  Partition out;
-  out.reserve(in.size());
-  for (const auto& r : in.records()) out.push(r);
-  return out;
-}
+/// Deep copy of a partition (bulk arena copy; copies are always explicit in
+/// this file — Partition is move-only in spirit).
+Partition copy_partition(const Partition& in) { return in; }
 
 /// Evenly-strided deterministic key sample from materialized output.
 std::vector<std::uint64_t> sample_keys(const std::vector<Partition>& parts,
@@ -253,7 +160,7 @@ std::vector<std::uint64_t> sample_keys(const std::vector<Partition>& parts,
     if (p.empty()) continue;
     const std::size_t stride = std::max<std::size_t>(1, p.size() / per_partition);
     for (std::size_t i = 0; i < p.size(); i += stride) {
-      keys.push_back(p.records()[i].key);
+      keys.push_back(p.key(i));
     }
   }
   return keys;
@@ -889,26 +796,30 @@ Partition JobRunner::read_stage_input(std::size_t s, std::size_t p,
           static_cast<double>(tw.records_in) * plan.anchor->work_per_record();
       switch (plan.anchor->op()) {
         case OpKind::kReduceByKey:
-          part = merge_reduce_by_key(std::move(sides),
-                                     plan.anchor->reduce_fn());
+          part = dataplane::merge_reduce_by_key(std::move(sides),
+                                                plan.anchor->reduce_fn());
           break;
         case OpKind::kGroupByKey:
-          part = merge_group_by_key(std::move(sides));
+          part = dataplane::merge_group_by_key(std::move(sides));
           break;
         case OpKind::kJoin:
-          part = merge_join(std::move(sides[0]), std::move(sides[1]),
-                            plan.anchor->join_fn(), /*cogroup=*/false);
+          part = dataplane::merge_join(std::move(sides[0]),
+                                       std::move(sides[1]),
+                                       plan.anchor->join_fn(),
+                                       /*cogroup=*/false);
           break;
         case OpKind::kCoGroup:
-          part = merge_join(std::move(sides[0]), std::move(sides[1]),
-                            plan.anchor->join_fn(), /*cogroup=*/true);
+          part = dataplane::merge_join(std::move(sides[0]),
+                                       std::move(sides[1]),
+                                       plan.anchor->join_fn(),
+                                       /*cogroup=*/true);
           break;
         case OpKind::kRepartition:
         case OpKind::kUnion:
-          part = merge_concat(std::move(sides));
+          part = dataplane::merge_concat(std::move(sides));
           break;
         case OpKind::kSortByKey:
-          part = merge_sorted(std::move(sides));
+          part = dataplane::merge_sorted(std::move(sides));
           break;
         default:
           throw std::logic_error("run_job: unexpected wide op");
@@ -1151,7 +1062,8 @@ void JobRunner::execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
         rt.output_partitioner && rt.output_partitioner->equals(*target);
     so.passthrough = passthrough;
 
-    const bool combine = cplan.anchor->op() == OpKind::kReduceByKey &&
+    const bool combine = eng_.options_.map_side_combine &&
+                         cplan.anchor->op() == OpKind::kReduceByKey &&
                          static_cast<bool>(cplan.anchor->reduce_fn());
 
     common::parallel_for(*eng_.pool_, rt.num_tasks, [&](std::size_t m) {
@@ -1170,26 +1082,11 @@ void JobRunner::execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
       a.extra_work[m] += static_cast<double>(out.size()) *
                          (combine ? kCombineWork : kBucketWork);
       if (combine) {
-        // Map-side combine: one accumulator per (bucket, key).
-        std::vector<std::unordered_map<std::uint64_t, Record>> accs(r_count);
-        const auto& fn = cplan.anchor->reduce_fn();
-        for (const auto& rec : out.records()) {
-          auto& acc = accs[target->partition_of(rec.key)];
-          auto [it, inserted] = acc.try_emplace(rec.key, rec);
-          if (!inserted) fn(it->second, rec);
-        }
-        for (std::size_t r = 0; r < r_count; ++r) {
-          std::vector<std::uint64_t> keys;
-          keys.reserve(accs[r].size());
-          for (const auto& [k, v] : accs[r]) keys.push_back(k);
-          std::sort(keys.begin(), keys.end());
-          row[r].reserve(keys.size());
-          for (const auto k : keys) row[r].push(std::move(accs[r].at(k)));
-        }
+        // Map-side combine: pre-merge per (bucket, key) before the shuffle.
+        dataplane::combine_scatter(out, *target, cplan.anchor->reduce_fn(),
+                                   row);
       } else {
-        for (const auto& rec : out.records()) {
-          row[target->partition_of(rec.key)].push(rec);
-        }
+        dataplane::radix_scatter(out, *target, row);
         if (may_move) {
           out = Partition();  // release source records
         }
@@ -1405,7 +1302,7 @@ bool JobRunner::grow_stage_partitions(std::size_t s, StageMetrics& sm) {
       const std::size_t stride =
           std::max<std::size_t>(1, rb.merged.size() / 32);
       for (std::size_t i = 0; i < rb.merged.size(); i += stride) {
-        keys.push_back(rb.merged.records()[i].key);
+        keys.push_back(rb.merged.key(i));
       }
     }
   }
@@ -1618,10 +1515,8 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
   // ---- result action -------------------------------------------------------
   if (plan.is_result) {
     if (ctx_.collect_records) {
-      for (auto& part : rt.output) {
-        for (auto& r : part.mutable_records()) {
-          ctx_.result.records.push_back(std::move(r));
-        }
+      for (const auto& part : rt.output) {
+        part.append_records_to(ctx_.result.records);
       }
     }
     for (const auto& tm : sm.tasks) ctx_.result.count += tm.records_out;
@@ -1920,36 +1815,22 @@ void JobRunner::replay_bucket_row(ShuffleOutput& so, std::size_t m,
                                   TaskWork& tw) {
   auto& row = so.buckets[m];
   const auto& target = so.partitioner;
-  const std::size_t r_count = target->num_partitions();
   for (auto& b : row) b = Partition();
   if (so.passthrough) {
     row[m] = copy_partition(out);
     return;
   }
-  const bool combine = cplan.anchor->op() == OpKind::kReduceByKey &&
+  const bool combine = eng_.options_.map_side_combine &&
+                       cplan.anchor->op() == OpKind::kReduceByKey &&
                        static_cast<bool>(cplan.anchor->reduce_fn());
   tw.work_units +=
       static_cast<double>(out.size()) * (combine ? kCombineWork : kBucketWork);
   if (combine) {
-    std::vector<std::unordered_map<std::uint64_t, Record>> accs(r_count);
-    const auto& fn = cplan.anchor->reduce_fn();
-    for (const auto& rec : out.records()) {
-      auto& acc = accs[target->partition_of(rec.key)];
-      auto [it, inserted] = acc.try_emplace(rec.key, rec);
-      if (!inserted) fn(it->second, rec);
-    }
-    for (std::size_t r = 0; r < r_count; ++r) {
-      std::vector<std::uint64_t> keys;
-      keys.reserve(accs[r].size());
-      for (const auto& [k, v] : accs[r]) keys.push_back(k);
-      std::sort(keys.begin(), keys.end());
-      row[r].reserve(keys.size());
-      for (const auto k : keys) row[r].push(std::move(accs[r].at(k)));
-    }
+    // Must re-combine exactly as the original map task did so the replayed
+    // row is bit-identical to the lost one.
+    dataplane::combine_scatter(out, *target, cplan.anchor->reduce_fn(), row);
   } else {
-    for (const auto& rec : out.records()) {
-      row[target->partition_of(rec.key)].push(rec);
-    }
+    dataplane::radix_scatter(out, *target, row);
   }
 }
 

@@ -22,12 +22,12 @@ double sq_distance(std::span<const double> a, std::span<const double> b) {
   return s;
 }
 
-std::size_t nearest_center(const Record& r,
+std::size_t nearest_center(std::span<const double> values,
                            const std::vector<std::vector<double>>& centers) {
   std::size_t best = 0;
   double best_d = std::numeric_limits<double>::infinity();
   for (std::size_t c = 0; c < centers.size(); ++c) {
-    const double d = sq_distance(r.values, centers[c]);
+    const double d = sq_distance(values, centers[c]);
     if (d < best_d) {
       best_d = d;
       best = c;
@@ -105,7 +105,7 @@ KMeansResult KMeansWorkload::run_with_result(engine::Engine& eng,
         "assign",
         [centers](const Record& r) {
           Record out;
-          out.key = nearest_center(r, centers);
+          out.key = nearest_center(r.values, centers);
           out.values.reserve(r.values.size() + 1);
           out.values.assign(r.values.begin(), r.values.end());
           out.values.push_back(1.0);  // count
@@ -141,7 +141,8 @@ KMeansResult KMeansWorkload::run_with_result(engine::Engine& eng,
         [centers](engine::Partition&& in) {
           double cost = 0.0;
           for (const auto& r : in.records()) {
-            cost += sq_distance(r.values, centers[nearest_center(r, centers)]);
+            cost +=
+                sq_distance(r.values, centers[nearest_center(r.values, centers)]);
           }
           engine::Partition out;
           Record summary;

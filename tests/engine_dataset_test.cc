@@ -45,14 +45,29 @@ TEST(Partition, AbsorbMovesRecordsAndBytes) {
   EXPECT_EQ(b.bytes(), 0u);
 }
 
-TEST(Partition, RecountAfterMutation) {
+TEST(Partition, ArenaViewsRoundTrip) {
   Partition p;
   Record r;
-  r.values = {1.0};
+  r.key = 7;
+  r.values = {1.0, 2.0};
+  r.aux_bytes = 5;
   p.push(r);
-  p.mutable_records()[0].values.push_back(2.0);
-  p.recount_bytes();
-  EXPECT_EQ(p.bytes(), record_bytes(p.records()[0]));
+  r.key = 8;
+  r.values = {3.0};
+  r.aux_bytes = 0;
+  p.push(r);
+
+  EXPECT_EQ(p.key(0), 7u);
+  EXPECT_EQ(p.aux(0), 5u);
+  EXPECT_EQ(p.values(1).size(), 1u);
+  EXPECT_EQ(p.values(1)[0], 3.0);
+  EXPECT_EQ(p.bytes(), record_bytes(p.view(0)) + record_bytes(p.view(1)));
+
+  Record scratch;
+  p.materialize_into(0, scratch);
+  EXPECT_EQ(scratch, (Record{7, {1.0, 2.0}, 5}));
+  EXPECT_EQ(p.record_at(1), (Record{8, {3.0}, 0}));
+  EXPECT_EQ(p.to_records().size(), 2u);
 }
 
 TEST(Dataset, LineageStructure) {

@@ -26,11 +26,13 @@ TEST(GaussianMixture, SplitInvariantData) {
   std::map<std::uint64_t, std::vector<double>> a, b;
   for (std::size_t p = 0; p < 4; ++p) {
     const auto part = src(p, 4);
-    for (const auto& r : part.records()) a[r.key] = r.values;
+    for (const auto& r : part.records())
+      a[r.key].assign(r.values.begin(), r.values.end());
   }
   for (std::size_t p = 0; p < 9; ++p) {
     const auto part = src(p, 9);
-    for (const auto& r : part.records()) b[r.key] = r.values;
+    for (const auto& r : part.records())
+      b[r.key].assign(r.values.begin(), r.values.end());
   }
   EXPECT_EQ(a, b);
 }
@@ -67,7 +69,7 @@ TEST(GaussianMixture, SeedChangesData) {
   b.seed = 2;
   const auto pa = gaussian_mixture_source(a)(0, 1);
   const auto pb = gaussian_mixture_source(b)(0, 1);
-  EXPECT_NE(pa.records()[0].values, pb.records()[0].values);
+  EXPECT_NE(pa.record_at(0).values, pb.record_at(0).values);
 }
 
 TEST(CorrelatedRows, LowRankStructure) {
