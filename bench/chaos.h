@@ -1,0 +1,50 @@
+// Differential chaos harness (DESIGN.md §14): compose deterministic fault
+// schedules from a PRNG seed, run the same job graph with and without them
+// on identical clusters, and assert the faulty run is a slower but
+// bit-identical replica of the clean one.
+//
+// Checks per trial:
+//  * result rows (sorted) are exactly equal to the fault-free run's;
+//  * the event history round-trips through the JSONL wire format and a
+//    HistoryReader replay reproduces the live metrics (stage and job
+//    scalars digest-equal);
+//  * makespan inflation stays within a generous deterministic bound;
+//  * with only in-place fetch retries (no escalation, heal, or OOM) the
+//    logical shuffle-read totals match the baseline exactly — retried
+//    bytes must surface in refetched_bytes, never in the read counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace chopper::bench {
+
+/// Outcome of one differential chaos trial (deterministic in `seed`).
+struct ChaosReport {
+  std::uint64_t seed = 0;
+  std::string workload;
+  bool ok = false;
+  std::string failure;  ///< first divergence; empty when ok
+
+  // Composed schedule.
+  std::size_t flaky_nodes = 0;
+  std::size_t corruptions = 0;
+  std::size_t node_failures = 0;
+  std::size_t oom_injections = 0;
+
+  // Run outcomes.
+  double baseline_s = 0.0;
+  double faulty_s = 0.0;
+  std::size_t stage_attempts = 0;
+  std::size_t fetch_retries = 0;
+  std::uint64_t refetched_bytes = 0;
+  std::size_t checksum_failures = 0;
+  std::size_t node_exclusions = 0;
+};
+
+/// Run one differential chaos trial. `tiny` restricts the trial to the
+/// smallest job graph for CI smoke runs.
+ChaosReport chaos_run(std::uint64_t seed, bool tiny);
+
+}  // namespace chopper::bench

@@ -72,7 +72,7 @@ Run run_once(std::size_t num_partitions, double fail_at) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Fault recovery: node death time x partition count (overhead vs "
       "no-failure run)");
@@ -97,6 +97,8 @@ int main() {
     }
   }
   table.print();
+  const std::string json = bench::json_flag(argc, argv);
+  if (!json.empty() && !table.write_json(json, "fault_recovery")) return 1;
   std::printf(
       "\noverhead = extra simulated time vs the no-failure run; recomputed =\n"
       "map tasks replayed from lineage. Finer partitioning (larger P) loses\n"

@@ -76,7 +76,7 @@ PressureRow run_pressured(const workloads::Workload& wl, double mem_scale) {
   return row;
 }
 
-void degradation_sweep() {
+bool degradation_sweep(const std::string& json_path) {
   bench::print_header(
       "Memory pressure sweep: enforced budgets at shrinking executor memory");
   bench::Table table({"workload", "mem", "status", "time(s)", "oom",
@@ -96,11 +96,15 @@ void degradation_sweep() {
     }
   }
   table.print();
+  if (!json_path.empty() && !table.write_json(json_path, "memory_pressure")) {
+    return false;
+  }
   std::printf(
       "\nmem = executor memory relative to the paper's 40 GB. oom counts\n"
       "stage attempts killed at the hard ceiling; each one is retried\n"
       "(repartitioned to a higher P after repeated kills). evicted/spilled\n"
       "are modeled bytes pushed out of the storage/shuffle tiers.\n");
+  return true;
 }
 
 void acceptance_demo() {
@@ -200,7 +204,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tiny") == 0) g_tiny = true;
   }
-  degradation_sweep();
+  if (!degradation_sweep(bench::json_flag(argc, argv))) return 1;
   acceptance_demo();
   return 0;
 }

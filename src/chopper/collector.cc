@@ -47,6 +47,21 @@ double StatsCollector::ingest(const engine::MetricsRegistry& metrics,
       db_.add_oom(std::move(r));
     }
 
+    // Transient-fault telemetry rides along with the observation so the
+    // profiling history shows which stages paid retry/heal costs. Recorded
+    // only when something actually happened — clean runs add no rows.
+    if (s.fetch_retries != 0 || s.refetched_bytes != 0 ||
+        s.checksum_failures != 0 || s.node_exclusions != 0) {
+      FaultRecord fr;
+      fr.workload = workload;
+      fr.signature = s.signature;
+      fr.fetch_retries = s.fetch_retries;
+      fr.refetched_bytes = s.refetched_bytes;
+      fr.checksum_failures = s.checksum_failures;
+      fr.node_exclusions = s.node_exclusions;
+      db_.add_fault(std::move(fr));
+    }
+
     StageStructure st;
     st.signature = s.signature;
     st.name = s.name;

@@ -23,6 +23,10 @@ void WorkloadDb::add_oom(OomRecord r) {
   oom_records_.push_back(std::move(r));
 }
 
+void WorkloadDb::add_fault(FaultRecord r) {
+  fault_records_.push_back(std::move(r));
+}
+
 void WorkloadDb::add_structure(const std::string& workload, StageStructure s) {
   const auto key = std::make_pair(workload, s.signature);
   const auto it = structures_.find(key);
@@ -238,6 +242,8 @@ std::size_t WorkloadDb::prune(const std::string& workload) {
                 [&](const Observation& o) { return o.workload == workload; });
   std::erase_if(oom_records_,
                 [&](const OomRecord& r) { return r.workload == workload; });
+  std::erase_if(fault_records_,
+                [&](const FaultRecord& r) { return r.workload == workload; });
   std::erase_if(structures_, [&](const auto& kv) {
     return kv.first.first == workload;
   });
@@ -249,6 +255,7 @@ std::size_t WorkloadDb::prune(const std::string& workload) {
 void WorkloadDb::merge(const WorkloadDb& other) {
   for (const auto& o : other.observations_) add(o);
   for (const auto& r : other.oom_records_) add_oom(r);
+  for (const auto& r : other.fault_records_) add_fault(r);
   for (const auto& [key, st] : other.structures_) {
     add_structure(key.first, st);
   }
@@ -268,6 +275,11 @@ void WorkloadDb::save(const std::string& path) const {
   for (const auto& r : oom_records_) {
     os << "oom\t" << r.workload << "\t" << r.signature << "\t"
        << r.stage_input_bytes << "\t" << r.num_partitions << "\n";
+  }
+  for (const auto& r : fault_records_) {
+    os << "fault\t" << r.workload << "\t" << r.signature << "\t"
+       << r.fetch_retries << "\t" << r.refetched_bytes << "\t"
+       << r.checksum_failures << "\t" << r.node_exclusions << "\n";
   }
   for (const auto& [key, s] : structures_) {
     os << "stage\t" << key.first << "\t" << s.signature << "\t" << s.name
@@ -329,6 +341,15 @@ WorkloadDb WorkloadDb::load(const std::string& path, double ridge_lambda,
       r.stage_input_bytes = std::stod(next_field(ls));
       r.num_partitions = std::stod(next_field(ls));
       db.add_oom(std::move(r));
+    } else if (tag == "fault") {
+      FaultRecord r;
+      r.workload = next_field(ls);
+      r.signature = std::stoull(next_field(ls));
+      r.fetch_retries = std::stoull(next_field(ls));
+      r.refetched_bytes = std::stoull(next_field(ls));
+      r.checksum_failures = std::stoull(next_field(ls));
+      r.node_exclusions = std::stoull(next_field(ls));
+      db.add_fault(std::move(r));
     } else if (tag == "stage") {
       StageStructure s;
       const std::string workload = next_field(ls);

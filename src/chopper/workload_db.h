@@ -69,6 +69,21 @@ struct OomRecord {
   double num_partitions = 0.0;     ///< partition count P that OOMed
 };
 
+/// Per-stage transient-fault telemetry from one profiled run: fetch retries
+/// priced into the stage, bytes re-transferred by those retries, checksum
+/// mismatches healed through lineage, and health exclusions triggered while
+/// the stage ran. Purely observational — the optimizer never plans on these,
+/// but `chopperctl` surfaces them so operators can spot chronically flaky
+/// nodes in the profiling history.
+struct FaultRecord {
+  std::string workload;
+  std::uint64_t signature = 0;
+  std::uint64_t fetch_retries = 0;
+  std::uint64_t refetched_bytes = 0;
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t node_exclusions = 0;
+};
+
 class WorkloadDb {
  public:
   explicit WorkloadDb(double ridge_lambda = 1e-3)
@@ -77,6 +92,7 @@ class WorkloadDb {
   // -- ingestion ------------------------------------------------------------
   void add(Observation o);
   void add_oom(OomRecord r);
+  void add_fault(FaultRecord r);
   void add_structure(const std::string& workload, StageStructure s);
 
   // -- queries ---------------------------------------------------------------
@@ -133,6 +149,10 @@ class WorkloadDb {
     return oom_records_;
   }
 
+  const std::vector<FaultRecord>& fault_records() const noexcept {
+    return fault_records_;
+  }
+
   /// The workload's stage DAG in first-seen order.
   std::vector<StageStructure> dag(const std::string& workload) const;
   std::optional<StageStructure> structure(const std::string& workload,
@@ -173,6 +193,7 @@ class WorkloadDb {
   double ridge_lambda_;
   std::vector<Observation> observations_;
   std::vector<OomRecord> oom_records_;
+  std::vector<FaultRecord> fault_records_;
   std::map<std::pair<std::string, std::uint64_t>, StageStructure> structures_;
   std::map<ModelKey, ModelEntry> models_;
   std::size_t next_order_ = 0;

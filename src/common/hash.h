@@ -42,4 +42,47 @@ inline std::uint64_t hash_string(std::string_view s) noexcept {
   return hash_bytes(std::as_bytes(std::span(s.data(), s.size())));
 }
 
+/// Streaming 64-bit block checksum in the xxhash mold: bulk input is mixed
+/// one 64-bit lane at a time (memcpy'd, so alignment never matters) with the
+/// splitmix64 avalanche between lanes, and the tail is padded into a final
+/// lane tagged with the length so "aa" + "a" never collides with "a" + "aa".
+/// Used for shuffle-row and cached-block integrity checks: fast enough to
+/// run over every columnar arena at publish time, deterministic across
+/// platforms so checksums can be compared between runs.
+class Checksum64 {
+ public:
+  Checksum64() = default;
+  explicit Checksum64(std::uint64_t seed) : h_(mix64(seed)) {}
+
+  void update_u64(std::uint64_t v) noexcept { h_ = hash_combine(h_, v); }
+
+  void update_bytes(const void* data, std::size_t len) noexcept {
+    const char* p = static_cast<const char*>(data);
+    std::uint64_t lane;
+    while (len >= sizeof(lane)) {
+      std::memcpy(&lane, p, sizeof(lane));
+      h_ = hash_combine(h_, lane);
+      p += sizeof(lane);
+      len -= sizeof(lane);
+    }
+    if (len > 0) {
+      lane = 0;
+      std::memcpy(&lane, p, len);
+      h_ = hash_combine(h_, lane);
+    }
+    h_ = hash_combine(h_, total_ += len);
+  }
+
+  template <typename T>
+  void update_array(const T* data, std::size_t count) noexcept {
+    update_bytes(data, count * sizeof(T));
+  }
+
+  std::uint64_t digest() const noexcept { return mix64(h_); }
+
+ private:
+  std::uint64_t h_ = 0x43686f7070657221ULL;  // "Chopper!"
+  std::uint64_t total_ = 0;
+};
+
 }  // namespace chopper::common

@@ -47,6 +47,11 @@ struct CachedDataset {
   /// all-available when left empty).
   std::vector<char> available;
   std::shared_ptr<Partitioner> partitioner;  ///< may be null (no known scheme)
+  /// Per-partition integrity checksums, recorded when the block store
+  /// commits and refreshed after heals. Empty == checksums off (no
+  /// CorruptionSchedule armed). A sum whose partition is unavailable is
+  /// stale and ignored until the heal refreshes it.
+  std::vector<std::uint64_t> sums;
   /// The dataset node this materialization snapshots. Owning: keeps the
   /// lineage DAG alive for block recovery after the user drops their handle.
   std::shared_ptr<Dataset> lineage;

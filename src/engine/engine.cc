@@ -38,6 +38,7 @@ Engine::Engine(ClusterSpec cluster, EngineOptions options)
   pool_ = std::make_unique<common::ThreadPool>(threads);
 
   mem_ledger_.init(cluster_.num_nodes());
+  health_.init(cluster_.num_nodes(), options_.health);
   if (options_.memory.enforce) {
     // Budgets are enforced in *raw* (host-side) bytes: node memory, which is
     // modeled-scale, is converted down by data_scale; the managers report
@@ -68,6 +69,7 @@ void Engine::reset_failure_state() {
   node_alive_.assign(cluster_.num_nodes(), 1);
   failure_state_.assign(options_.failure_schedule.failures.size(),
                         FailureState{});
+  corruption_fired_.assign(options_.corruption_schedule.corruptions.size(), 0);
 }
 
 std::size_t Engine::alive_node_count() const noexcept {
@@ -79,19 +81,32 @@ std::size_t Engine::alive_node_count() const noexcept {
 std::size_t Engine::node_for(std::size_t partition,
                              std::size_t num_partitions) const {
   (void)num_partitions;
-  if (alive_node_count() == cluster_.num_nodes()) {
+  const bool excl = health_.any_excluded();
+  if (!excl && alive_node_count() == cluster_.num_nodes()) {
     return slot_owner_[partition % slot_owner_.size()];
   }
-  // Some nodes are dead: re-interleave placement over the surviving slots so
-  // recovered and retried tasks land away from the failure.
-  std::size_t alive_slots = 0;
-  for (const std::size_t owner : slot_owner_) alive_slots += node_alive_[owner];
-  if (alive_slots == 0) {
+  // Some nodes are dead or health-excluded: re-interleave placement over the
+  // remaining slots so recovered and retried tasks land away from the
+  // trouble. Exclusion is advisory — when it would leave nothing placeable,
+  // fall back to ignoring it (only death can make a job unschedulable).
+  std::size_t placeable_slots = 0;
+  for (const std::size_t owner : slot_owner_) {
+    placeable_slots += node_alive_[owner] && !(excl && health_.excluded(owner));
+  }
+  const bool honor_exclusions = excl && placeable_slots > 0;
+  if (!honor_exclusions) {
+    placeable_slots = 0;
+    for (const std::size_t owner : slot_owner_) {
+      placeable_slots += node_alive_[owner];
+    }
+  }
+  if (placeable_slots == 0) {
     throw JobAbortedError("node_for: no surviving node to place tasks on");
   }
-  std::size_t want = partition % alive_slots;
+  std::size_t want = partition % placeable_slots;
   for (const std::size_t owner : slot_owner_) {
     if (!node_alive_[owner]) continue;
+    if (honor_exclusions && health_.excluded(owner)) continue;
     if (want == 0) return owner;
     --want;
   }
@@ -120,6 +135,7 @@ void Engine::reset_metrics() {
   metrics_.clear();
   timeline_.clear();
   mem_ledger_.clear();
+  health_.clear();
   sim_clock_ = 0.0;
   next_job_id_.store(0);
   next_stage_id_.store(0);

@@ -26,6 +26,7 @@
 #include "engine/cost_model.h"
 #include "engine/dataset.h"
 #include "engine/fault.h"
+#include "engine/health.h"
 #include "engine/metrics.h"
 #include "engine/plan.h"
 #include "engine/shuffle.h"
@@ -122,6 +123,15 @@ struct EngineOptions {
   MemoryLimits memory;
   /// Deterministic task-OOM injection (fault.h), orthogonal to `memory`.
   OomSchedule oom_schedule;
+  /// Transient shuffle-fetch flakiness with backoff retry (DESIGN.md §14).
+  FlakySchedule flaky_schedule;
+  /// Deterministic silent corruption; arms block integrity checksums.
+  CorruptionSchedule corruption_schedule;
+  /// Compute/verify block checksums even without a corruption schedule
+  /// (costs a hash pass per published row; detection-only, nothing to heal).
+  bool integrity_checksums = false;
+  /// Node health scoreboard / placement-exclusion policy (fault.h).
+  NodeHealthPolicy health;
   Speculation speculation;
 };
 
@@ -146,6 +156,12 @@ struct JobResult {
   std::uint64_t evicted_bytes = 0;    ///< cached bytes LRU-evicted
   std::uint64_t spilled_bytes = 0;    ///< bytes pushed to the disk tier
   std::uint64_t peak_resident_bytes = 0;  ///< max per-node resident estimate
+
+  // Transient-fault telemetry (mirrors the JobMetrics row; DESIGN.md §14).
+  std::size_t fetch_retries = 0;      ///< flaky fetches retried in place
+  std::uint64_t refetched_bytes = 0;  ///< bytes re-transferred by retries
+  std::size_t checksum_failures = 0;  ///< corrupted pieces detected + healed
+  std::size_t node_exclusions = 0;    ///< health exclusions fired
 };
 
 /// A job aborted (injected-fault retry budget exhausted, stage-attempt bound
@@ -243,6 +259,9 @@ class Engine {
   /// Per-node memory event counters (evictions, spills, OOMs, resident
   /// peaks) for the current run; cleared by reset_metrics().
   const MemoryLedger& memory_ledger() const noexcept { return mem_ledger_; }
+  /// Per-node failure scoreboard (fetch/task/checksum strikes, exclusion
+  /// state) for the current run; cleared by reset_metrics().
+  const NodeHealth& node_health() const noexcept { return health_; }
 
   /// Is node n currently alive (failure schedule may have killed it)?
   bool node_alive(std::size_t n) const { return node_alive_.at(n) != 0; }
@@ -308,6 +327,10 @@ class Engine {
   std::mutex plan_mu_;
   std::vector<char> node_alive_;
   std::vector<FailureState> failure_state_;
+  /// corruption_fired_[i]: CorruptionSchedule entry i already flipped its
+  /// byte this run (injections fire once, like node failures).
+  std::vector<char> corruption_fired_;
+  NodeHealth health_;
   double sim_clock_ = 0.0;
   obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
   /// Atomic: concurrent service jobs draw ids without a lock.

@@ -1,14 +1,24 @@
 // Fault model types shared by the engine layers.
 //
-// Two orthogonal fault models coexist (see DESIGN.md §9):
-//  * FaultInjection (engine.h): duration-level task retries — failures never
-//    lose data, they only burn simulated time.
-//  * FailureSchedule (here): whole-node failures that actually destroy the
-//    node's shuffle map outputs and cached partitions. The scheduler detects
-//    the loss at the next stage barrier (a fetch failure), replays the
-//    producer lineage for exactly the lost partitions on surviving nodes,
-//    and prices the recomputation into the simulated makespan — Spark's
-//    lineage-based recovery.
+// The fault taxonomy has three tiers (see DESIGN.md §9 and §14):
+//  * fail-stop — FailureSchedule (here): whole-node failures that actually
+//    destroy the node's shuffle map outputs and cached partitions. The
+//    scheduler detects the loss at the next stage barrier (a fetch failure),
+//    replays the producer lineage for exactly the lost partitions on
+//    surviving nodes, and prices the recomputation into the simulated
+//    makespan — Spark's lineage-based recovery. FaultInjection (engine.h) is
+//    the degenerate duration-only cousin: failures never lose data, they
+//    only burn simulated time.
+//  * transient — FlakySchedule (here): shuffle fetches fail per
+//    (node, stage, attempt) and are retried in place with deterministic
+//    exponential backoff; only after `max_fetch_attempts` does the failure
+//    escalate to a stage-level fetch-failure retry.
+//  * corruption — CorruptionSchedule (here): stored bytes flip silently;
+//    block checksums detect the damage at the next read barrier and lineage
+//    heal recomputes exactly the poisoned pieces.
+// NodeHealthPolicy configures the scoreboard that turns any of these
+// failures into placement exclusion with backoff re-admission (Spark's
+// excludeOnFailure); see engine/health.h.
 #pragma once
 
 #include <cstddef>
@@ -77,6 +87,104 @@ struct OomSchedule {
   std::vector<OomInjection> ooms;
 
   bool enabled() const noexcept { return !ooms.empty(); }
+};
+
+/// Transient shuffle-fetch flakiness. Whether the i-th fetch attempt of a
+/// (stage attempt, reduce task, source node) segment fails is drawn from a
+/// PRNG seeded by hashing exactly that tuple, so a run is reproducible
+/// bit-for-bit from (seed, schedule) alone and a retried stage attempt draws
+/// a fresh, independent failure sequence. Each failed fetch burns
+/// `timeout_s` plus an exponential backoff of simulated time, then re-pays
+/// the segment transfer (the re-transferred bytes are surfaced as
+/// `refetched_bytes`, never double-counted into shuffle-read totals). When
+/// one segment fails `max_fetch_attempts` times in a row, the stage attempt
+/// is abandoned as a fetch failure: the source node's map outputs are
+/// deregistered (Spark removes a fetch-failed executor's map statuses) and
+/// the existing stage-retry path heals them via lineage replay on healthier
+/// nodes. Enabling the schedule switches the engine into retained-shuffle
+/// execution like the other retry-capable fault models.
+struct FlakySchedule {
+  /// Per-fetch-attempt failure probability for remote segments served by a
+  /// flaky node. 0 disables the schedule.
+  double fetch_failure_prob = 0.0;
+  std::uint64_t seed = 0xf1a4;
+  /// Consecutive failed fetches of one segment before the stage attempt is
+  /// abandoned (spark.shuffle.io.maxRetries).
+  std::size_t max_fetch_attempts = 3;
+  /// Backoff before retry i (1-based): min(base * mult^(i-1), max) simulated
+  /// seconds (spark.shuffle.io.retryWait, exponentialized).
+  double backoff_base_s = 0.05;
+  double backoff_mult = 2.0;
+  double backoff_max_s = 2.0;
+  /// Simulated time a failed fetch burns before it is declared dead.
+  double timeout_s = 0.1;
+  /// Restrict flakiness to these source nodes (empty: every node is flaky).
+  std::vector<std::size_t> nodes;
+
+  bool enabled() const noexcept { return fetch_failure_prob > 0.0; }
+  bool node_flaky(std::size_t n) const noexcept {
+    if (nodes.empty()) return true;
+    for (const std::size_t x : nodes) {
+      if (x == n) return true;
+    }
+    return false;
+  }
+  double backoff_s(std::size_t retry) const noexcept {  // retry is 1-based
+    double b = backoff_base_s;
+    for (std::size_t i = 1; i < retry; ++i) b *= backoff_mult;
+    return b < backoff_max_s ? b : backoff_max_s;
+  }
+};
+
+/// One deterministic silent-corruption injection: flip one byte of stored
+/// data after it is published, leaving its recorded checksum stale. Fires at
+/// most once per engine run (Engine tracks fired state like node failures),
+/// so detection → heal → recompute converges instead of re-poisoning.
+struct CorruptionInjection {
+  /// Target kind: a shuffle map row or a cached block.
+  enum class Target { kShuffleRow, kCachedBlock };
+  Target target = Target::kShuffleRow;
+  /// kShuffleRow: global stage id of the *producer* (the corruption fires
+  /// when that stage commits its map output). Ignored for kCachedBlock.
+  std::size_t stage_id = 0;
+  /// kCachedBlock: Dataset::id of the cached materialization (fires when the
+  /// block store commits it). Ignored for kShuffleRow.
+  std::size_t dataset_id = 0;
+  /// Victim map row / cached partition (clamped to the available count).
+  std::size_t task = 0;
+  /// Which stored byte to flip, taken modulo the victim's payload size.
+  std::size_t byte_offset = 0;
+};
+
+/// Deterministic corruption injector. A non-empty schedule arms block
+/// integrity checksums on shuffle map outputs and cached partitions and
+/// switches the engine into retained-shuffle execution (detection triggers
+/// the same lineage heal as a node failure, scoped to the poisoned pieces).
+struct CorruptionSchedule {
+  std::vector<CorruptionInjection> corruptions;
+
+  bool enabled() const noexcept { return !corruptions.empty(); }
+};
+
+/// Node health exclusion policy (Spark's excludeOnFailure): a node that
+/// accumulates `exclude_after` strikes (fetch failures, task failures,
+/// checksum mismatches) is excluded from task placement. Exclusion is
+/// advisory — placement falls back to excluded nodes rather than aborting
+/// when nothing else is alive — and temporary: the node is re-admitted after
+/// a backoff that doubles with each repeat exclusion. Strikes are recorded
+/// whenever any fault model is active; exclusion only ever changes behavior
+/// once a strike exists, so fault-free runs are byte-identical with the
+/// policy on or off.
+struct NodeHealthPolicy {
+  bool exclude_enabled = true;
+  /// Strikes (since the last re-admission) that trigger exclusion.
+  std::size_t exclude_after = 3;
+  /// Re-admission backoff: first exclusion lasts `readmit_after_s` simulated
+  /// seconds, doubling (times `readmit_backoff_mult`) per repeat exclusion,
+  /// capped at `readmit_max_s`.
+  double readmit_after_s = 30.0;
+  double readmit_backoff_mult = 2.0;
+  double readmit_max_s = 480.0;
 };
 
 }  // namespace chopper::engine

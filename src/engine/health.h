@@ -1,0 +1,140 @@
+// Node health scoreboard: per-node failure counters feeding placement
+// exclusion with backoff re-admission (Spark's excludeOnFailure; see
+// DESIGN.md §14 and NodeHealthPolicy in fault.h).
+//
+// The scheduler records a strike for every fetch failure, task failure (OOM
+// kill) and checksum mismatch it attributes to a node. `exclude_after`
+// strikes exclude the node: Engine::node_for skips it like a dead node, so
+// retried attempts, lineage replays and subsequent stages land elsewhere.
+// Exclusion is advisory (placement falls back to excluded nodes when no
+// healthy node remains) and temporary: `sweep`, called at every stage
+// barrier, re-admits nodes whose backoff expired — each repeat exclusion
+// backs off longer, up to a cap.
+//
+// Thread safety: counters are mutex-guarded (service-mode jobs record OOM
+// strikes concurrently); the exclusion set is mirrored into an atomic
+// bitmask so the placement hot path (`excluded`/`any_excluded`, called per
+// task per attempt) stays lock-free. Nodes beyond index 63 are counted but
+// never excluded — far beyond the simulated clusters this engine models.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "engine/fault.h"
+
+namespace chopper::engine {
+
+/// Why a strike was recorded (kept per-node for telemetry).
+enum class HealthStrike : std::uint8_t { kFetch, kTask, kChecksum };
+
+struct NodeHealthStats {
+  std::size_t fetch_failures = 0;
+  std::size_t task_failures = 0;
+  std::size_t checksum_failures = 0;
+  std::size_t exclusion_count = 0;  ///< times this node has been excluded
+  bool excluded = false;
+  double readmit_at = -1.0;  ///< absolute sim time; <0 when not excluded
+
+  std::size_t strikes() const noexcept {
+    return fetch_failures + task_failures + checksum_failures;
+  }
+};
+
+class NodeHealth {
+ public:
+  void init(std::size_t num_nodes, NodeHealthPolicy policy) {
+    std::lock_guard lock(mu_);
+    policy_ = policy;
+    nodes_.assign(num_nodes, NodeHealthStats{});
+    strikes_since_admit_.assign(num_nodes, 0);
+    excluded_mask_.store(0, std::memory_order_release);
+  }
+
+  /// Record one strike at simulated time `now`. Returns true when this
+  /// strike transitioned the node to excluded (the caller emits the event).
+  bool record(std::size_t node, HealthStrike kind, double now) {
+    std::lock_guard lock(mu_);
+    if (node >= nodes_.size()) return false;
+    NodeHealthStats& st = nodes_[node];
+    switch (kind) {
+      case HealthStrike::kFetch: ++st.fetch_failures; break;
+      case HealthStrike::kTask: ++st.task_failures; break;
+      case HealthStrike::kChecksum: ++st.checksum_failures; break;
+    }
+    if (!policy_.exclude_enabled || st.excluded || node >= 64) return false;
+    if (++strikes_since_admit_[node] < policy_.exclude_after) return false;
+    st.excluded = true;
+    ++st.exclusion_count;
+    double backoff = policy_.readmit_after_s;
+    for (std::size_t i = 1; i < st.exclusion_count; ++i) {
+      backoff *= policy_.readmit_backoff_mult;
+    }
+    if (backoff > policy_.readmit_max_s) backoff = policy_.readmit_max_s;
+    st.readmit_at = now + backoff;
+    excluded_mask_.fetch_or(std::uint64_t{1} << node,
+                            std::memory_order_acq_rel);
+    return true;
+  }
+
+  /// Re-admit nodes whose backoff expired; returns them (for kNodeReadmitted
+  /// events). Called at stage barriers.
+  std::vector<std::size_t> sweep(double now) {
+    std::lock_guard lock(mu_);
+    std::vector<std::size_t> readmitted;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      NodeHealthStats& st = nodes_[n];
+      if (st.excluded && now >= st.readmit_at) {
+        st.excluded = false;
+        st.readmit_at = -1.0;
+        strikes_since_admit_[n] = 0;
+        excluded_mask_.fetch_and(~(std::uint64_t{1} << n),
+                                 std::memory_order_acq_rel);
+        readmitted.push_back(n);
+      }
+    }
+    return readmitted;
+  }
+
+  bool any_excluded() const noexcept {
+    return excluded_mask_.load(std::memory_order_acquire) != 0;
+  }
+  bool excluded(std::size_t node) const noexcept {
+    if (node >= 64) return false;
+    return (excluded_mask_.load(std::memory_order_acquire) >> node) & 1u;
+  }
+  std::size_t excluded_count() const noexcept {
+    std::uint64_t m = excluded_mask_.load(std::memory_order_acquire);
+    std::size_t c = 0;
+    while (m) {
+      m &= m - 1;
+      ++c;
+    }
+    return c;
+  }
+
+  std::vector<NodeHealthStats> snapshot() const {
+    std::lock_guard lock(mu_);
+    return nodes_;
+  }
+
+  /// Zero every counter and exclusion, keeping node count and policy.
+  void clear() {
+    std::lock_guard lock(mu_);
+    for (auto& n : nodes_) n = NodeHealthStats{};
+    std::fill(strikes_since_admit_.begin(), strikes_since_admit_.end(), 0);
+    excluded_mask_.store(0, std::memory_order_release);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  NodeHealthPolicy policy_;
+  std::vector<NodeHealthStats> nodes_;
+  std::vector<std::size_t> strikes_since_admit_;
+  std::atomic<std::uint64_t> excluded_mask_{0};
+};
+
+}  // namespace chopper::engine

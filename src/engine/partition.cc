@@ -1,9 +1,35 @@
 #include "engine/partition.h"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 
+#include "common/hash.h"
+
 namespace chopper::engine {
+
+std::uint64_t Partition::checksum() const noexcept {
+  common::Checksum64 ck;
+  ck.update_u64(size());
+  ck.update_u64(bytes_);
+  ck.update_array(keys_.data(), keys_.size());
+  ck.update_array(aux_.data(), aux_.size());
+  ck.update_array(ends_.data(), ends_.size());
+  ck.update_array(values_.data(), values_.size());
+  return ck.digest();
+}
+
+void Partition::corrupt_byte(std::size_t byte_offset) noexcept {
+  if (!values_.empty()) {
+    const std::size_t pool = values_.size() * sizeof(double);
+    auto* raw = reinterpret_cast<unsigned char*>(values_.data());
+    raw[byte_offset % pool] ^= 0x2a;
+  } else if (!keys_.empty()) {
+    const std::size_t pool = keys_.size() * sizeof(std::uint64_t);
+    auto* raw = reinterpret_cast<unsigned char*>(keys_.data());
+    raw[byte_offset % pool] ^= 0x2a;
+  }
+}
 
 std::vector<Record> Partition::to_records() const {
   std::vector<Record> out;

@@ -97,6 +97,18 @@ class Partition {
   /// Stable sort by key (equal keys keep encounter order).
   void stable_sort_by_key();
 
+  /// Integrity checksum over the whole arena (keys, aux, offsets, payload
+  /// pool and the byte count). Deterministic across platforms and runs; any
+  /// single-byte change to stored data changes the digest.
+  std::uint64_t checksum() const noexcept;
+
+  /// Fault injection only: flip one stored payload byte (offset taken modulo
+  /// the payload pool; falls back to a key byte for payload-less records,
+  /// no-op on an empty partition). Deliberately leaves `bytes_` and the
+  /// recorded checksum stale — this is the silent corruption a
+  /// CorruptionSchedule models.
+  void corrupt_byte(std::size_t byte_offset) noexcept;
+
   /// Append all records of `other` (bulk array splice; empties `other`).
   void absorb(Partition&& other);
 

@@ -67,6 +67,11 @@ struct TaskWork {
   std::uint64_t shuffle_read_local = 0;
   /// Bytes read back from the disk tier (spilled shuffle rows).
   std::uint64_t disk_read_bytes = 0;
+  /// Transient fetch failures retried in place (FlakySchedule) and the bytes
+  /// those retries re-transferred. Kept separate from shuffle_read_remote so
+  /// logical shuffle volume is counted once regardless of flakiness.
+  std::size_t fetch_retries = 0;
+  std::uint64_t refetched_bytes = 0;
 };
 
 /// Work-unit weights for engine-internal activities (relative to one
@@ -274,7 +279,10 @@ class JobRunner {
         ft_(eng.options_.failure_schedule.enabled()),
         mem_(eng.options_.memory.enforce),
         oom_inj_(eng.options_.oom_schedule.enabled()),
-        retain_(ft_ || mem_ || oom_inj_) {}
+        flaky_(eng.options_.flaky_schedule.enabled()),
+        corrupt_(eng.options_.corruption_schedule.enabled()),
+        integrity_(corrupt_ || eng.options_.integrity_checksums),
+        retain_(ft_ || mem_ || oom_inj_ || flaky_ || corrupt_) {}
 
   JobResult run();
 
@@ -315,6 +323,12 @@ class JobRunner {
     /// Task that OOMed this attempt (kNpos: none). The attempt must then be
     /// discarded and retried — possibly at a grown partition count.
     std::size_t oom_task = kNpos;
+    /// Task whose transient fetch retry budget ran out this attempt (kNpos:
+    /// none) and the source node it could not fetch from. The attempt is
+    /// abandoned at the task's simulated end; run_stage deregisters the
+    /// source's map outputs and escalates to a stage retry.
+    std::size_t flaky_task = kNpos;
+    std::size_t flaky_src = kNpos;
   };
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
@@ -374,6 +388,25 @@ class JobRunner {
   bool scan_window_failures(std::size_t s, StageMetrics& sm, double makespan);
   bool stage_depends_on_node(std::size_t s, std::size_t node) const;
 
+  // Node health scoreboard (DESIGN.md §14). Classic single-job mode only:
+  // the scoreboard is engine-global state, and concurrent service jobs with
+  // their own virtual clocks would race its exclusion/readmission timing.
+  bool health_active() const noexcept {
+    return ctx_.control == nullptr && eng_.options_.health.exclude_enabled;
+  }
+  /// Count one failure against `node`; on the strike that transitions it to
+  /// excluded, bump sm.node_exclusions and emit kNodeExcluded.
+  void record_strike(std::size_t node, HealthStrike kind, StageMetrics& sm);
+  /// Re-admit nodes whose exclusion window expired, emitting kNodeReadmitted.
+  void sweep_health();
+
+  // Block integrity (DESIGN.md §14): checksum verification + corruption
+  // injection over shuffle map outputs and cached partitions.
+  void verify_shuffle_sums(ShuffleOutput& so, StageMetrics& sm);
+  void verify_cache_sums(const Dataset* anchor, StageMetrics& sm);
+  void fire_shuffle_corruption(std::size_t stage_global_id, ShuffleOutput& so);
+  void fire_cache_corruption(std::size_t dataset_id, CachedDataset& cd);
+
   // Lineage recovery.
   void recover_stage_inputs(std::size_t s, StageMetrics& sm);
   void recover_map_tasks(std::size_t producer, StageMetrics& sm);
@@ -410,6 +443,9 @@ class JobRunner {
   const bool ft_;       ///< failure schedule active
   const bool mem_;      ///< memory budgets enforced
   const bool oom_inj_;  ///< OOM injection schedule active
+  const bool flaky_;    ///< transient fetch-failure injection active
+  const bool corrupt_;  ///< corruption schedule armed
+  const bool integrity_;  ///< record + verify block checksums
   /// Retained-data mode: shuffle reads copy instead of consume and map
   /// outputs live until job end. Any configuration that can retry a stage
   /// attempt (node failures, enforced memory, OOM injection) needs it.
@@ -462,6 +498,10 @@ JobResult JobRunner::run() {
   ctx_.result.lost_bytes = job_metrics_.lost_bytes;
   ctx_.result.recomputed_bytes = job_metrics_.recomputed_bytes;
   ctx_.result.recovery_time_s = job_metrics_.recovery_time_s;
+  ctx_.result.fetch_retries = job_metrics_.fetch_retries;
+  ctx_.result.refetched_bytes = job_metrics_.refetched_bytes;
+  ctx_.result.checksum_failures = job_metrics_.checksum_failures;
+  ctx_.result.node_exclusions = job_metrics_.node_exclusions;
   ctx_.result.oom_count = job_metrics_.oom_count;
   ctx_.result.evicted_bytes = job_metrics_.evicted_bytes;
   ctx_.result.spilled_bytes = job_metrics_.spilled_bytes;
@@ -489,6 +529,10 @@ void JobRunner::emit_job_finish(const JobMetrics& jm) const {
   e.lost_bytes = jm.lost_bytes;
   e.recomputed_bytes = jm.recomputed_bytes;
   e.recovery_time_s = jm.recovery_time_s;
+  e.fetch_retries = jm.fetch_retries;
+  e.refetched_bytes = jm.refetched_bytes;
+  e.checksum_failures = jm.checksum_failures;
+  e.node_exclusions = jm.node_exclusions;
   e.oom_count = jm.oom_count;
   e.evicted_bytes = jm.evicted_bytes;
   e.spilled_bytes = jm.spilled_bytes;
@@ -512,6 +556,7 @@ void JobRunner::emit_stage_end(std::size_t s, const StageMetrics& sm,
     e.node = tm.node;
     e.slot = p < a.slots.size() ? a.slots[p] : 0;
     e.attempt = tm.attempts;
+    e.fetch_retries = tm.fetch_retries;
     e.t_start = tm.sim_start;
     e.t_end = tm.sim_end;
     e.compute_s = tm.compute_s;
@@ -557,6 +602,10 @@ void JobRunner::emit_stage_end(std::size_t s, const StageMetrics& sm,
   e.recomputed_tasks = sm.recomputed_tasks;
   e.recomputed_bytes = sm.recomputed_bytes;
   e.recovery_time_s = sm.recovery_time_s;
+  e.fetch_retries = sm.fetch_retries;
+  e.refetched_bytes = sm.refetched_bytes;
+  e.checksum_failures = sm.checksum_failures;
+  e.node_exclusions = sm.node_exclusions;
   e.oom_count = sm.oom_count;
   e.list2.assign(sm.oomed_partition_counts.begin(),
                  sm.oomed_partition_counts.end());
@@ -626,6 +675,7 @@ void JobRunner::run_stage(std::size_t s) {
   std::size_t consecutive_oom = 0;
   for (std::size_t attempt = 1;; ++attempt) {
     sm.attempt_count = attempt;
+    if (health_active()) sweep_health();
     if (ft_) process_barrier_failures(sm.stage_id);
     // Heal evicted cache blocks / lost shuffle rows before (re)executing.
     if (retain_) recover_stage_inputs(s, sm);
@@ -640,6 +690,7 @@ void JobRunner::run_stage(std::size_t s) {
       ++sm.oom_count;
       sm.oomed_partition_counts.push_back(ctx_.rt[s].num_tasks);
       eng_.mem_ledger_.add_oom(ctx_.rt[s].task_node[a.oom_task]);
+      record_strike(ctx_.rt[s].task_node[a.oom_task], HealthStrike::kTask, sm);
       if (tracing()) {
         obs::Event e;
         e.kind = obs::EventKind::kStageRetry;
@@ -669,6 +720,41 @@ void JobRunner::run_stage(std::size_t s) {
       if (consecutive_oom >= grow_after && grow_stage_partitions(s, sm)) {
         consecutive_oom = 0;
       }
+      continue;
+    }
+    if (a.flaky_task != kNpos) {
+      // A fetch segment exhausted its retry budget: the attempt dies at the
+      // task's simulated end. Deregister the unreachable source's map
+      // outputs — Spark drops a fetch-failed executor's map statuses — so
+      // the next attempt heals them by lineage replay, re-homed by node_for
+      // away from the node if health exclusion has kicked in.
+      const double wasted = a.ends[a.flaky_task];
+      advance(wasted);
+      sm.recovery_time_s += wasted;
+      LossReport lr = eng_.shuffles_.invalidate_node(a.flaky_src);
+      job_metrics_.lost_bytes += lr.lost_bytes;
+      record_strike(a.flaky_src, HealthStrike::kFetch, sm);
+      if (tracing()) {
+        obs::Event e;
+        e.kind = obs::EventKind::kStageRetry;
+        e.job = ctx_.job_id;
+        e.stage = sm.stage_id;
+        e.plan_index = s;
+        e.attempt = attempt;
+        e.task = a.flaky_task;
+        e.node = a.flaky_src;
+        e.num_partitions = ctx_.rt[s].num_tasks;
+        e.value = wasted;
+        e.flags |= obs::kFlagFailed;
+        e.detail = "fetch-timeout";
+        emit(std::move(e));
+      }
+      if (attempt >= max_attempts) {
+        throw JobAbortedError("stage " + plan.name + " exceeded " +
+                              std::to_string(max_attempts) +
+                              " attempts after transient fetch failures");
+      }
+      consecutive_oom = 0;
       continue;
     }
     if (ft_ && scan_window_failures(s, sm, a.makespan)) {
@@ -727,6 +813,10 @@ void JobRunner::run_stage(std::size_t s) {
   job_metrics_.recomputed_tasks += sm.recomputed_tasks;
   job_metrics_.recomputed_bytes += sm.recomputed_bytes;
   job_metrics_.recovery_time_s += sm.recovery_time_s;
+  job_metrics_.fetch_retries += sm.fetch_retries;
+  job_metrics_.refetched_bytes += sm.refetched_bytes;
+  job_metrics_.checksum_failures += sm.checksum_failures;
+  job_metrics_.node_exclusions += sm.node_exclusions;
   job_metrics_.oom_count += sm.oom_count;
   job_metrics_.evicted_bytes += sm.evicted_bytes;
   job_metrics_.spilled_bytes += sm.spilled_bytes;
@@ -1137,12 +1227,74 @@ void JobRunner::execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
   a.compute_portion.assign(rt.num_tasks, 0.0);
   a.attempts.assign(rt.num_tasks, 1);
   a.spill_modeled.assign(rt.num_tasks, 0.0);
+  // Per-task escalated fetch source (kNpos: none); resolved to the
+  // earliest-ending escalation after list scheduling below.
+  std::vector<std::size_t> esc_src(rt.num_tasks, kNpos);
   for (std::size_t p = 0; p < rt.num_tasks; ++p) {
     const std::size_t n = rt.task_node[p];
     double duration =
         price_task(a.work[p], a.extra_work[p], n, node_fetch_share[n],
                    &a.fetch_portion[p], &a.compute_portion[p],
                    &a.spill_modeled[p]);
+
+    // Transient fetch flakiness (DESIGN.md §14): each remote segment from a
+    // flaky source fails a deterministic, seed-driven number of times in a
+    // row. Every failure burns the detection timeout plus an exponential
+    // backoff; a retry that goes on to succeed also re-pays the segment
+    // transfer (counted in refetched_bytes, never in shuffle_read_remote).
+    // A segment that exhausts max_fetch_attempts escalates: the attempt is
+    // abandoned and the source's map outputs deregistered (run_stage).
+    if (flaky_ && !a.work[p].remote_fetch.empty()) {
+      const FlakySchedule& fl = eng_.options_.flaky_schedule;
+      const double rescale = 1.0 / cm_.data_scale;
+      double delay = 0.0;
+      for (const auto& [src, bytes] : a.work[p].remote_fetch) {
+        if (!fl.node_flaky(src)) continue;
+        common::Xoshiro256 rng(common::hash_combine(
+            common::hash_combine(common::hash_combine(fl.seed, sm.stage_id),
+                                 sm.attempt_count),
+            common::hash_combine(src, p + 1)));
+        std::size_t fails = 0;
+        while (fails < fl.max_fetch_attempts &&
+               rng.next_double() < fl.fetch_failure_prob) {
+          ++fails;
+        }
+        if (fails == 0) continue;
+        a.work[p].fetch_retries += fails;
+        for (std::size_t i = 1; i <= fails; ++i) {
+          delay += fl.timeout_s + fl.backoff_s(i);
+        }
+        if (fails >= fl.max_fetch_attempts) {
+          if (esc_src[p] == kNpos) esc_src[p] = src;
+        } else {
+          const double bw =
+              std::min(eng_.cluster_.node(n).net_bw,
+                       eng_.cluster_.node(src).net_bw) /
+              node_fetch_share[n];
+          delay += static_cast<double>(bytes) * rescale / bw *
+                   static_cast<double>(fails);
+          a.work[p].refetched_bytes += bytes * fails;
+        }
+      }
+      if (delay > 0.0) {
+        duration += delay;
+        a.fetch_portion[p] += delay;
+        if (tracing()) {
+          obs::Event e;
+          e.kind = obs::EventKind::kFetchRetry;
+          e.job = ctx_.job_id;
+          e.stage = sm.stage_id;
+          e.plan_index = s;
+          e.attempt = sm.attempt_count;
+          e.task = p;
+          e.node = n;
+          e.count = a.work[p].fetch_retries;
+          e.bytes = a.work[p].refetched_bytes;
+          e.value = delay;
+          emit(std::move(e));
+        }
+      }
+    }
 
     // Deterministic fault injection: failed attempts burn a fraction of
     // the duration before Spark-style retry.
@@ -1197,6 +1349,23 @@ void JobRunner::execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
     a.slots[p] = static_cast<std::size_t>(slot - slots.begin());
     *slot = a.ends[p];
     a.makespan = std::max(a.makespan, a.ends[p]);
+  }
+
+  if (flaky_) {
+    // Stage-level retry telemetry accumulates across every attempt, even
+    // ones later discarded — the retries still burned simulated time.
+    for (const TaskWork& tw : a.work) {
+      sm.fetch_retries += tw.fetch_retries;
+      sm.refetched_bytes += tw.refetched_bytes;
+    }
+    // The earliest-ending escalated task decides where the attempt dies.
+    for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+      if (esc_src[p] == kNpos) continue;
+      if (a.flaky_task == kNpos || a.ends[p] < a.ends[a.flaky_task]) {
+        a.flaky_task = p;
+        a.flaky_src = esc_src[p];
+      }
+    }
   }
 
   detect_oom(s, sm, a);
@@ -1337,6 +1506,9 @@ bool JobRunner::grow_stage_partitions(std::size_t s, StageMetrics& sm) {
       }
     }
     so->total_bytes = bytes + nonempty * cm_.bucket_header_bytes;
+    // Every surviving row was re-bucketed in place: re-record its sum (lost
+    // rows stay stale until their heal refreshes them).
+    if (so->row_sum.size() == so->num_map_tasks) so->record_row_sums();
   }
 
   rt.partitioner = grown;
@@ -1414,6 +1586,15 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
     // node failure, even if the user drops their dataset handle.
     cd.lineage = const_cast<Dataset*>(ds)->shared_from_this();
     for (const auto& p : cd.partitions) cd.bytes += p.bytes();
+    if (integrity_) {
+      // Record the clean sums first; an armed corruption then flips a byte
+      // silently, to be caught by verify_cache_sums at the next read.
+      cd.sums.resize(cd.partitions.size());
+      for (std::size_t p = 0; p < cd.partitions.size(); ++p) {
+        cd.sums[p] = cd.partitions[p].checksum();
+      }
+      if (corrupt_) fire_cache_corruption(ds->id(), cd);
+    }
     if (tracing()) {
       obs::Event e;
       e.kind = obs::EventKind::kBlockStore;
@@ -1430,6 +1611,10 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
 
   // Publish the shuffles this attempt wrote.
   for (auto& ps : a.pending) {
+    if (integrity_) {
+      ps.so.record_row_sums();
+      if (corrupt_) fire_shuffle_corruption(sm.stage_id, ps.so);
+    }
     ps.so.shuffle_id = eng_.shuffles_.next_id();
     auto& crt = ctx_.rt[ps.consumer];
     crt.shuffle_from_producer.emplace(s, ps.so.shuffle_id);
@@ -1467,6 +1652,7 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
     tm.compute_s = a.compute_portion[p];
     tm.fetch_s = a.fetch_portion[p];
     tm.attempts = a.attempts[p];
+    tm.fetch_retries = tw.fetch_retries;
     tm.records_in = tw.records_in;
     tm.records_out = tw.records_out;
     tm.bytes_in = tw.bytes_in;
@@ -1684,6 +1870,154 @@ bool JobRunner::scan_window_failures(std::size_t s, StageMetrics& sm,
 }
 
 // ---------------------------------------------------------------------------
+// Node health scoreboard + block integrity (DESIGN.md §14).
+// ---------------------------------------------------------------------------
+
+void JobRunner::record_strike(std::size_t node, HealthStrike kind,
+                              StageMetrics& sm) {
+  if (!health_active()) return;
+  if (!eng_.health_.record(node, kind, now())) return;
+  ++sm.node_exclusions;
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kNodeExcluded;
+    e.job = ctx_.job_id;
+    e.stage = sm.stage_id;
+    e.node = node;
+    switch (kind) {
+      case HealthStrike::kFetch:
+        e.detail = "fetch";
+        break;
+      case HealthStrike::kTask:
+        e.detail = "task";
+        break;
+      case HealthStrike::kChecksum:
+        e.detail = "checksum";
+        break;
+    }
+    const auto stats = eng_.health_.snapshot();
+    if (node < stats.size()) {
+      e.count = stats[node].exclusion_count;
+      e.value = stats[node].readmit_at - now();  // exclusion window length
+    }
+    emit(std::move(e));
+  }
+}
+
+void JobRunner::sweep_health() {
+  for (const std::size_t n : eng_.health_.sweep(now())) {
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kNodeReadmitted;
+      e.job = ctx_.job_id;
+      e.node = n;
+      emit(std::move(e));
+    }
+  }
+}
+
+void JobRunner::verify_shuffle_sums(ShuffleOutput& so, StageMetrics& sm) {
+  if (so.row_sum.size() != so.num_map_tasks) return;  // sums never recorded
+  for (std::size_t m = 0; m < so.num_map_tasks; ++m) {
+    if (!so.lost.empty() && so.lost[m]) continue;  // lost row: sum is stale
+    if (so.compute_row_sum(m) == so.row_sum[m]) continue;
+    // Silent corruption detected: poison exactly this row — mark it lost so
+    // the standard lineage replay rebuilds it (and refreshes its sum).
+    if (so.lost.size() != so.num_map_tasks) so.lost.assign(so.num_map_tasks, 0);
+    std::uint64_t dropped = 0;
+    for (auto& bucket : so.buckets[m]) {
+      dropped += bucket.bytes();
+      bucket = Partition();
+    }
+    so.lost[m] = 1;
+    ++sm.checksum_failures;
+    record_strike(so.map_node[m], HealthStrike::kChecksum, sm);
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kChecksumFail;
+      e.job = ctx_.job_id;
+      e.stage = sm.stage_id;
+      e.shuffle = so.shuffle_id;
+      e.task = m;
+      e.node = so.map_node[m];
+      e.bytes = dropped;
+      emit(std::move(e));
+    }
+  }
+}
+
+void JobRunner::verify_cache_sums(const Dataset* anchor, StageMetrics& sm) {
+  CachedDataset* cd = eng_.block_manager_.get_mutable(anchor->id());
+  if (cd == nullptr) return;
+  auto g = eng_.block_manager_.guard();
+  if (cd->sums.size() != cd->partitions.size()) return;
+  for (std::size_t p = 0; p < cd->partitions.size(); ++p) {
+    if (!cd->available.empty() && !cd->available[p]) continue;  // stale sum
+    if (cd->partitions[p].checksum() == cd->sums[p]) continue;
+    // Drop the poisoned block; the standard cache heal recomputes it from
+    // lineage and refreshes the sum.
+    if (cd->available.size() != cd->partitions.size()) {
+      cd->available.assign(cd->partitions.size(), 1);
+    }
+    const std::uint64_t dropped = cd->partitions[p].bytes();
+    cd->bytes -= std::min(cd->bytes, dropped);
+    cd->partitions[p] = Partition();
+    cd->available[p] = 0;
+    ++sm.checksum_failures;
+    const std::size_t node = p < cd->placement.size() ? cd->placement[p] : 0;
+    record_strike(node, HealthStrike::kChecksum, sm);
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kChecksumFail;
+      e.job = ctx_.job_id;
+      e.stage = sm.stage_id;
+      e.dataset = anchor->id();
+      e.task = p;
+      e.node = node;
+      e.bytes = dropped;
+      emit(std::move(e));
+    }
+  }
+}
+
+void JobRunner::fire_shuffle_corruption(std::size_t stage_global_id,
+                                        ShuffleOutput& so) {
+  const auto& sched = eng_.options_.corruption_schedule;
+  for (std::size_t i = 0; i < sched.corruptions.size(); ++i) {
+    const CorruptionInjection& inj = sched.corruptions[i];
+    if (eng_.corruption_fired_[i] ||
+        inj.target != CorruptionInjection::Target::kShuffleRow ||
+        inj.stage_id != stage_global_id || so.num_map_tasks == 0) {
+      continue;
+    }
+    const std::size_t m = std::min(inj.task, so.num_map_tasks - 1);
+    for (auto& bucket : so.buckets[m]) {
+      if (bucket.empty()) continue;
+      eng_.corruption_fired_[i] = 1;
+      bucket.corrupt_byte(inj.byte_offset);
+      break;
+    }
+  }
+}
+
+void JobRunner::fire_cache_corruption(std::size_t dataset_id,
+                                      CachedDataset& cd) {
+  const auto& sched = eng_.options_.corruption_schedule;
+  for (std::size_t i = 0; i < sched.corruptions.size(); ++i) {
+    const CorruptionInjection& inj = sched.corruptions[i];
+    if (eng_.corruption_fired_[i] ||
+        inj.target != CorruptionInjection::Target::kCachedBlock ||
+        inj.dataset_id != dataset_id || cd.partitions.empty()) {
+      continue;
+    }
+    const std::size_t victim = std::min(inj.task, cd.partitions.size() - 1);
+    if (cd.partitions[victim].empty()) continue;
+    eng_.corruption_fired_[i] = 1;
+    cd.partitions[victim].corrupt_byte(inj.byte_offset);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Lineage recovery.
 // ---------------------------------------------------------------------------
 
@@ -1694,11 +2028,12 @@ void JobRunner::recover_stage_inputs(std::size_t s, StageMetrics& sm) {
     for (const std::size_t parent : plan.parent_stages) {
       const auto it = rt.shuffle_from_producer.find(parent);
       if (it == rt.shuffle_from_producer.end()) continue;
-      if (eng_.shuffles_.get(it->second).has_lost_tasks()) {
-        recover_map_tasks(parent, sm);
-      }
+      ShuffleOutput& so = eng_.shuffles_.get_mutable(it->second);
+      if (integrity_) verify_shuffle_sums(so, sm);
+      if (so.has_lost_tasks()) recover_map_tasks(parent, sm);
     }
   } else if (plan.input == StageInputKind::kCache) {
+    if (integrity_) verify_cache_sums(plan.anchor, sm);
     CachedDataset* cd = eng_.block_manager_.get_mutable(plan.anchor->id());
     bool incomplete = false;
     if (cd != nullptr) {
@@ -1791,6 +2126,9 @@ void JobRunner::recover_map_tasks(std::size_t producer, StageMetrics& sm) {
         // The replayed row lives in memory on its new home node; any spill
         // flag belonged to the old (dead) copy.
         if (!so->on_disk.empty()) so->on_disk[m] = 0;
+        // The heal rewrote the row bit-identically: refresh its integrity
+        // sum so the next verification pass accepts it.
+        so->refresh_row_sum(m);
       }
     }
     sm.recomputed_tasks += 1;
@@ -1949,6 +2287,9 @@ void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
         cd->available[m] = 1;
         cd->placement[m] = new_node[i];
         cd->bytes += cd->partitions[m].bytes();
+        if (cd->sums.size() == cd->partitions.size()) {
+          cd->sums[m] = cd->partitions[m].checksum();
+        }
         sm.recomputed_tasks += 1;
         sm.recomputed_bytes += works[i].bytes_out;
         if (tracing()) {

@@ -3,9 +3,27 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/hash.h"
 #include "obs/event_log.h"
 
 namespace chopper::engine {
+
+std::uint64_t ShuffleOutput::compute_row_sum(std::size_t m) const noexcept {
+  common::Checksum64 ck;
+  ck.update_u64(m);
+  for (const Partition& bucket : buckets[m]) {
+    ck.update_u64(bucket.checksum());
+  }
+  return ck.digest();
+}
+
+void ShuffleOutput::record_row_sums() {
+  if (row_sum.size() != num_map_tasks) row_sum.assign(num_map_tasks, 0);
+  for (std::size_t m = 0; m < num_map_tasks; ++m) {
+    if (!lost.empty() && lost[m]) continue;
+    row_sum[m] = compute_row_sum(m);
+  }
+}
 
 std::size_t ShuffleManager::next_id() {
   std::lock_guard lock(mu_);

@@ -49,6 +49,10 @@ struct ShuffleOutput {
   /// work, at disk bandwidth) but the row no longer counts as resident.
   /// Empty vector == nothing spilled.
   std::vector<char> on_disk;
+  /// Per-map-row integrity checksums: row_sum[m] digests every bucket of
+  /// row m (recorded at publish, recomputed after heals/re-bucketing).
+  /// Empty vector == checksums off (no CorruptionSchedule armed).
+  std::vector<std::uint64_t> row_sum;
   std::uint64_t total_bytes = 0;  ///< includes per-bucket headers
   bool passthrough = false;       ///< co-partitioned: no real shuffle happened
 
@@ -66,6 +70,17 @@ struct ShuffleOutput {
     std::uint64_t b = 0;
     for (const auto& bucket : buckets[m]) b += bucket.bytes();
     return b;
+  }
+  /// Integrity digest of map row m (every bucket's arena checksum chained).
+  std::uint64_t compute_row_sum(std::size_t m) const noexcept;
+  /// (Re)record row_sum for every non-lost row; sizes row_sum on first use.
+  void record_row_sums();
+  /// Recompute the recorded checksum of one row (after a heal or in-place
+  /// re-bucketing). No-op when checksums are off.
+  void refresh_row_sum(std::size_t m) noexcept {
+    if (!row_sum.empty() && m < row_sum.size()) {
+      row_sum[m] = compute_row_sum(m);
+    }
   }
 };
 

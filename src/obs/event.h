@@ -52,6 +52,10 @@ enum class EventKind : std::uint8_t {
   kPlanDecision,     ///< optimizer chose a scheme for one stage
   kPoolGrant,        ///< SlotLedger granted the cluster to a pool
   kCollectorIngest,  ///< a profiled run was ingested into the WorkloadDb
+  kFetchRetry,       ///< transient fetch failures retried in place (backoff)
+  kChecksumFail,     ///< block integrity checksum mismatch detected
+  kNodeExcluded,     ///< health scoreboard excluded a node from placement
+  kNodeReadmitted,   ///< excluded node re-admitted after its backoff window
 };
 
 /// Canonical short name used on the wire ("task", "stage_end", ...).
@@ -132,6 +136,10 @@ struct Event {
   std::uint64_t evicted_bytes = 0;
   std::uint64_t spilled_bytes = 0;
   std::uint64_t peak_resident_bytes = 0;
+  std::uint64_t fetch_retries = 0;
+  std::uint64_t refetched_bytes = 0;
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t node_exclusions = 0;
   std::uint64_t p_min = 0;
   std::int64_t group = -1;  ///< optimizer co-partition group (-1: none)
 

@@ -18,6 +18,7 @@ engine::TaskMetrics task_from_event(const Event& e) {
   tm.compute_s = e.compute_s;
   tm.fetch_s = e.fetch_s;
   tm.attempts = static_cast<std::size_t>(e.attempt);
+  tm.fetch_retries = static_cast<std::size_t>(e.fetch_retries);
   tm.records_in = e.records_in;
   tm.records_out = e.records_out;
   tm.bytes_in = e.bytes_in;
@@ -51,6 +52,10 @@ engine::StageMetrics stage_from_event(const Event& e,
   sm.recomputed_tasks = static_cast<std::size_t>(e.recomputed_tasks);
   sm.recomputed_bytes = e.recomputed_bytes;
   sm.recovery_time_s = e.recovery_time_s;
+  sm.fetch_retries = static_cast<std::size_t>(e.fetch_retries);
+  sm.refetched_bytes = e.refetched_bytes;
+  sm.checksum_failures = static_cast<std::size_t>(e.checksum_failures);
+  sm.node_exclusions = static_cast<std::size_t>(e.node_exclusions);
   sm.oom_count = static_cast<std::size_t>(e.oom_count);
   sm.oomed_partition_counts.assign(e.list2.begin(), e.list2.end());
   sm.evicted_bytes = e.evicted_bytes;
@@ -77,6 +82,10 @@ engine::JobMetrics job_from_event(const Event& e) {
   jm.lost_bytes = e.lost_bytes;
   jm.recomputed_bytes = e.recomputed_bytes;
   jm.recovery_time_s = e.recovery_time_s;
+  jm.fetch_retries = static_cast<std::size_t>(e.fetch_retries);
+  jm.refetched_bytes = e.refetched_bytes;
+  jm.checksum_failures = static_cast<std::size_t>(e.checksum_failures);
+  jm.node_exclusions = static_cast<std::size_t>(e.node_exclusions);
   jm.oom_count = static_cast<std::size_t>(e.oom_count);
   jm.evicted_bytes = e.evicted_bytes;
   jm.spilled_bytes = e.spilled_bytes;

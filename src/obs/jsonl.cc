@@ -36,6 +36,10 @@ constexpr KindName kKindNames[] = {
     {EventKind::kPlanDecision, "plan"},
     {EventKind::kPoolGrant, "pool_grant"},
     {EventKind::kCollectorIngest, "ingest"},
+    {EventKind::kFetchRetry, "fetch_retry"},
+    {EventKind::kChecksumFail, "checksum_fail"},
+    {EventKind::kNodeExcluded, "node_excluded"},
+    {EventKind::kNodeReadmitted, "node_readmit"},
 };
 
 // -- field table --------------------------------------------------------------
@@ -98,6 +102,10 @@ const FieldDesc kFields[] = {
     {"evicted", &Event::evicted_bytes},
     {"spilled", &Event::spilled_bytes},
     {"peak", &Event::peak_resident_bytes},
+    {"fretries", &Event::fetch_retries},
+    {"refetched", &Event::refetched_bytes},
+    {"cksum_fail", &Event::checksum_failures},
+    {"excl", &Event::node_exclusions},
     {"p_min", &Event::p_min},
     {"group", nullptr, &Event::group},
     {"name", nullptr, nullptr, nullptr, &Event::name},

@@ -92,6 +92,12 @@ JobServer::JobServer(engine::Engine& engine, JobServerOptions options)
         "JobServer: engines with a node-failure schedule cannot serve "
         "concurrent jobs (node-death state is engine-global)");
   }
+  if (engine_.options().flaky_schedule.enabled() ||
+      engine_.options().corruption_schedule.enabled()) {
+    throw std::invalid_argument(
+        "JobServer: engines with a flaky-fetch or corruption schedule cannot "
+        "serve concurrent jobs (injection state is engine-global)");
+  }
   if (options_.max_concurrent_jobs == 0) {
     throw std::invalid_argument("JobServer: max_concurrent_jobs must be > 0");
   }

@@ -252,6 +252,43 @@ TEST(WorkloadDbMaintenance, PruneRemovesOneWorkloadOnly) {
   EXPECT_EQ(db.prune("missing"), 0u);
 }
 
+TEST(WorkloadDbMaintenance, FaultRecordsRoundTripPruneAndMerge) {
+  WorkloadDb db;
+  FaultRecord fr;
+  fr.workload = "w";
+  fr.signature = 7;
+  fr.fetch_retries = 12;
+  fr.refetched_bytes = 4096;
+  fr.checksum_failures = 2;
+  fr.node_exclusions = 1;
+  db.add_fault(fr);
+  db.add(obs("w", 7, engine::PartitionerKind::kHash, 1, 1, 10, 1, 0));
+
+  const std::string path = ::testing::TempDir() + "/workload_db_fault.txt";
+  db.save(path);
+  const auto loaded = WorkloadDb::load(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.fault_records().size(), 1u);
+  const auto& r = loaded.fault_records()[0];
+  EXPECT_EQ(r.workload, "w");
+  EXPECT_EQ(r.signature, 7u);
+  EXPECT_EQ(r.fetch_retries, 12u);
+  EXPECT_EQ(r.refetched_bytes, 4096u);
+  EXPECT_EQ(r.checksum_failures, 2u);
+  EXPECT_EQ(r.node_exclusions, 1u);
+
+  WorkloadDb other;
+  FaultRecord fr2 = fr;
+  fr2.workload = "x";
+  other.add_fault(fr2);
+  WorkloadDb merged = loaded;
+  merged.merge(other);
+  EXPECT_EQ(merged.fault_records().size(), 2u);
+  merged.prune("w");
+  ASSERT_EQ(merged.fault_records().size(), 1u);
+  EXPECT_EQ(merged.fault_records()[0].workload, "x");
+}
+
 TEST(WorkloadDbMaintenance, MergeCombinesObservationsAndStructure) {
   WorkloadDb a, b;
   a.add(obs("w", 1, engine::PartitionerKind::kHash, 1, 1, 10, 1, 0));

@@ -83,6 +83,7 @@ void expect_task_eq(const engine::TaskMetrics& a, const engine::TaskMetrics& b,
   EXPECT_EQ(a.compute_s, b.compute_s);
   EXPECT_EQ(a.fetch_s, b.fetch_s);
   EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.fetch_retries, b.fetch_retries);
   EXPECT_EQ(a.records_in, b.records_in);
   EXPECT_EQ(a.records_out, b.records_out);
   EXPECT_EQ(a.bytes_in, b.bytes_in);
@@ -115,6 +116,10 @@ void expect_stage_eq(const engine::StageMetrics& a,
   EXPECT_EQ(a.recomputed_tasks, b.recomputed_tasks);
   EXPECT_EQ(a.recomputed_bytes, b.recomputed_bytes);
   EXPECT_EQ(a.recovery_time_s, b.recovery_time_s);
+  EXPECT_EQ(a.fetch_retries, b.fetch_retries);
+  EXPECT_EQ(a.refetched_bytes, b.refetched_bytes);
+  EXPECT_EQ(a.checksum_failures, b.checksum_failures);
+  EXPECT_EQ(a.node_exclusions, b.node_exclusions);
   EXPECT_EQ(a.oom_count, b.oom_count);
   EXPECT_EQ(a.oomed_partition_counts, b.oomed_partition_counts);
   EXPECT_EQ(a.evicted_bytes, b.evicted_bytes);
@@ -143,6 +148,10 @@ void expect_job_eq(const engine::JobMetrics& a, const engine::JobMetrics& b) {
   EXPECT_EQ(a.lost_bytes, b.lost_bytes);
   EXPECT_EQ(a.recomputed_bytes, b.recomputed_bytes);
   EXPECT_EQ(a.recovery_time_s, b.recovery_time_s);
+  EXPECT_EQ(a.fetch_retries, b.fetch_retries);
+  EXPECT_EQ(a.refetched_bytes, b.refetched_bytes);
+  EXPECT_EQ(a.checksum_failures, b.checksum_failures);
+  EXPECT_EQ(a.node_exclusions, b.node_exclusions);
   EXPECT_EQ(a.oom_count, b.oom_count);
   EXPECT_EQ(a.evicted_bytes, b.evicted_bytes);
   EXPECT_EQ(a.spilled_bytes, b.spilled_bytes);
@@ -212,6 +221,10 @@ Event sample_event(EventKind kind, std::uint64_t i) {
   e.evicted_bytes = i * 53;
   e.spilled_bytes = i * 59;
   e.peak_resident_bytes = i * 61;
+  e.fetch_retries = i % 5;
+  e.refetched_bytes = i * 67;
+  e.checksum_failures = i % 4;
+  e.node_exclusions = i % 3;
   e.partitioner = i % 2;
   e.anchor_op = i % 7;
   e.group = static_cast<std::int64_t>(i) - 2;
@@ -239,7 +252,9 @@ TEST(ObsJsonl, RoundTripPreservesEveryFieldOfEveryKind) {
       EventKind::kNodeUp,       EventKind::kBlockStore,
       EventKind::kBlockEvict,   EventKind::kBlockHeal,
       EventKind::kPlanDecision, EventKind::kPoolGrant,
-      EventKind::kCollectorIngest};
+      EventKind::kCollectorIngest, EventKind::kFetchRetry,
+      EventKind::kChecksumFail, EventKind::kNodeExcluded,
+      EventKind::kNodeReadmitted};
   std::uint64_t i = 0;
   for (const auto kind : kinds) log.emit(sample_event(kind, i++));
   // A default-constructed payload exercises the omit-default-fields path.

@@ -24,6 +24,13 @@
 //       JobServer over one shared engine and print per-job latency, the pool
 //       shares and the grant schedule summary.
 //
+//   chopperctl chaos [--seed N] [--runs K] [--tiny] [--json FILE]
+//       Differential chaos trials (DESIGN.md §14): each seed composes
+//       node-failure, OOM, flaky-fetch and corruption schedules, runs a job
+//       with and without them and asserts bit-identical results, replayable
+//       event histories and bounded makespan inflation. Exit 1 on any
+//       divergence.
+//
 //   chopperctl history LOG
 //       Summarize a structured event log (written with --event-log):
 //       per-job and per-stage tables, straggler/critical-path analysis and
@@ -48,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos.h"
 #include "chopper/chopper.h"
 #include "common/logging.h"
 #include "harness.h"
@@ -75,7 +83,8 @@ void print_usage(std::FILE* out, const std::string& cmd = "") {
   if (all) {
     std::fprintf(out,
                  "usage: chopperctl COMMAND [--flags]\n"
-                 "commands: profile plan run inspect serve history trace\n\n");
+                 "commands: profile plan run inspect serve chaos history "
+                 "trace\n\n");
   }
   if (all || cmd == "profile") {
     std::fprintf(out,
@@ -107,6 +116,14 @@ void print_usage(std::FILE* out, const std::string& cmd = "") {
                  "[--max-concurrent K]\n"
                  "                   [--event-log FILE] [--tiny]\n"
                  "      multi-tenant demo over one shared engine\n");
+  }
+  if (all || cmd == "chaos") {
+    std::fprintf(out,
+                 "  chopperctl chaos [--seed N] [--runs K] [--tiny] "
+                 "[--json FILE]\n"
+                 "      differential chaos trials: composed fault schedules "
+                 "must leave\n"
+                 "      results bit-identical and histories replayable\n");
   }
   if (all || cmd == "history") {
     std::fprintf(out,
@@ -190,6 +207,7 @@ void validate_flags(const Args& args) {
         "event-log", "tiny"}},
       {"inspect", {"db"}},
       {"serve", {"jobs", "mode", "max-concurrent", "event-log", "tiny"}},
+      {"chaos", {"seed", "runs", "tiny", "json"}},
       {"history", {"stragglers"}},
       {"trace", {"chrome"}},
   };
@@ -513,6 +531,49 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+int cmd_chaos(const Args& args) {
+  const std::size_t start = args.get_size("seed", 0);
+  const std::size_t runs = args.get_size("runs", 1);
+  if (runs == 0) {
+    throw UsageError("invalid --runs '0' (must be >= 1)");
+  }
+  const bool tiny = args.has("tiny");
+
+  std::printf("chaos: %zu trial(s) from seed %zu%s\n", runs, start,
+              tiny ? " (tiny graphs)" : "");
+  bench::Table table({"seed", "workload", "flaky", "corrupt", "nodefail",
+                      "oom", "base(s)", "faulty(s)", "retries", "cksum",
+                      "excl", "verdict"});
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < runs; ++i) {
+    const bench::ChaosReport r = bench::chaos_run(start + i, tiny);
+    if (!r.ok) {
+      ++failures;
+      std::fprintf(stderr, "seed %llu (%s): %s\n",
+                   static_cast<unsigned long long>(r.seed),
+                   r.workload.c_str(), r.failure.c_str());
+    }
+    table.add_row({std::to_string(r.seed), r.workload,
+                   std::to_string(r.flaky_nodes),
+                   std::to_string(r.corruptions),
+                   std::to_string(r.node_failures),
+                   std::to_string(r.oom_injections),
+                   bench::Table::num(r.baseline_s, 2),
+                   bench::Table::num(r.faulty_s, 2),
+                   std::to_string(r.fetch_retries),
+                   std::to_string(r.checksum_failures),
+                   std::to_string(r.node_exclusions),
+                   r.ok ? "ok" : "FAIL: " + r.failure});
+  }
+  table.print();
+  std::printf("%zu/%zu trials bit-identical with replay parity\n",
+              runs - failures, runs);
+  if (args.has("json") && !table.write_json(args.get("json"), "chaos")) {
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int cmd_history(const Args& args) {
   if (args.positional.empty()) {
     std::fprintf(stderr, "history requires a LOG file operand\n");
@@ -704,6 +765,7 @@ int main(int argc, char** argv) {
     if (args->command == "run") return cmd_run(*args);
     if (args->command == "inspect") return cmd_inspect(*args);
     if (args->command == "serve") return cmd_serve(*args);
+    if (args->command == "chaos") return cmd_chaos(*args);
     if (args->command == "history") return cmd_history(*args);
     if (args->command == "trace") return cmd_trace(*args);
   } catch (const UsageError& e) {
