@@ -1,0 +1,401 @@
+// Adaptive re-planning (DESIGN.md §15): frozen plan vs CHOPPER-online on a
+// recurring job whose production input diverges from the profiled size.
+//
+// Setup: a source -> map -> reduceByKey job is profiled at a small input,
+// planned (Algorithm 3), and then recurs N times in production at 8x the
+// profiled size on a memory-calibrated cluster where the frozen plan's
+// partition count no longer fits. The frozen arm re-pays the OOM-grow
+// retries on every recurrence (each round is a new job, so the scheduler
+// re-resolves the stale scheme each time). The adaptive arm attaches an
+// AdaptiveController: the round-1 OOMs prove a memory-feasibility floor,
+// the controller re-plans at the stage barrier and patches the live
+// provider, and every later round starts at the grown partition count.
+//
+// Asserts (exit 1 on failure):
+//  * every frozen round OOMs; the adaptive arm OOMs only in round 1;
+//  * the controller re-planned at least once and its kPlanUpdate /
+//    kModelRefit events round-trip through the JSONL log;
+//  * reduced results are identical across arms and rounds (digest);
+//  * a run executed directly with controller.adapted_config() is
+//    byte-identical (records and simulated time) to the last adaptive round;
+//  * total adaptive makespan is >= 30% below frozen (full mode only);
+//  * enabled-but-never-triggered: zero re-plans, per-round simulated times
+//    bit-identical to a controller-less run, wall overhead <= 1%
+//    (overhead gate in full mode only).
+//
+// `--tiny` shrinks inputs ~6x for CI smoke runs; `--json PATH` mirrors the
+// per-round table into a BENCH_*.json artifact.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/adaptive.h"
+#include "harness.h"
+#include "obs/event_log.h"
+#include "obs/history.h"
+#include "obs/sinks.h"
+
+using namespace chopper;
+
+namespace {
+
+bool g_tiny = false;
+bool g_ok = true;
+
+void check(bool cond, const char* what) {
+  if (!cond) {
+    std::printf("FAIL: %s\n", what);
+    g_ok = false;
+  }
+}
+
+constexpr const char* kWorkload = "adaptive_recurring";
+constexpr std::size_t kKeys = 1000;
+constexpr std::uint32_t kAuxBytes = 160;
+
+std::size_t profile_rows() { return g_tiny ? 20'000 : 120'000; }
+std::size_t production_rows() { return 8 * profile_rows(); }
+std::size_t rounds() { return g_tiny ? 3 : 6; }
+
+// The recurring job. Labels are round-independent, so every recurrence has
+// the same stage signatures — the property CHOPPER's config keys on.
+engine::DatasetPtr make_job(std::size_t rows) {
+  auto src = engine::Dataset::source(
+      "adapt.load", 64, [rows](std::size_t index, std::size_t count) {
+        engine::Partition p;
+        const std::size_t begin = rows * index / count;
+        const std::size_t end = rows * (index + 1) / count;
+        for (std::size_t i = begin; i < end; ++i) {
+          const double vals[2] = {1.0, static_cast<double>(i % 97)};
+          p.emplace(i % kKeys, vals, 2, kAuxBytes);
+        }
+        return p;
+      });
+  auto feat = src->map(
+      "adapt.feature",
+      [](const engine::Record& r) {
+        engine::Record out = r;
+        out.values[1] = out.values[1] * 2.0 + 1.0;
+        return out;
+      },
+      6.0);
+  return feat->reduce_by_key(
+      "adapt.sum",
+      [](engine::Record& acc, const engine::Record& next) {
+        acc.values[0] += next.values[0];
+        acc.values[1] += next.values[1];
+      },
+      {}, 2.0);
+}
+
+// Order-insensitive digest of a collect() result. The reduction sums
+// integer-valued doubles, so it is exact at any partition count.
+std::uint64_t result_digest(const std::vector<engine::Record>& records) {
+  std::vector<engine::Record> sorted = records;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const engine::Record& a, const engine::Record& b) {
+              return a.key < b.key;
+            });
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& r : sorted) {
+    mix(r.key);
+    for (const double v : r.values) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof bits);
+      mix(bits);
+    }
+    mix(r.aux_bytes);
+  }
+  return h;
+}
+
+engine::EngineOptions base_options() {
+  engine::EngineOptions o = bench::vanilla_options();
+  o.default_parallelism = 64;
+  return o;
+}
+
+engine::EngineOptions enforced_options() {
+  engine::EngineOptions o = base_options();
+  o.memory.enforce = true;
+  o.memory.oom_repartition_after = 1;
+  return o;
+}
+
+struct Round {
+  double sim_s = 0.0;
+  std::size_t ooms = 0;
+  std::uint64_t digest = 0;
+  std::vector<engine::Record> records;
+};
+
+// One production recurrence on a fresh engine (recurring-job semantics: no
+// state carries over between rounds except the shared plan provider).
+Round run_round(const engine::ClusterSpec& cluster,
+                const engine::EngineOptions& opts,
+                const std::shared_ptr<engine::PlanProvider>& provider,
+                obs::EventLog* log, std::size_t rows) {
+  engine::Engine eng(cluster, opts);
+  if (provider) eng.set_plan_provider(provider);
+  if (log) eng.set_event_log(log);
+  const engine::JobResult res = eng.collect(make_job(rows), kWorkload);
+  Round r;
+  r.sim_s = res.sim_time_s;
+  r.ooms = res.oom_count;
+  r.digest = result_digest(res.records);
+  r.records = res.records;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) g_tiny = true;
+  }
+  const std::string json_path = bench::json_flag(argc, argv);
+
+  bench::print_header(
+      "Adaptive re-planning: frozen plan vs CHOPPER-online on a recurring "
+      "job at 8x the profiled input");
+
+  // -- profile + freeze the plan at the small input --------------------------
+  core::ChopperOptions copts = bench::chopper_options();
+  copts.engine_options = base_options();
+  copts.profile_partitions = {32, 64, 96, 128};
+  copts.profile_fractions = {0.5, 1.0};
+  copts.profile_both_partitioners = false;
+  const core::WorkloadRunner runner = [](engine::Engine& e, double s) {
+    e.collect(make_job(static_cast<std::size_t>(
+                  static_cast<double>(profile_rows()) * s)),
+              kWorkload);
+  };
+  core::Chopper profiler(bench::bench_cluster(1.0), copts);
+  const double input_bytes = profiler.profile(kWorkload, runner, 1.0);
+  const std::string db_path = "adaptive_replan_db.jsonl";
+  profiler.save_db(db_path);
+
+  const auto frozen_plan = profiler.plan(kWorkload, input_bytes);
+  const common::KvConfig frozen_cfg = profiler.plan_config(frozen_plan);
+  check(!frozen_plan.empty(), "profiling produced a plan");
+  std::size_t frozen_load_p = 0;
+  for (const auto& ps : frozen_plan) {
+    if (ps.name.find("adapt.load") != std::string::npos) {
+      frozen_load_p = ps.num_partitions;
+    }
+  }
+  std::printf("frozen plan (profiled at %zu rows): load stage P=%zu\n",
+              profile_rows(), frozen_load_p);
+  check(frozen_load_p > 0, "frozen plan covers the load stage");
+
+  // -- calibrate memory so the frozen P OOMs at the production input ---------
+  // Probe the frozen plan's largest task working set at 8x rows on an ample
+  // cluster, then size executors so P fails, 1.5P still fails and 2.25P fits
+  // (two OOM-grow retries per frozen round).
+  {
+    engine::Engine probe(bench::bench_cluster(1.0), base_options());
+    probe.set_plan_provider(
+        std::make_shared<core::ConfigPlanProvider>(frozen_cfg));
+    probe.collect(make_job(production_rows()), kWorkload);
+    double w = 0.0;
+    for (const auto& sm : probe.metrics().stages()) {
+      for (const auto& t : sm.tasks) {
+        w = std::max(w, static_cast<double>(t.bytes_in + t.bytes_out) /
+                            base_options().cost_model.data_scale);
+      }
+    }
+    check(w > 0.0, "probe measured a task working set");
+    const double mem_scale = 0.55 * w * 32.0 / 40e9;
+    std::printf(
+        "production probe: max task working set %.1f MB at 8x input; "
+        "executor memory scaled to %.4fx (slot ceiling %.1f MB)\n",
+        w / 1e6, mem_scale, 0.55 * w / 1e6);
+
+    const engine::ClusterSpec starved = bench::bench_cluster(mem_scale);
+    const engine::EngineOptions enforced = enforced_options();
+    const std::size_t n = rounds();
+
+    // -- arm A: frozen plan, every round re-pays the OOM-grow retries --------
+    bench::Table table({"arm", "round", "sim(s)", "oom", "replans"});
+    const auto frozen_provider =
+        std::make_shared<core::ConfigPlanProvider>(frozen_cfg);
+    std::vector<Round> frozen;
+    double frozen_total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      frozen.push_back(
+          run_round(starved, enforced, frozen_provider, nullptr,
+                    production_rows()));
+      frozen_total += frozen.back().sim_s;
+      table.add_row({"frozen", std::to_string(r),
+                     bench::Table::num(frozen.back().sim_s, 2),
+                     std::to_string(frozen.back().ooms), "-"});
+      check(frozen.back().ooms > 0, "frozen round re-pays OOM retries");
+    }
+
+    // -- arm B: same starting plan, adaptive controller attached -------------
+    core::Chopper online(starved, copts);
+    online.load_db(db_path);
+    const auto live_provider =
+        std::make_shared<core::ConfigPlanProvider>(frozen_cfg);
+    auto controller = std::make_shared<adapt::AdaptiveController>(
+        online, kWorkload, live_provider, frozen_cfg);
+    obs::EventLog event_log;
+    const std::string log_path = "adaptive_replan_events.jsonl";
+    event_log.attach(std::make_shared<obs::JsonlFileSink>(log_path));
+    event_log.attach(controller);
+    controller->set_event_log(&event_log);
+
+    std::vector<Round> adaptive;
+    double adaptive_total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      adaptive.push_back(run_round(starved, enforced, live_provider,
+                                   &event_log, production_rows()));
+      adaptive_total += adaptive.back().sim_s;
+      table.add_row({"adaptive", std::to_string(r),
+                     bench::Table::num(adaptive.back().sim_s, 2),
+                     std::to_string(adaptive.back().ooms),
+                     std::to_string(controller->stats().replans)});
+    }
+    const adapt::AdaptStats stats = controller->stats();
+    const common::KvConfig adapted = controller->adapted_config();
+    event_log.detach_all();  // flush + close the JSONL sink
+
+    table.print();
+    const double reduction = (frozen_total - adaptive_total) / frozen_total;
+    std::printf(
+        "\nfrozen total %.2f s, adaptive total %.2f s -> %.1f%% reduction\n",
+        frozen_total, adaptive_total, 100.0 * reduction);
+    std::printf(
+        "adaptation: %zu observations folded, %zu refits, %zu re-plans "
+        "(%zu stages adopted, %zu suppressed by epsilon)\n",
+        stats.observations, stats.refits, stats.replans, stats.stages_adopted,
+        stats.suppressed);
+    if (!json_path.empty() && !table.write_json(json_path, "adaptive_replan")) {
+      g_ok = false;
+    }
+
+    check(stats.replans >= 1, "controller adopted at least one re-plan");
+    check(adaptive.front().ooms > 0, "adaptive round 0 hits the stale plan");
+    for (std::size_t r = 1; r < n; ++r) {
+      check(adaptive[r].ooms == 0, "adaptive rounds after the re-plan are "
+                                   "OOM-free");
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      check(frozen[r].digest == frozen.front().digest,
+            "frozen results stable across rounds");
+      check(adaptive[r].digest == frozen.front().digest,
+            "adaptive results identical to the frozen arm");
+    }
+    if (!g_tiny) {
+      check(reduction >= 0.30, "adaptive makespan >= 30% below frozen");
+    }
+
+    // A run executed directly with the adapted plan must be byte-identical
+    // to the triggered run's final round.
+    const Round direct =
+        run_round(starved, enforced,
+                  std::make_shared<core::ConfigPlanProvider>(adapted), nullptr,
+                  production_rows());
+    check(direct.sim_s == adaptive.back().sim_s,
+          "direct run at adapted_config matches last adaptive round (time)");
+    check(direct.records == adaptive.back().records,
+          "direct run at adapted_config matches last adaptive round (records)");
+
+    // kPlanUpdate / kModelRefit round-trip through the JSONL log.
+    const obs::HistoryReader reader = obs::HistoryReader::load(log_path);
+    check(reader.skipped_lines() == 0, "event log has no malformed lines");
+    check(reader.skipped_unknown_kinds() == 0,
+          "event log has no unknown kinds");
+    std::size_t plan_updates = 0, refit_marks = 0;
+    std::uint64_t last_update_p = 0;
+    for (const auto& e : reader.events()) {
+      if (e.kind == obs::EventKind::kPlanUpdate) {
+        ++plan_updates;
+        check(e.signature != 0 && e.num_partitions > 0,
+              "kPlanUpdate round-trips its scheme");
+        last_update_p = e.num_partitions;
+      } else if (e.kind == obs::EventKind::kModelRefit) {
+        ++refit_marks;
+      }
+    }
+    check(plan_updates >= 1, "kPlanUpdate events reached the JSONL log");
+    check(refit_marks == stats.refits, "kModelRefit markers match the stats");
+    std::printf("event log: %zu kPlanUpdate, %zu kModelRefit records "
+                "round-tripped (last adopted P=%llu)\n",
+                plan_updates, refit_marks,
+                static_cast<unsigned long long>(last_update_p));
+  }
+
+  // -- enabled but never triggered: pure-observer overhead -------------------
+  // Production == divergent input on an ample, unenforced cluster: no OOMs,
+  // no feasibility floor, and cost re-sweeps stay inside the epsilon gate,
+  // so the controller must behave as a pure observer.
+  {
+    bench::print_header(
+        "Enabled-but-never-triggered: bit-identity and overhead");
+    const engine::ClusterSpec ample = bench::bench_cluster(1.0);
+    const engine::EngineOptions opts = base_options();
+    const std::size_t n = rounds();
+
+    const auto run_arm = [&](bool with_controller, std::vector<Round>* out) {
+      const auto provider =
+          std::make_shared<core::ConfigPlanProvider>(frozen_cfg);
+      std::shared_ptr<adapt::AdaptiveController> controller;
+      std::unique_ptr<core::Chopper> chopper;
+      obs::EventLog log;
+      if (with_controller) {
+        chopper = std::make_unique<core::Chopper>(ample, copts);
+        chopper->load_db(db_path);
+        controller = std::make_shared<adapt::AdaptiveController>(
+            *chopper, kWorkload, provider, frozen_cfg);
+        controller->set_event_log(&log);
+        log.attach(controller);
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      out->clear();
+      for (std::size_t r = 0; r < n; ++r) {
+        out->push_back(run_round(ample, opts, provider,
+                                 with_controller ? &log : nullptr,
+                                 production_rows()));
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      const std::size_t replans =
+          controller ? controller->stats().replans : 0;
+      log.detach_all();
+      check(replans == 0, "no re-plan fires on the ample cluster");
+      return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    std::vector<Round> plain, observed;
+    double wall_plain = 1e300, wall_observed = 1e300;
+    const int reps = g_tiny ? 1 : 3;
+    for (int rep = 0; rep < reps; ++rep) {
+      wall_plain = std::min(wall_plain, run_arm(false, &plain));
+      wall_observed = std::min(wall_observed, run_arm(true, &observed));
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      check(plain[r].sim_s == observed[r].sim_s,
+            "per-round simulated times bit-identical with observer attached");
+      check(plain[r].digest == observed[r].digest,
+            "per-round results bit-identical with observer attached");
+    }
+    const double overhead = (wall_observed - wall_plain) / wall_plain;
+    std::printf("wall (best of %d): plain %.3f s, observed %.3f s -> "
+                "%.2f%% overhead\n",
+                reps, wall_plain, wall_observed, 100.0 * overhead);
+    if (!g_tiny) {
+      check(overhead <= 0.01, "enabled-but-idle overhead <= 1%");
+    }
+  }
+
+  std::printf("\n%s\n", g_ok ? "adaptive_replan: all checks passed"
+                             : "adaptive_replan: CHECKS FAILED");
+  return g_ok ? 0 : 1;
+}

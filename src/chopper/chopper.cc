@@ -73,6 +73,21 @@ std::vector<PlannedStage> Chopper::plan_naive(const std::string& workload,
   return optimizer_.get_workload_par(workload, input_bytes);
 }
 
+Chopper::ReplanResult Chopper::replan(const std::string& workload,
+                                      double input_bytes,
+                                      std::size_t max_stages) {
+  ReplanResult result;
+  const std::size_t stages = db_.dag(workload).size();
+  if (stages == 0 || stages > max_stages) {
+    LOG_DEBUG << "chopper: replan of " << workload << " skipped (" << stages
+              << " stages, bound " << max_stages << ")";
+    return result;
+  }
+  result.plan = optimizer_.get_global_par(workload, input_bytes);
+  result.swept = true;
+  return result;
+}
+
 namespace {
 bool plans_agree(const std::vector<PlannedStage>& a,
                  const std::vector<PlannedStage>& b) {

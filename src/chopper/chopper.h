@@ -64,6 +64,21 @@ class Chopper {
   std::vector<PlannedStage> plan(const std::string& workload,
                                  double input_bytes);
 
+  struct ReplanResult {
+    std::vector<PlannedStage> plan;
+    /// False when the workload's DAG exceeded `max_stages` and the sweep was
+    /// skipped (plan empty) — the bound that keeps mid-run re-planning from
+    /// stalling a stage barrier on a huge DAG.
+    bool swept = false;
+  };
+
+  /// Bounded Algorithm-3 re-sweep for in-flight adaptation (src/adapt): same
+  /// plan as plan(), but refuses to sweep DAGs larger than `max_stages`.
+  /// Models are lazily refit from whatever observations arrived since the
+  /// last sweep (see WorkloadDb::model's incremental-refit contract).
+  ReplanResult replan(const std::string& workload, double input_bytes,
+                      std::size_t max_stages);
+
   struct TuneResult {
     std::vector<PlannedStage> plan;
     std::vector<double> run_times;  ///< simulated time of each tuning run

@@ -62,13 +62,40 @@ std::vector<Observation> WorkloadDb::observations(
   return out;
 }
 
+namespace {
+/// Canonical total order over a model's training set. Sorting before the fit
+/// makes the float summation order a function of the observation *set*, not
+/// of ingest history — so an incremental refit mid-run (observations arriving
+/// one stage at a time, model() called between arrivals) produces
+/// coefficients bit-identical to an offline fit over the same observations,
+/// in any ingest order. The adaptive controller's replay/bit-identity
+/// guarantees (DESIGN.md §15) rest on this.
+bool canonical_less(const Observation& a, const Observation& b) {
+  if (a.workload_input_bytes != b.workload_input_bytes) {
+    return a.workload_input_bytes < b.workload_input_bytes;
+  }
+  if (a.stage_input_bytes != b.stage_input_bytes) {
+    return a.stage_input_bytes < b.stage_input_bytes;
+  }
+  if (a.num_partitions != b.num_partitions) {
+    return a.num_partitions < b.num_partitions;
+  }
+  if (a.t_exe_s != b.t_exe_s) return a.t_exe_s < b.t_exe_s;
+  if (a.shuffle_bytes != b.shuffle_bytes) {
+    return a.shuffle_bytes < b.shuffle_bytes;
+  }
+  return a.is_default < b.is_default;
+}
+}  // namespace
+
 const StageModel* WorkloadDb::model(const std::string& workload,
                                     std::uint64_t signature,
                                     engine::PartitionerKind kind) {
   const ModelKey key{workload, signature, kind};
   auto& entry = models_[key];
   if (entry.trained_on != observations_.size()) {
-    const auto obs = observations(workload, signature, kind);
+    auto obs = observations(workload, signature, kind);
+    std::sort(obs.begin(), obs.end(), canonical_less);
     entry.model.fit(obs, ridge_lambda_);
     entry.trained_on = observations_.size();
   }

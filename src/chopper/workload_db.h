@@ -103,6 +103,12 @@ class WorkloadDb {
 
   /// Lazily trained model for (workload, stage, partitioner); retrains when
   /// new observations arrived since the last call. Never null.
+  ///
+  /// Incremental-refit contract: the training set is put into a canonical
+  /// order before fitting, so the coefficients are a pure function of the
+  /// observation *set* — refitting after each mid-run add() (the adaptive
+  /// controller's streaming path) is bit-identical to one offline fit over
+  /// the same observations, regardless of ingest order.
   const StageModel* model(const std::string& workload, std::uint64_t signature,
                           engine::PartitionerKind kind);
 

@@ -822,6 +822,12 @@ void JobRunner::run_stage(std::size_t s) {
   job_metrics_.spilled_bytes += sm.spilled_bytes;
   job_metrics_.peak_resident_bytes =
       std::max(job_metrics_.peak_resident_bytes, sm.peak_resident_bytes);
+  // Stage barrier hook: kStageEnd is delivered to sinks synchronously, so an
+  // in-process sink (src/adapt's AdaptiveController) runs to completion here
+  // — any plan-provider patch it makes is visible to every scheme still
+  // unresolved, i.e. stages at least two hops downstream in this job (a
+  // consumer's scheme resolves during its producer's shuffle write, below)
+  // and all stages of later jobs.
   if (tracing()) emit_stage_end(s, sm, a);
   eng_.metrics_.add_stage(std::move(sm));
 }

@@ -56,6 +56,8 @@ enum class EventKind : std::uint8_t {
   kChecksumFail,     ///< block integrity checksum mismatch detected
   kNodeExcluded,     ///< health scoreboard excluded a node from placement
   kNodeReadmitted,   ///< excluded node re-admitted after its backoff window
+  kModelRefit,       ///< adaptive controller refit models from live statistics
+  kPlanUpdate,       ///< adaptive controller re-chose a pending stage's scheme
 };
 
 /// Canonical short name used on the wire ("task", "stage_end", ...).

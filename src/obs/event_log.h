@@ -52,6 +52,9 @@ class EventLog {
   }
 
   /// Stamp seq + wall and deliver to all sinks. `e.sim` is the caller's.
+  /// Re-entrant on the same thread: a sink may emit() into the log it is
+  /// attached to (the adaptive controller does); nested events are queued
+  /// and delivered after the outer fan-out completes, carrying later seqs.
   void emit(Event e);
 
   /// Simulated-time low-water mark for emitters without a clock.

@@ -110,6 +110,7 @@ HistoryReader HistoryReader::load(const std::string& path) {
 
   std::vector<Event> events;
   std::size_t skipped = 0;
+  std::size_t skipped_unknown = 0;
   bool saw_header = false;
   std::size_t pos = 0;
   bool first = true;
@@ -126,8 +127,11 @@ HistoryReader HistoryReader::load(const std::string& path) {
         continue;
       }
     }
-    if (auto e = from_jsonl(line)) {
+    bool unknown_kind = false;
+    if (auto e = from_jsonl(line, &unknown_kind)) {
       events.push_back(std::move(*e));
+    } else if (unknown_kind) {
+      ++skipped_unknown;  // newer log: skip the record, keep the rest
     } else {
       ++skipped;
     }
@@ -138,6 +142,7 @@ HistoryReader HistoryReader::load(const std::string& path) {
   }
   HistoryReader r(std::move(events));
   r.skipped_ = skipped;
+  r.skipped_unknown_ = skipped_unknown;
   return r;
 }
 

@@ -35,7 +35,15 @@ class HistoryReader {
   explicit HistoryReader(std::vector<Event> events);
 
   const std::vector<Event>& events() const noexcept { return events_; }
+  /// Lines dropped because they were malformed (corruption / truncation).
   std::size_t skipped_lines() const noexcept { return skipped_; }
+  /// Well-formed records dropped because their event kind is unknown to this
+  /// binary — a log written by a newer tool. Counted separately from
+  /// skipped_lines() so readers can warn about forward-compat skips without
+  /// implying the log is corrupt.
+  std::size_t skipped_unknown_kinds() const noexcept {
+    return skipped_unknown_;
+  }
 
   /// Rebuild every stage/job row in the log, in log order.
   void replay_into(engine::MetricsRegistry& registry) const;
@@ -60,6 +68,7 @@ class HistoryReader {
  private:
   std::vector<Event> events_;
   std::size_t skipped_ = 0;
+  std::size_t skipped_unknown_ = 0;
 };
 
 /// Decode one kStageEnd event (plus its buffered task spans) back into the

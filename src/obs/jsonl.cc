@@ -40,6 +40,8 @@ constexpr KindName kKindNames[] = {
     {EventKind::kChecksumFail, "checksum_fail"},
     {EventKind::kNodeExcluded, "node_excluded"},
     {EventKind::kNodeReadmitted, "node_readmit"},
+    {EventKind::kModelRefit, "model_refit"},
+    {EventKind::kPlanUpdate, "plan_update"},
 };
 
 // -- field table --------------------------------------------------------------
@@ -364,10 +366,16 @@ std::string to_jsonl(const Event& e) {
 }
 
 std::optional<Event> from_jsonl(const std::string& line) {
+  return from_jsonl(line, nullptr);
+}
+
+std::optional<Event> from_jsonl(const std::string& line, bool* unknown_kind) {
+  if (unknown_kind != nullptr) *unknown_kind = false;
   Cursor c{line.data(), line.data() + line.size()};
   if (!c.eat('{')) return std::nullopt;
   Event e;
   bool have_kind = false;
+  bool saw_kind_key = false;
   c.skip_ws();
   if (c.eat('}')) return std::nullopt;
   while (true) {
@@ -383,6 +391,7 @@ std::optional<Event> from_jsonl(const std::string& line) {
       if (!parse_string(c, &name)) return std::nullopt;
       e.kind = parse_event_kind(name);
       have_kind = e.kind != EventKind::kNone;
+      saw_kind_key = true;
     } else if (key == "sim") {
       std::string tok;
       if (!parse_number_token(c, &tok)) return std::nullopt;
@@ -415,7 +424,13 @@ std::optional<Event> from_jsonl(const std::string& line) {
     if (c.eat('}')) break;
     if (!c.eat(',')) return std::nullopt;
   }
-  if (!have_kind) return std::nullopt;
+  if (!have_kind) {
+    // A well-formed record whose "k" names a kind this binary does not know
+    // is a forward-compat skip, not corruption — report it as such so
+    // readers can warn accurately (HistoryReader counts the two separately).
+    if (saw_kind_key && unknown_kind != nullptr) *unknown_kind = true;
+    return std::nullopt;
+  }
   return e;
 }
 

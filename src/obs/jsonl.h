@@ -29,6 +29,12 @@ void append_jsonl(const Event& e, std::string& out);
 /// event kind (tolerated: the caller skips the line).
 std::optional<Event> from_jsonl(const std::string& line);
 
+/// As above, but distinguishes the two skip reasons: `*unknown_kind` is set
+/// true when the line was well-formed JSON whose "k" names an event kind
+/// this binary does not know (a log written by a newer tool), and false for
+/// genuinely malformed input. Old readers stay usable against newer logs.
+std::optional<Event> from_jsonl(const std::string& line, bool* unknown_kind);
+
 /// Append `s` to `out` as a quoted, escaped JSON string (shared by the
 /// Chrome trace exporter).
 void append_json_quoted(const std::string& s, std::string& out);

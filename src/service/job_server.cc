@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "adapt/adaptive.h"
+
 namespace chopper::service {
 
 const char* to_string(JobState s) noexcept {
@@ -131,6 +133,15 @@ JobHandle JobServer::submit(const engine::DatasetPtr& ds, SubmitOptions opts) {
   auto rec = std::make_shared<JobHandle::Rec>();
   rec->ds = ds;
   rec->opts = std::move(opts);
+
+  // Register the adaptive gate before the job can emit its first event, so
+  // the controller's kJobSubmit resolution sees the per-job choice.
+  {
+    std::lock_guard plock(plan_mu_);
+    if (adaptive_ != nullptr) {
+      adaptive_->set_job_enabled(rec->opts.name, rec->opts.adapt);
+    }
+  }
 
   std::lock_guard lock(mu_);
   if (shutting_down_) {
@@ -273,6 +284,33 @@ void JobServer::run_admitted(std::shared_ptr<JobHandle::Rec> rec,
 void JobServer::wait_all() {
   std::unique_lock lock(mu_);
   idle_cv_.wait(lock, [this] { return running_ == 0 && queue_.empty(); });
+}
+
+void JobServer::set_adaptive(
+    std::shared_ptr<adapt::AdaptiveController> controller) {
+  std::lock_guard lock(plan_mu_);
+  adaptive_ = std::move(controller);
+  if (adaptive_ != nullptr) {
+    // Serving is opt-in per job: unknown jobs must not steer re-planning.
+    adaptive_->set_default_enabled(false);
+    plan_cache_ = adaptive_->adapted_config();
+    plan_cache_epoch_ = adaptive_->refit_epoch();
+  } else {
+    plan_cache_ = common::KvConfig{};
+    plan_cache_epoch_ = ~std::uint64_t{0};
+  }
+}
+
+common::KvConfig JobServer::current_plan() const {
+  std::lock_guard lock(plan_mu_);
+  if (adaptive_ != nullptr) {
+    const std::uint64_t epoch = adaptive_->refit_epoch();
+    if (epoch != plan_cache_epoch_) {
+      plan_cache_ = adaptive_->adapted_config();
+      plan_cache_epoch_ = epoch;
+    }
+  }
+  return plan_cache_;
 }
 
 }  // namespace chopper::service

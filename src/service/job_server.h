@@ -34,8 +34,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/kv_config.h"
 #include "engine/engine.h"
 #include "service/slot_ledger.h"
+
+namespace chopper::adapt {
+class AdaptiveController;
+}
 
 namespace chopper::service {
 
@@ -58,6 +63,10 @@ struct SubmitOptions {
   /// (deadline/timeout cancellation); <0 = none.
   double deadline_s = -1.0;
   bool collect = false;  ///< collect records instead of counting
+  /// Feed this job's stage statistics into the attached AdaptiveController
+  /// (no-op when none is attached). Opt-in per job: a server mixes tenants,
+  /// and only the opted-in tenant's stages may steer re-planning.
+  bool adapt = false;
 };
 
 struct JobServerOptions {
@@ -120,6 +129,19 @@ class JobServer {
   /// Block until every job submitted so far has left the system.
   void wait_all();
 
+  /// Attach an in-flight adaptive controller (src/adapt). The server flips
+  /// the controller's default gate to disabled and registers every submitted
+  /// job's name with its SubmitOptions::adapt choice, so only opted-in jobs
+  /// feed re-planning. The caller still attaches the controller to the
+  /// engine's event log (that is where the statistics flow from).
+  void set_adaptive(std::shared_ptr<adapt::AdaptiveController> controller);
+
+  /// Snapshot of the adaptive controller's currently deployed plan. Cached;
+  /// re-read only when the controller's refit epoch advanced (the plan-cache
+  /// invalidation hook the adaptation loop requires). Empty when no
+  /// controller is attached.
+  common::KvConfig current_plan() const;
+
   /// Global virtual frontier of the shared ledger.
   double virtual_now() const { return ledger_.now(); }
 
@@ -142,6 +164,12 @@ class JobServer {
   std::deque<std::shared_ptr<JobHandle::Rec>> queue_;  ///< admission queue
   std::vector<std::thread> workers_;
   bool shutting_down_ = false;
+
+  /// Adaptive re-planning hookup (null: serving is plan-static).
+  mutable std::mutex plan_mu_;
+  std::shared_ptr<adapt::AdaptiveController> adaptive_;
+  mutable common::KvConfig plan_cache_;
+  mutable std::uint64_t plan_cache_epoch_ = ~std::uint64_t{0};
 };
 
 }  // namespace chopper::service

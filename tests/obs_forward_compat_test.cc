@@ -1,0 +1,123 @@
+// Forward-compatibility of the JSONL event log: a log written by a newer
+// binary may contain event kinds this binary does not know. Such records
+// are well-formed, so they must be skipped and counted separately from
+// malformed (corrupt/truncated) lines — readers warn, they do not imply
+// corruption. Also pins the wire round-trip of the adaptive controller's
+// kPlanUpdate / kModelRefit decision events.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/event.h"
+#include "obs/history.h"
+#include "obs/jsonl.h"
+
+namespace chopper::obs {
+namespace {
+
+std::string temp_path(const std::string& leaf) {
+  return ::testing::TempDir() + "/" + leaf;
+}
+
+Event sample_stage_end() {
+  Event e;
+  e.kind = EventKind::kStageEnd;
+  e.seq = 7;
+  e.job = 1;
+  e.stage = 3;
+  e.signature = 0xabcdef;
+  e.name = "stage";
+  e.num_partitions = 64;
+  e.sim_time_s = 2.5;
+  return e;
+}
+
+TEST(ForwardCompat, UnknownKindIsDistinguishedFromMalformed) {
+  std::string line = to_jsonl(sample_stage_end());
+  const auto pos = line.find("stage_end");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string unknown_line =
+      line.substr(0, pos) + "warp_drive" + line.substr(pos + 9);
+
+  bool unknown = false;
+  EXPECT_TRUE(from_jsonl(line, &unknown).has_value());
+  EXPECT_FALSE(unknown);
+
+  unknown = false;
+  EXPECT_FALSE(from_jsonl(unknown_line, &unknown).has_value());
+  EXPECT_TRUE(unknown);
+
+  unknown = true;
+  EXPECT_FALSE(from_jsonl("{\"seq\":", &unknown).has_value());
+  EXPECT_FALSE(unknown);
+}
+
+TEST(ForwardCompat, HistoryReaderCountsUnknownKindsSeparately) {
+  const std::string path = temp_path("obs_forward_compat.jsonl");
+  {
+    std::ofstream out(path);
+    out << jsonl_header() << "\n";
+    out << to_jsonl(sample_stage_end()) << "\n";
+    std::string future = to_jsonl(sample_stage_end());
+    const auto pos = future.find("stage_end");
+    out << future.replace(pos, 9, "warp_drive") << "\n";
+    out << "{\"seq\":12,\"kind\":\n";  // truncated mid-record
+  }
+  const HistoryReader reader = HistoryReader::load(path);
+  EXPECT_EQ(reader.events().size(), 1u);
+  EXPECT_EQ(reader.skipped_lines(), 1u);
+  EXPECT_EQ(reader.skipped_unknown_kinds(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ForwardCompat, AdaptiveDecisionEventsRoundTrip) {
+  Event e;
+  e.kind = EventKind::kPlanUpdate;
+  e.seq = 11;
+  e.job = 2;
+  e.signature = 0x1234;
+  e.name = "micro.load";
+  e.detail = "adaptive_recurring";
+  e.partitioner = 1;
+  e.num_partitions = 180;
+  e.p_min = 120;
+  e.value = 3.5;
+  e.value2 = 9.25;
+  e.attempt = 4;
+  e.flags = kFlagOom;
+  e.list = {0, 80};
+
+  const auto back = from_jsonl(to_jsonl(e));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, EventKind::kPlanUpdate);
+  EXPECT_EQ(back->signature, e.signature);
+  EXPECT_EQ(back->name, e.name);
+  EXPECT_EQ(back->detail, e.detail);
+  EXPECT_EQ(back->partitioner, e.partitioner);
+  EXPECT_EQ(back->num_partitions, e.num_partitions);
+  EXPECT_EQ(back->p_min, e.p_min);
+  EXPECT_EQ(back->value, e.value);
+  EXPECT_EQ(back->value2, e.value2);
+  EXPECT_EQ(back->attempt, e.attempt);
+  EXPECT_EQ(back->flags, e.flags);
+  EXPECT_EQ(back->list, e.list);
+
+  Event r;
+  r.kind = EventKind::kModelRefit;
+  r.name = "adaptive_recurring";
+  r.value = 1.25e9;
+  r.count = 42;
+  r.attempt = 3;
+  const auto refit = from_jsonl(to_jsonl(r));
+  ASSERT_TRUE(refit.has_value());
+  EXPECT_EQ(refit->kind, EventKind::kModelRefit);
+  EXPECT_EQ(refit->name, r.name);
+  EXPECT_EQ(refit->value, r.value);
+  EXPECT_EQ(refit->count, r.count);
+  EXPECT_EQ(refit->attempt, r.attempt);
+}
+
+}  // namespace
+}  // namespace chopper::obs

@@ -8,21 +8,29 @@
 //       previously saved DB and print/save the Fig. 6 configuration.
 //
 //   chopperctl run --workload W [--conf FILE] [--scale S] [--speculation]
-//                  [--aqe] [--mem-scale M]
+//                  [--aqe] [--mem-scale M] [--adapt] [--db FILE]
 //       Execute the workload — vanilla by default, with a CHOPPER config if
 //       --conf is given — and print the per-stage metrics. --mem-scale M
 //       shrinks every worker's executor memory by M and turns on budget
 //       enforcement (DESIGN.md §11): caches evict, shuffles spill, and
 //       oversized task working sets OOM + retry at a grown partition count.
+//       --adapt attaches the in-flight adaptive controller (DESIGN.md §15):
+//       live stage statistics stream into the workload DB (seeded from
+//       --db when given), models refit incrementally, and pending stages may
+//       be re-planned at stage barriers. --adapt-epsilon / --adapt-min-obs /
+//       --adapt-max-replans tune the hysteresis gate.
 //
 //   chopperctl inspect --db FILE
 //       Summarize a workload DB: observations and stage DAGs.
 //
 //   chopperctl serve --jobs N --mode fair|fifo [--max-concurrent K] [--tiny]
+//                    [--adapt]
 //       Multi-tenant demo: submit N mixed jobs (small "interactive"-pool
 //       aggregations + heavy "batch"-pool kmeans/sql jobs) concurrently to a
 //       JobServer over one shared engine and print per-job latency, the pool
-//       shares and the grant schedule summary.
+//       shares and the grant schedule summary. --adapt attaches an adaptive
+//       controller with every job opted in (per-job opt-in gating plus the
+//       epoch-keyed plan cache, exercised concurrently).
 //
 //   chopperctl chaos [--seed N] [--runs K] [--tiny] [--json FILE]
 //       Differential chaos trials (DESIGN.md §14): each seed composes
@@ -53,8 +61,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "adapt/adaptive.h"
 #include "chaos.h"
 #include "chopper/chopper.h"
 #include "common/logging.h"
@@ -103,7 +113,10 @@ void print_usage(std::FILE* out, const std::string& cmd = "") {
                  "  chopperctl run --workload W [--conf FILE] [--scale S] "
                  "[--speculation] [--aqe]\n"
                  "                 [--mem-scale M] [--event-log FILE] [--tiny]\n"
-                 "      execute the workload and print per-stage metrics\n");
+                 "                 [--adapt] [--db FILE] [--adapt-epsilon E]\n"
+                 "                 [--adapt-min-obs N] [--adapt-max-replans K]\n"
+                 "      execute the workload and print per-stage metrics;\n"
+                 "      --adapt re-plans pending stages in flight\n");
   }
   if (all || cmd == "inspect") {
     std::fprintf(out,
@@ -114,7 +127,7 @@ void print_usage(std::FILE* out, const std::string& cmd = "") {
     std::fprintf(out,
                  "  chopperctl serve [--jobs N] [--mode fifo|fair] "
                  "[--max-concurrent K]\n"
-                 "                   [--event-log FILE] [--tiny]\n"
+                 "                   [--event-log FILE] [--tiny] [--adapt]\n"
                  "      multi-tenant demo over one shared engine\n");
   }
   if (all || cmd == "chaos") {
@@ -141,6 +154,33 @@ void print_usage(std::FILE* out, const std::string& cmd = "") {
   }
 }
 
+/// Guarded numeric flag parsing shared by every subcommand: the whole string
+/// must parse (no trailing characters), and integral T additionally requires
+/// a non-negative integer. Anything else throws UsageError naming the flag —
+/// main prints the usage block and exits 2.
+template <typename T>
+T parse_flag(const std::string& key, const std::string& raw) {
+  constexpr const char* noun = std::is_integral_v<T> ? "count" : "number";
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(raw, &pos);
+    if (pos != raw.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    if constexpr (std::is_integral_v<T>) {
+      if (v < 0.0 || v != static_cast<double>(static_cast<T>(v))) {
+        throw std::invalid_argument("not a non-negative integer");
+      }
+    }
+    return static_cast<T>(v);
+  } catch (const UsageError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw UsageError(std::string("invalid ") + noun + " for --" + key + ": '" +
+                     raw + "'");
+  }
+}
+
 struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
@@ -153,25 +193,12 @@ struct Args {
   bool has(const std::string& key) const { return flags.count(key) > 0; }
   double get_double(const std::string& key, double fallback) const {
     const auto it = flags.find(key);
-    if (it == flags.end()) return fallback;
-    try {
-      std::size_t pos = 0;
-      const double v = std::stod(it->second, &pos);
-      if (pos != it->second.size()) {
-        throw std::invalid_argument("trailing characters");
-      }
-      return v;
-    } catch (const std::exception&) {
-      throw UsageError("invalid number for --" + key + ": '" + it->second +
-                       "'");
-    }
+    return it == flags.end() ? fallback : parse_flag<double>(key, it->second);
   }
   std::size_t get_size(const std::string& key, std::size_t fallback) const {
-    const double v = get_double(key, static_cast<double>(fallback));
-    if (v < 0.0 || v != static_cast<double>(static_cast<std::size_t>(v))) {
-      throw UsageError("invalid count for --" + key + ": '" + get(key) + "'");
-    }
-    return static_cast<std::size_t>(v);
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback
+                             : parse_flag<std::size_t>(key, it->second);
   }
 };
 
@@ -204,9 +231,11 @@ void validate_flags(const Args& args) {
       {"plan", {"workload", "db", "scale", "naive", "out", "tiny"}},
       {"run",
        {"workload", "conf", "scale", "speculation", "aqe", "mem-scale",
-        "event-log", "tiny"}},
+        "event-log", "tiny", "adapt", "db", "adapt-epsilon", "adapt-min-obs",
+        "adapt-max-replans"}},
       {"inspect", {"db"}},
-      {"serve", {"jobs", "mode", "max-concurrent", "event-log", "tiny"}},
+      {"serve",
+       {"jobs", "mode", "max-concurrent", "event-log", "tiny", "adapt"}},
       {"chaos", {"seed", "runs", "tiny", "json"}},
       {"history", {"stragglers"}},
       {"trace", {"chrome"}},
@@ -392,20 +421,61 @@ int cmd_run(const Args& args) {
     eng.set_event_log(&event_log);
     std::printf("recording event log to %s\n", args.get("event-log").c_str());
   }
+
+  common::KvConfig initial_plan;
+  std::shared_ptr<core::ConfigPlanProvider> provider;
   if (args.has("conf")) {
-    auto provider = std::make_shared<core::ConfigPlanProvider>();
-    provider->reload(args.get("conf"), /*tolerant=*/true);
+    initial_plan = common::KvConfig::load(args.get("conf"), /*tolerant=*/true);
+    provider = std::make_shared<core::ConfigPlanProvider>(initial_plan);
     eng.set_plan_provider(provider);
     std::printf("running %s with plan %s (%zu stage schemes)\n",
                 wl->name().c_str(), args.get("conf").c_str(), provider->size());
   } else {
+    if (args.has("adapt")) {
+      // Empty provider: stages start at the engine default until the
+      // controller adopts its first plan.
+      provider = std::make_shared<core::ConfigPlanProvider>();
+      eng.set_plan_provider(provider);
+    }
     std::printf("running %s vanilla (default parallelism %zu)\n",
                 wl->name().c_str(), opts.default_parallelism);
   }
+
+  std::unique_ptr<core::Chopper> chopper;
+  std::shared_ptr<adapt::AdaptiveController> controller;
+  if (args.has("adapt")) {
+    chopper = std::make_unique<core::Chopper>(bench::bench_cluster(mem_scale),
+                                              chopper_options(args.has("tiny")));
+    if (args.has("db")) chopper->load_db(args.get("db"), /*tolerant=*/true);
+    adapt::AdaptOptions aopts;
+    aopts.epsilon = args.get_double("adapt-epsilon", aopts.epsilon);
+    aopts.min_observations =
+        args.get_size("adapt-min-obs", aopts.min_observations);
+    aopts.max_replans = args.get_size("adapt-max-replans", aopts.max_replans);
+    controller = std::make_shared<adapt::AdaptiveController>(
+        *chopper, wl->name(), provider, initial_plan, aopts);
+    controller->set_event_log(&event_log);
+    event_log.attach(controller);
+    eng.set_event_log(&event_log);
+    std::printf(
+        "in-flight adaptation on (epsilon=%.2f, min-obs=%zu, "
+        "max-replans=%zu, db=%zu observations)\n",
+        aopts.epsilon, aopts.min_observations, aopts.max_replans,
+        chopper->db().total_observations());
+  }
+
   wl->run(eng, scale);
   print_stages(eng);
+  if (controller != nullptr) {
+    const adapt::AdaptStats ast = controller->stats();
+    std::printf(
+        "adaptation: %zu observations folded, %zu refits, %zu re-plans "
+        "(%zu stages adopted, %zu suppressed by epsilon)\n",
+        ast.observations, ast.refits, ast.replans, ast.stages_adopted,
+        ast.suppressed);
+  }
+  event_log.detach_all();
   if (args.has("event-log")) {
-    event_log.detach_all();
     std::printf("event log: %llu events -> %s\n",
                 static_cast<unsigned long long>(event_log.emitted()),
                 args.get("event-log").c_str());
@@ -454,6 +524,22 @@ int cmd_serve(const Args& args) {
     std::printf("recording event log to %s\n", args.get("event-log").c_str());
   }
 
+  // --adapt: adaptive controller shared by all workers; every job opts in.
+  std::unique_ptr<core::Chopper> chopper;
+  std::shared_ptr<adapt::AdaptiveController> controller;
+  if (args.has("adapt")) {
+    auto provider = std::make_shared<core::ConfigPlanProvider>();
+    eng.set_plan_provider(provider);
+    chopper = std::make_unique<core::Chopper>(bench::bench_cluster(),
+                                              chopper_options(tiny));
+    controller = std::make_shared<adapt::AdaptiveController>(
+        *chopper, "serve", provider, common::KvConfig{});
+    controller->set_event_log(&event_log);
+    event_log.attach(controller);
+    eng.set_event_log(&event_log);  // before JobServer: the ledger wires in
+    std::printf("in-flight adaptation on (per-job opt-in)\n");
+  }
+
   service::JobServerOptions sopts;
   sopts.mode = mode_s == "fair" ? service::SchedulingMode::kFair
                                 : service::SchedulingMode::kFifo;
@@ -462,6 +548,7 @@ int cmd_serve(const Args& args) {
   sopts.pools["interactive"] = {/*weight=*/2.0, /*min_share=*/0.2};
   sopts.pools["batch"] = {/*weight=*/1.0, /*min_share=*/0.0};
   service::JobServer server(eng, sopts);
+  if (controller != nullptr) server.set_adaptive(controller);
 
   std::printf("serving %zu jobs, mode=%s, %zu concurrent slots\n", jobs,
               service::to_string(sopts.mode), max_concurrent);
@@ -487,6 +574,7 @@ int cmd_serve(const Args& args) {
       o.name = "agg-" + std::to_string(i);
       o.pool = "interactive";
     }
+    o.adapt = controller != nullptr;
     names.push_back(o.name);
     pools.push_back(o.pool);
     handles.push_back(server.submit(ds, o));
@@ -522,8 +610,16 @@ int cmd_serve(const Args& args) {
   ptable.print();
   std::printf("virtual makespan: %.1fs over %zu grants\n", makespan,
               server.grant_log().size());
+  if (controller != nullptr) {
+    const adapt::AdaptStats ast = controller->stats();
+    std::printf(
+        "adaptation: %zu observations folded, %zu re-plans, %zu stages "
+        "adopted (plan cache holds %zu entries)\n",
+        ast.observations, ast.replans, ast.stages_adopted,
+        server.current_plan().entries().size());
+  }
+  event_log.detach_all();
   if (args.has("event-log")) {
-    event_log.detach_all();
     std::printf("event log: %llu events -> %s\n",
                 static_cast<unsigned long long>(event_log.emitted()),
                 args.get("event-log").c_str());
@@ -585,6 +681,13 @@ int cmd_history(const Args& args) {
     std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
                  reader.skipped_lines());
   }
+  if (reader.skipped_unknown_kinds() > 0) {
+    // Forward compatibility: a log written by a newer build renders fine,
+    // minus whatever kinds this build does not know about.
+    std::fprintf(stderr,
+                 "warning: skipped %zu records with unknown event kinds\n",
+                 reader.skipped_unknown_kinds());
+  }
   const auto jobs = reader.jobs();
   const auto stages = reader.stages();
 
@@ -616,6 +719,45 @@ int cmd_history(const Args& args) {
                 std::to_string(sm.attempt_count)});
   }
   st.print();
+
+  // ---- adaptive re-planning ------------------------------------------------
+  // kModelRefit / kPlanUpdate markers emitted by src/adapt's controller:
+  // when present, show what was re-chosen, from what, and why.
+  bool any_adapt = false;
+  for (const auto& e : reader.events()) {
+    if (e.kind == obs::EventKind::kModelRefit ||
+        e.kind == obs::EventKind::kPlanUpdate) {
+      any_adapt = true;
+      break;
+    }
+  }
+  if (any_adapt) {
+    std::printf("\nadaptive re-planning decisions:\n");
+    bench::Table at({"sim(s)", "event", "stage", "scheme", "cost", "trigger"});
+    for (const auto& e : reader.events()) {
+      if (e.kind == obs::EventKind::kModelRefit) {
+        at.add_row({bench::Table::num(e.sim, 3), "refit", e.name, "-", "-",
+                    std::to_string(e.count) + " obs"});
+      } else if (e.kind == obs::EventKind::kPlanUpdate) {
+        std::string name = e.name;
+        if (name.size() > 32) name = name.substr(0, 29) + "...";
+        std::string scheme;
+        if (e.list.size() == 2) {
+          scheme = std::string(engine::to_string(
+                       static_cast<engine::PartitionerKind>(e.list[0]))) +
+                   "/" + std::to_string(e.list[1]) + " -> ";
+        }
+        scheme += std::string(engine::to_string(
+                      static_cast<engine::PartitionerKind>(e.partitioner))) +
+                  "/" + std::to_string(e.num_partitions);
+        at.add_row({bench::Table::num(e.sim, 3), "plan-update", name, scheme,
+                    bench::Table::num(e.value2, 3) + " -> " +
+                        bench::Table::num(e.value, 3),
+                    (e.flags & obs::kFlagOom) != 0 ? "oom-floor" : "cost"});
+      }
+    }
+    at.print();
+  }
 
   // ---- stragglers ----------------------------------------------------------
   // A straggler is a task whose duration dominates its stage's median; the
