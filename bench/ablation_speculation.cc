@@ -26,7 +26,8 @@ Measured measure(engine::Engine& eng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_flag(argc, argv);
   // A heavily skewed SQL workload: theta=1.2 concentrates ~20% of the fact
   // table on a handful of keys.
   workloads::SqlParams params = bench::sql_params();
@@ -61,5 +62,6 @@ int main() {
                    bench::Table::num(m.worst_skew, 2)});
   }
   table.print();
+  if (!json_path.empty()) table.write_json(json_path, "ablation_speculation");
   return 0;
 }

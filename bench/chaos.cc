@@ -103,8 +103,8 @@ void update_double(common::Checksum64& c, double v) {
   c.update_u64(bits);
 }
 
-/// Digest of the fields the event log serializes for stages, tasks and jobs.
-/// Live metrics and a HistoryReader replay of the same run must agree on it.
+}  // namespace
+
 std::uint64_t metrics_digest(const engine::MetricsRegistry& reg) {
   common::Checksum64 c;
   for (const auto& s : reg.stages()) {
@@ -164,6 +164,8 @@ std::uint64_t metrics_digest(const engine::MetricsRegistry& reg) {
   }
   return c.digest();
 }
+
+namespace {
 
 struct RunOut {
   std::uint64_t warm_count = 0;

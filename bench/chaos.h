@@ -18,7 +18,17 @@
 #include <cstdint>
 #include <string>
 
+namespace chopper::engine {
+class MetricsRegistry;
+}
+
 namespace chopper::bench {
+
+/// Digest of the fields the event log serializes for stages, tasks and jobs
+/// (everything that defines a run's identity; wall-clock and recovery
+/// telemetry excluded). Live metrics, a HistoryReader replay, and a
+/// crash-resumed re-execution of the same run must all agree on it.
+std::uint64_t metrics_digest(const engine::MetricsRegistry& reg);
 
 /// Outcome of one differential chaos trial (deterministic in `seed`).
 struct ChaosReport {

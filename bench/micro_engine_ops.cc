@@ -23,12 +23,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <new>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "common/rng.h"
 #include "engine/dataplane.h"
 #include "engine/partition.h"
@@ -280,6 +282,104 @@ bool run_dataplane_sections(const std::string& json_path) {
   return ok;
 }
 
+/// Checkpointing enabled-but-idle contract (DESIGN.md §16): with a
+/// CheckpointWriter attached as WAL sink + engine hook, a job that commits
+/// no block payloads (single map stage, no shuffle/cache/collect) pays only
+/// the subsystem's fixed costs — a handful of buffered WAL appends and one
+/// barrier flush per stage. That must stay within 2% of the bare engine's
+/// wall time, and the simulated timeline must be bit-identical (checkpoint
+/// I/O lives entirely off the simulated clock).
+bool run_checkpoint_idle_section() {
+  const std::string dir = "micro_ckpt_idle.tmp";
+  std::filesystem::remove_all(dir);
+
+  // Compute-dominated, payload-light: the fixed WAL/barrier costs are what
+  // is being measured, so the job must not checkpoint meaningful data (its
+  // only block file is the final stage's ~320 KB result).
+  auto make_job = [] {
+    return engine::Dataset::source(
+               "ckpt-idle-src", 8,
+               [](std::size_t index, std::size_t count) {
+                 engine::Partition p;
+                 common::Xoshiro256 rng(0x1d1eULL + index);
+                 const std::size_t n = 8'000 / count;
+                 p.reserve(n);
+                 p.reserve_values(2 * n);
+                 for (std::size_t i = 0; i < n; ++i) {
+                   const double vals[2] = {rng.next_double(), 1.0};
+                   p.emplace(rng.next_below(1 << 12), vals, 2, 0);
+                 }
+                 return p;
+               })
+        ->map("ckpt-idle-map", [](const engine::Record& in) {
+          engine::Record r = in;
+          double x = r.values[0];
+          for (int i = 0; i < 6000; ++i) x = x * 1.0000001 + 1e-9;
+          r.values[0] = x;
+          return r;
+        });
+  };
+
+  double base_sim = 0.0;
+  double ckpt_sim = 0.0;
+  auto base = [&] {
+    engine::Engine eng(bench::bench_cluster(), bench::vanilla_options());
+    const auto r = eng.count(make_job(), "ckpt-idle");
+    base_sim = r.sim_time_s;
+    benchmark::DoNotOptimize(r.count);
+  };
+  auto attached = [&] {
+    engine::Engine eng(bench::bench_cluster(), bench::vanilla_options());
+    obs::EventLog log;
+    auto writer = std::make_shared<ckpt::CheckpointWriter>(dir);
+    log.attach(writer);
+    eng.set_event_log(&log);
+    eng.set_checkpoint_hook(writer.get());
+    const auto r = eng.count(make_job(), "ckpt-idle");
+    ckpt_sim = r.sim_time_s;
+    log.detach_all();
+    benchmark::DoNotOptimize(r.count);
+  };
+
+  base();  // warmup both variants (and populate the sim times)
+  attached();
+  if (base_sim != ckpt_sim) {
+    std::fprintf(stderr,
+                 "FAIL: checkpointing perturbed the simulated timeline "
+                 "(%.9f s vs %.9f s)\n",
+                 base_sim, ckpt_sim);
+    std::filesystem::remove_all(dir);
+    return false;
+  }
+
+  // Wall-clock gate. The two variants run as interleaved pairs (so CPU
+  // frequency drift cannot bias one side) and the gate takes the minimum
+  // pairwise overhead: scheduler noise on a CI runner perturbs individual
+  // pairs in both directions, but a real regression shifts every pair, so
+  // the minimum is the noise-robust estimate of the true fixed cost. Stops
+  // early once the contract holds.
+  double overhead = 1e300;
+  bool ok = false;
+  for (int i = 0; i < 16; ++i) {
+    const double base_s = best_seconds(base, 1);
+    const double ckpt_s = best_seconds(attached, 1);
+    overhead =
+        std::min(overhead, ckpt_s / std::max(base_s, 1e-12) - 1.0);
+    ok = overhead <= 0.02;
+    if (i >= 3 && ok) break;
+  }
+  std::printf("checkpoint enabled-but-idle: wall overhead %+.2f%% "
+              "(target <= 2%%), simulated timeline identical\n",
+              100.0 * overhead);
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: idle checkpointing overhead %.2f%% exceeds 2%%\n",
+                 100.0 * overhead);
+  }
+  std::filesystem::remove_all(dir);
+  return ok;
+}
+
 // ---------------------------------------------------------------------------
 // google-benchmark micro-timers.
 // ---------------------------------------------------------------------------
@@ -415,6 +515,7 @@ int main(int argc, char** argv) {
   // gate. With --json the binary is in CI artifact mode and stops here.
   const std::string json_path = bench::json_flag(argc, argv);
   if (!run_dataplane_sections(json_path)) return 1;
+  if (!run_checkpoint_idle_section()) return 1;
   if (!json_path.empty()) return 0;
 
   benchmark::Initialize(&argc, argv);

@@ -9,7 +9,8 @@ using namespace chopper;
 
 namespace {
 
-void report(const std::string& name, const workloads::Workload& wl) {
+void report(const std::string& name, const workloads::Workload& wl,
+            bench::Table& table) {
   auto opts = bench::chopper_options();
   core::Chopper chopper(bench::bench_cluster(), opts);
   chopper.profile(wl.name(), wl.runner(), 1.0);
@@ -21,9 +22,6 @@ void report(const std::string& name, const workloads::Workload& wl) {
       engine::PartitionerKind::kHash, 350));  // unseen P too
   wl.run(*eng, 0.75);
 
-  std::printf("\n-- %s --\n", name.c_str());
-  bench::Table table({"stage", "train err (rel^2)", "heldout pred(s)",
-                      "heldout actual(s)", "rel err(%)"});
   for (const auto& s : eng->metrics().stages()) {
     core::StageModel* model = const_cast<core::StageModel*>(
         db.model(wl.name(), s.signature, s.partitioner));
@@ -34,22 +32,26 @@ void report(const std::string& name, const workloads::Workload& wl) {
     std::string nm = s.name;
     if (nm.size() > 42) nm = nm.substr(0, 39) + "...";
     table.add_row(
-        {nm, bench::Table::num(model->texe_fit_error(), 4),
+        {name, nm, bench::Table::num(model->texe_fit_error(), 4),
          bench::Table::num(pred, 3), bench::Table::num(actual, 3),
          bench::Table::num(100.0 * std::abs(pred - actual) /
                                std::max(actual, 1e-9),
                            1)});
   }
-  table.print();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_flag(argc, argv);
   bench::print_header(
       "Model accuracy: Eq. 1/2 fit quality per stage (training error and a "
       "held-out prediction at unseen input fraction 0.75, P=350)");
-  report("kmeans", workloads::KMeansWorkload(bench::kmeans_params()));
-  report("sql", workloads::SqlWorkload(bench::sql_params()));
+  bench::Table table({"workload", "stage", "train err (rel^2)",
+                      "heldout pred(s)", "heldout actual(s)", "rel err(%)"});
+  report("kmeans", workloads::KMeansWorkload(bench::kmeans_params()), table);
+  report("sql", workloads::SqlWorkload(bench::sql_params()), table);
+  table.print();
+  if (!json_path.empty()) table.write_json(json_path, "model_accuracy");
   return 0;
 }

@@ -1,0 +1,150 @@
+// Crash-consistent checkpointing (DESIGN.md §16).
+//
+// CheckpointWriter turns the structured event log into a write-ahead log:
+// attached to an EventLog as a TraceSink it appends every event to
+// `wal-<epoch>.jsonl` in the checkpoint directory, flushing (optionally
+// fsyncing) at stage/job barriers so the commit rule is simple and crash-
+// safe: *a stage is committed iff its complete kStageEnd line is durable*.
+// Attached to the Engine as a CheckpointHook it persists each committed
+// stage's payloads (shuffle outputs, cached blocks, result partitions) as
+// checksummed block files — always BEFORE the stage's kStageEnd reaches the
+// WAL, so a committed line never refers to data that is not on disk.
+//
+// Every writer opens a fresh WAL epoch (`wal-0.jsonl`, `wal-1.jsonl`, ...).
+// A resumed run re-emits the adopted history into its own epoch, so the
+// newest segment is always self-contained and a second crash resumes from
+// it alone (double-resume idempotence).
+//
+// CrashSchedule makes driver death deterministic and testable: the writer
+// "kills" the process at a chosen event sequence number or stage barrier by
+// discarding everything not yet durable (modeling lost page-cache/stdio
+// buffers), optionally leaving a torn partial line — exactly the worst case
+// the durability contract allows — then freezing and throwing
+// SimulatedCrash, which unwinds through the engine like a fatal signal.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/resume.h"
+#include "obs/event_log.h"
+
+namespace chopper::ckpt {
+
+/// Deterministic driver-death injection. Counts are 0-based over this
+/// writer's own append stream (not global event seqs, which a resumed run
+/// restarts).
+struct CrashSchedule {
+  /// Crash when the Nth event reaches the writer: the event (and everything
+  /// buffered since the last barrier) never becomes durable. -1: disabled.
+  std::int64_t at_event_seq = -1;
+  /// Crash at the Nth barrier event (kStageEnd / kJobFinish). -1: disabled.
+  std::int64_t at_stage_barrier = -1;
+  /// Barrier crashes only: true crashes just AFTER the barrier line became
+  /// durable (the stage commits; resume continues past it), false just
+  /// before (the stage is uncommitted; resume re-executes it).
+  bool after_barrier_flush = false;
+  /// Leave a torn partial line at the cut point (the normal tail of a log
+  /// whose writer died mid-append).
+  bool torn_tail = true;
+
+  bool armed() const noexcept {
+    return at_event_seq >= 0 || at_stage_barrier >= 0;
+  }
+};
+
+/// Thrown exactly once at the scheduled crash point. Unwinds through the
+/// engine's abort path (which releases job state and re-throws); after it,
+/// the writer is frozen — every later append or hook call is a no-op, like
+/// a dead process.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct CheckpointOptions {
+  /// fsync the WAL at barriers and block files at rename (host-death
+  /// durability; without it the guarantee covers process death).
+  bool sync = false;
+  CrashSchedule crash;
+};
+
+class CheckpointWriter : public obs::TraceSink, public engine::CheckpointHook {
+ public:
+  /// Opens a new WAL epoch in `dir` (created if missing). Throws
+  /// std::runtime_error when the directory or WAL cannot be created.
+  explicit CheckpointWriter(std::string dir, CheckpointOptions opts = {});
+  ~CheckpointWriter() override;
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  // -- TraceSink (the WAL) --------------------------------------------------
+  void append(const obs::Event& e) override;
+  void flush() override;
+
+  // -- engine::CheckpointHook (block files) ---------------------------------
+  void on_shuffle_committed(std::size_t job, std::size_t plan_index,
+                            std::size_t consumer,
+                            const engine::ShuffleOutput& so) override;
+  void on_cache_committed(std::size_t job, std::size_t plan_index,
+                          std::size_t ordinal,
+                          const engine::CachedDataset& cd) override;
+  void on_result_committed(
+      std::size_t job, std::size_t plan_index,
+      const std::vector<engine::Partition>& parts) override;
+
+  const std::string& dir() const noexcept { return dir_; }
+  std::size_t wal_epoch() const noexcept { return epoch_; }
+  bool crashed() const;
+  std::uint64_t events_appended() const;
+  /// Barrier events (kStageEnd / kJobFinish) seen — the crash-point
+  /// enumeration space for CrashSchedule::at_stage_barrier.
+  std::uint64_t barriers_seen() const;
+  std::uint64_t blocks_written() const;
+  std::uint64_t block_bytes_written() const;
+
+ private:
+  void flush_locked();                       // caller holds mu_
+  void crash_locked(const std::string* torn_line);  // throws SimulatedCrash
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  CheckpointOptions opts_;
+  std::string wal_path_;
+  std::FILE* wal_ = nullptr;
+  std::size_t epoch_ = 0;
+  std::uint64_t written_ = 0;       ///< bytes handed to the WAL stream
+  std::uint64_t durable_size_ = 0;  ///< bytes known durable (last flush)
+  std::uint64_t appended_ = 0;      ///< events appended by this writer
+  std::uint64_t barriers_ = 0;      ///< barrier events seen
+  std::uint64_t jobs_finished_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t block_bytes_ = 0;
+  bool frozen_ = false;
+};
+
+/// Epoch of the newest WAL segment in `dir` (nullopt: none — not a
+/// checkpoint directory).
+std::optional<std::size_t> latest_wal_epoch(const std::string& dir);
+/// Path of WAL segment `epoch` inside `dir`.
+std::string wal_path(const std::string& dir, std::size_t epoch);
+
+// -- key/value snapshots -----------------------------------------------------
+// Small text manifests ("key=value" lines + a trailing "#sum=<hex>" checksum
+// line) written atomically. The CheckpointWriter maintains `manifest.kv` at
+// every job boundary; read_kv_snapshot returns nullopt on a missing file or
+// a checksum mismatch.
+bool write_kv_snapshot(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& kv, bool sync);
+std::optional<std::vector<std::pair<std::string, std::string>>>
+read_kv_snapshot(const std::string& path);
+
+}  // namespace chopper::ckpt

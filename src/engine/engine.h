@@ -37,6 +37,9 @@ class EventLog;
 
 namespace chopper::engine {
 
+class CheckpointHook;  // engine/resume.h
+struct ResumeLedger;   // engine/resume.h
+
 /// Spark-3-AQE-style runtime partition coalescing: when no plan provider
 /// overrides a stage's scheme, size the reduce side from the *observed* map
 /// output volume instead of the static default. Included as the modern
@@ -162,6 +165,14 @@ struct JobResult {
   std::uint64_t refetched_bytes = 0;  ///< bytes re-transferred by retries
   std::size_t checksum_failures = 0;  ///< corrupted pieces detected + healed
   std::size_t node_exclusions = 0;    ///< health exclusions fired
+
+  // Checkpoint-resume telemetry (mirrors the JobMetrics row; DESIGN.md §16).
+  // Provenance, not results — identity digests exclude these, like
+  // wall_time_s.
+  std::size_t resumed_stages = 0;     ///< stages adopted from the WAL
+  std::uint64_t replayed_events = 0;  ///< WAL events decoded during recovery
+  std::uint64_t restored_bytes = 0;   ///< block-file payload bytes restored
+  double recovery_wall_s = 0.0;       ///< host seconds spent recovering
 };
 
 /// A job aborted (injected-fault retry budget exhausted, stage-attempt bound
@@ -279,6 +290,22 @@ class Engine {
   void set_event_log(obs::EventLog* log);
   obs::EventLog* event_log() const noexcept { return event_log_; }
 
+  /// Attach a commit-time checkpoint observer (engine/resume.h); nullptr
+  /// detaches. Called on the committing job's driver thread right before
+  /// each stage's kStageEnd event, so persisted payloads are durable before
+  /// the WAL marks the stage committed. Not owned.
+  void set_checkpoint_hook(CheckpointHook* hook) noexcept { ckpt_hook_ = hook; }
+  CheckpointHook* checkpoint_hook() const noexcept { return ckpt_hook_; }
+
+  /// Arm resume state decoded from a checkpoint WAL (engine/resume.h):
+  /// ledger->jobs[i] feeds the job that draws engine id i, letting an
+  /// unmodified driver re-run its job sequence while committed stages are
+  /// adopted instead of re-executed. Not owned; nullptr disarms. Classic
+  /// (non-service) jobs only — controlled jobs ignore the ledger.
+  void set_resume_ledger(ResumeLedger* ledger) noexcept {
+    resume_ledger_ = ledger;
+  }
+
   /// Node index a partition p of a P-partition stage is placed on:
   /// deterministic, interleaved proportional to node slot counts. Dead nodes
   /// are skipped (placement re-interleaves over surviving slots); throws
@@ -333,6 +360,8 @@ class Engine {
   NodeHealth health_;
   double sim_clock_ = 0.0;
   obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
+  CheckpointHook* ckpt_hook_ = nullptr;    ///< not owned; may be null
+  ResumeLedger* resume_ledger_ = nullptr;  ///< not owned; may be null
   /// Atomic: concurrent service jobs draw ids without a lock.
   std::atomic<std::size_t> next_job_id_{0};
   std::atomic<std::size_t> next_stage_id_{0};

@@ -120,6 +120,27 @@ class Partition {
     bytes_ = 0;
   }
 
+  // -- arena serialization (checkpoint block files, src/ckpt) ---------------
+  // The four flat arrays plus `bytes()` are the partition's complete state;
+  // round-tripping them through from_raw reproduces it bit-for-bit
+  // (checksum() included).
+  const std::vector<std::uint64_t>& raw_keys() const noexcept { return keys_; }
+  const std::vector<std::uint32_t>& raw_aux() const noexcept { return aux_; }
+  const std::vector<std::size_t>& raw_ends() const noexcept { return ends_; }
+  const std::vector<double>& raw_values() const noexcept { return values_; }
+  static Partition from_raw(std::vector<std::uint64_t> keys,
+                            std::vector<std::uint32_t> aux,
+                            std::vector<std::size_t> ends,
+                            std::vector<double> values, std::uint64_t bytes) {
+    Partition p;
+    p.keys_ = std::move(keys);
+    p.aux_ = std::move(aux);
+    p.ends_ = std::move(ends);
+    p.values_ = std::move(values);
+    p.bytes_ = bytes;
+    return p;
+  }
+
  private:
   std::size_t begin_of(std::size_t i) const noexcept {
     return i == 0 ? 0 : ends_[i - 1];

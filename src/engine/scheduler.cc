@@ -35,11 +35,13 @@
 #include <map>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/hash.h"
 #include "common/rng.h"
 #include "engine/dataplane.h"
 #include "engine/engine.h"
+#include "engine/resume.h"
 #include "obs/event_log.h"
 
 namespace chopper::engine {
@@ -362,6 +364,13 @@ class JobRunner {
   void run_stage(std::size_t s);
   void execute_attempt(std::size_t s, StageMetrics& sm, Attempt& a);
   void commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a);
+  /// Checkpoint resume (DESIGN.md §16): adopt this job's committed-stage
+  /// prefix from the engine's ResumeLedger — re-register restored shuffles,
+  /// cached blocks and result partitions, replay metrics rows and event
+  /// history, fast-forward the virtual clock — and return the plan index of
+  /// the first stage still to execute. Returns 0 (run everything) whenever
+  /// adoption would not be provably bit-identical to a cold rerun.
+  std::size_t adopt_restored();
   Partition read_stage_input(std::size_t s, std::size_t p, std::size_t dst,
                              const CachedDataset* cached,
                              const std::vector<ShuffleOutput*>& parents,
@@ -469,7 +478,8 @@ JobResult JobRunner::run() {
   }
 
   try {
-    for (std::size_t s = 0; s < ctx_.plan.stages.size(); ++s) run_stage(s);
+    const std::size_t first = adopt_restored();
+    for (std::size_t s = first; s < ctx_.plan.stages.size(); ++s) run_stage(s);
   } catch (const std::exception& e) {
     // Abort path: never leak this job's shuffles, and leave a structured
     // partial JobMetrics row covering the stages that did complete.
@@ -506,12 +516,263 @@ JobResult JobRunner::run() {
   ctx_.result.evicted_bytes = job_metrics_.evicted_bytes;
   ctx_.result.spilled_bytes = job_metrics_.spilled_bytes;
   ctx_.result.peak_resident_bytes = job_metrics_.peak_resident_bytes;
+  ctx_.result.resumed_stages = job_metrics_.resumed_stages;
+  ctx_.result.replayed_events = job_metrics_.replayed_events;
+  ctx_.result.restored_bytes = job_metrics_.restored_bytes;
+  ctx_.result.recovery_wall_s = job_metrics_.recovery_wall_s;
 
   job_metrics_.sim_time_s = ctx_.result.sim_time_s;
   job_metrics_.wall_time_s = ctx_.result.wall_time_s;
   if (tracing()) emit_job_finish(job_metrics_);
   eng_.metrics_.add_job(std::move(job_metrics_));
   return std::move(ctx_.result);
+}
+
+std::size_t JobRunner::adopt_restored() {
+  if (eng_.resume_ledger_ == nullptr) return 0;
+  // Classic single-job mode only: adoption rewinds engine-global state (the
+  // sim clock, the stage-id counter) that concurrent service jobs share.
+  if (ctx_.control != nullptr) return 0;
+  // Retained-data configurations (failure/memory/OOM/flaky/corruption
+  // schedules) can retry attempts; their committed rows are not guaranteed
+  // to describe a clean first-attempt execution of engine-global effects.
+  // Full deterministic re-execution is bit-identical anyway.
+  if (retain_) return 0;
+  auto& jobs = eng_.resume_ledger_->jobs;
+  if (ctx_.job_id >= jobs.size()) return 0;
+  JobResume& jr = jobs[ctx_.job_id];
+  if (jr.full_rerun || jr.stages.empty()) return 0;
+  if (jr.stages.size() > ctx_.plan.stages.size()) return 0;
+  const std::size_t k = jr.stages.size();
+
+  // ---- validation pass (no engine mutation) ------------------------------
+  // Reject anything that is not provably a clean prefix of THIS plan; the
+  // caller then re-executes from stage 0, which the determinism contract
+  // (bench/chaos_fuzz) guarantees is bit-identical to the original run.
+  std::unordered_set<std::size_t> cached_sim;  // ids cached by earlier stages
+  for (std::size_t s = 0; s < k; ++s) {
+    const StageRestore& sr = jr.stages[s];
+    const StageMetrics& row = sr.row;
+    const StagePlan& plan = ctx_.plan.stages[s];
+    if (row.signature != plan.signature) return 0;
+    if (row.attempt_count != 1 || row.recomputed_tasks != 0 ||
+        row.recomputed_bytes != 0 || row.recovery_time_s != 0.0 ||
+        row.fetch_retries != 0 || row.refetched_bytes != 0 ||
+        row.checksum_failures != 0 || row.node_exclusions != 0 ||
+        row.oom_count != 0) {
+      return 0;
+    }
+    if (row.tasks.size() != row.num_partitions || row.tasks.empty()) return 0;
+    // Exactly one restored shuffle per consumer, in plan order.
+    if (sr.shuffles.size() != plan.consumers.size()) return 0;
+    for (std::size_t ci = 0; ci < sr.shuffles.size(); ++ci) {
+      if (sr.shuffles[ci].consumer != plan.consumers[ci]) return 0;
+      if (sr.shuffles[ci].so.buckets.size() != row.tasks.size()) return 0;
+    }
+    // Cache commits must line up with the commit order execute_attempt
+    // would produce: anchor first (unless the stage reads it), then narrow
+    // ops, skipping datasets already materialized by earlier stages.
+    std::vector<const Dataset*> to_cache;
+    const auto needs_cache = [&](const Dataset* ds) {
+      return ds->cached() && !eng_.block_manager_.contains(ds->id()) &&
+             cached_sim.count(ds->id()) == 0;
+    };
+    if (plan.input != StageInputKind::kCache && needs_cache(plan.anchor)) {
+      to_cache.push_back(plan.anchor);
+    }
+    for (const auto* op : plan.narrow_ops) {
+      if (needs_cache(op)) to_cache.push_back(op);
+    }
+    if (sr.caches.size() != to_cache.size()) return 0;
+    for (std::size_t i = 0; i < sr.caches.size(); ++i) {
+      if (sr.caches[i].ordinal != i) return 0;
+      if (sr.caches[i].cd.partitions.size() != row.tasks.size()) return 0;
+    }
+    for (const auto* ds : to_cache) cached_sim.insert(ds->id());
+    if (plan.is_result && !sr.has_result) return 0;
+  }
+
+  // ---- adoption pass -----------------------------------------------------
+  const auto t0 = Clock::now();
+  std::uint64_t restored_bytes = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    StageRestore& sr = jr.stages[s];
+    StageMetrics& row = sr.row;
+    const StagePlan& plan = ctx_.plan.stages[s];
+    auto& rt = ctx_.rt[s];
+
+    // Keep the engine-global stage-id counter exactly where the original
+    // run left it so continued stages draw the same ids.
+    eng_.next_stage_id_.store(row.stage_id + 1, std::memory_order_relaxed);
+    job_metrics_.stage_ids.push_back(row.stage_id);
+
+    rt.num_tasks = row.tasks.size();
+    rt.task_node.resize(rt.num_tasks);
+    for (std::size_t p = 0; p < rt.num_tasks; ++p) {
+      rt.task_node[p] = row.tasks[p].node;
+    }
+
+    // Replay event history at the original sim stamps: stage entry events
+    // at sim_start_s, the closing records after the makespan advance.
+    set_now(row.sim_start_s);
+    if (tracing()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kStageStart;
+      e.job = ctx_.job_id;
+      e.stage = row.stage_id;
+      e.plan_index = s;
+      e.signature = row.signature;
+      e.name = row.name;
+      if (row.is_shuffle_map) e.flags |= obs::kFlagShuffleMap;
+      e.num_partitions = rt.num_tasks;
+      emit(std::move(e));
+    }
+
+    // Re-commit cached datasets under this process's dataset ids (matched
+    // by commit ordinal — the walk below reproduces execute_attempt's
+    // to_cache order, validated above).
+    std::vector<const Dataset*> to_cache;
+    const auto needs_cache = [&](const Dataset* ds) {
+      return ds->cached() && !eng_.block_manager_.contains(ds->id());
+    };
+    if (plan.input != StageInputKind::kCache && needs_cache(plan.anchor)) {
+      to_cache.push_back(plan.anchor);
+    }
+    for (const auto* op : plan.narrow_ops) {
+      if (needs_cache(op)) to_cache.push_back(op);
+    }
+    for (RestoredCache& rc : sr.caches) {
+      const Dataset* ds = to_cache[rc.ordinal];
+      CachedDataset cd = std::move(rc.cd);
+      cd.lineage = const_cast<Dataset*>(ds)->shared_from_this();
+      restored_bytes += cd.bytes;
+      if (cd.partitioner) {
+        ctx_.partitioner_cache.emplace(
+            std::make_pair(cd.partitioner->kind(),
+                           cd.partitioner->num_partitions()),
+            cd.partitioner);
+      }
+      if (tracing()) {
+        obs::Event e;
+        e.kind = obs::EventKind::kBlockStore;
+        e.job = ctx_.job_id;
+        e.stage = row.stage_id;
+        e.dataset = ds->id();
+        e.name = ds->label();
+        e.bytes = cd.bytes;
+        e.count = cd.partitions.size();
+        emit(std::move(e));
+      }
+      // Re-persist into the NEW checkpoint epoch so a second crash during
+      // the resumed run can itself be resumed (double-resume idempotence).
+      if (eng_.ckpt_hook_ != nullptr) {
+        eng_.ckpt_hook_->on_cache_committed(ctx_.job_id, s, rc.ordinal, cd);
+      }
+      eng_.block_manager_.put(ds->id(), std::move(cd));
+    }
+
+    // Re-register restored shuffle publications under fresh ids.
+    for (RestoredShuffle& rs : sr.shuffles) {
+      ShuffleOutput so = std::move(rs.so);
+      so.shuffle_id = eng_.shuffles_.next_id();
+      auto& crt = ctx_.rt[rs.consumer];
+      crt.shuffle_from_producer.emplace(s, so.shuffle_id);
+      rt.written.push_back({so.shuffle_id, rs.consumer});
+      ctx_.job_shuffle_ids.push_back(so.shuffle_id);
+      restored_bytes += so.total_bytes;
+      if (!crt.partitioner) crt.partitioner = so.partitioner;
+      if (so.partitioner) {
+        // Seed the co-partition cache so later stages that would have
+        // reused this partitioner in the original run reuse the restored
+        // one (range bounds included) instead of re-sampling.
+        ctx_.partitioner_cache.emplace(
+            std::make_pair(so.partitioner->kind(),
+                           so.partitioner->num_partitions()),
+            so.partitioner);
+      }
+      if (tracing()) {
+        obs::Event e;
+        e.kind = obs::EventKind::kShuffleWrite;
+        e.job = ctx_.job_id;
+        e.stage = row.stage_id;
+        e.plan_index = rs.consumer;
+        e.shuffle = so.shuffle_id;
+        e.bytes = so.total_bytes;
+        e.count = so.num_map_tasks;
+        e.num_partitions = so.partitioner ? so.partitioner->num_partitions()
+                                          : crt.num_tasks;
+        if (so.passthrough) e.flags |= obs::kFlagPassthrough;
+        emit(std::move(e));
+      }
+      if (eng_.ckpt_hook_ != nullptr) {
+        eng_.ckpt_hook_->on_shuffle_committed(ctx_.job_id, s, rs.consumer, so);
+      }
+      eng_.shuffles_.put(std::move(so));
+    }
+
+    // Result stage: fold the restored output into the JobResult exactly
+    // like commit_attempt does.
+    if (plan.is_result && sr.has_result) {
+      if (ctx_.collect_records) {
+        for (const auto& part : sr.result_parts) {
+          part.append_records_to(ctx_.result.records);
+        }
+      }
+      for (const auto& tm : row.tasks) ctx_.result.count += tm.records_out;
+      for (const auto& part : sr.result_parts) restored_bytes += part.bytes();
+      if (eng_.ckpt_hook_ != nullptr) {
+        eng_.ckpt_hook_->on_result_committed(ctx_.job_id, s, sr.result_parts);
+      }
+    }
+
+    // Adopted consumers already consumed their parent shuffles in the
+    // original run: mirror commit_attempt's classic-mode release.
+    if (plan.input == StageInputKind::kShuffle) {
+      for (const std::size_t parent : plan.parent_stages) {
+        const auto it = rt.shuffle_from_producer.find(parent);
+        if (it != rt.shuffle_from_producer.end()) {
+          eng_.shuffles_.remove(it->second);
+          rt.shuffle_from_producer.erase(it);
+        }
+      }
+    }
+
+    // Fast-forward the virtual clock through the stage's makespan and
+    // replay its metrics row (registry + job aggregates) bit-for-bit.
+    set_now(row.sim_start_s + row.sim_time_s);
+    job_metrics_.stage_attempts += row.attempt_count;
+    job_metrics_.recomputed_tasks += row.recomputed_tasks;
+    job_metrics_.recomputed_bytes += row.recomputed_bytes;
+    job_metrics_.recovery_time_s += row.recovery_time_s;
+    job_metrics_.fetch_retries += row.fetch_retries;
+    job_metrics_.refetched_bytes += row.refetched_bytes;
+    job_metrics_.checksum_failures += row.checksum_failures;
+    job_metrics_.node_exclusions += row.node_exclusions;
+    job_metrics_.oom_count += row.oom_count;
+    job_metrics_.evicted_bytes += row.evicted_bytes;
+    job_metrics_.spilled_bytes += row.spilled_bytes;
+    job_metrics_.peak_resident_bytes =
+        std::max(job_metrics_.peak_resident_bytes, row.peak_resident_bytes);
+    if (tracing()) emit_stage_end(s, row, Attempt{});
+    eng_.metrics_.add_stage(std::move(row));
+  }
+
+  job_metrics_.resumed_stages = k;
+  job_metrics_.replayed_events = jr.replayed_events;
+  job_metrics_.restored_bytes = restored_bytes;
+  job_metrics_.recovery_wall_s = seconds_since(t0);
+  if (tracing()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kResume;
+    e.job = ctx_.job_id;
+    e.count = k;
+    e.resumed_stages = k;
+    e.replayed_events = jr.replayed_events;
+    e.restored_bytes = restored_bytes;
+    e.recovery_wall_s = job_metrics_.recovery_wall_s;
+    emit(std::move(e));
+  }
+  return k;
 }
 
 void JobRunner::emit_job_finish(const JobMetrics& jm) const {
@@ -537,6 +798,10 @@ void JobRunner::emit_job_finish(const JobMetrics& jm) const {
   e.evicted_bytes = jm.evicted_bytes;
   e.spilled_bytes = jm.spilled_bytes;
   e.peak_resident_bytes = jm.peak_resident_bytes;
+  e.resumed_stages = jm.resumed_stages;
+  e.replayed_events = jm.replayed_events;
+  e.restored_bytes = jm.restored_bytes;
+  e.recovery_wall_s = jm.recovery_wall_s;
   emit(std::move(e));
 }
 
@@ -1572,7 +1837,10 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
   auto& rt = ctx_.rt[s];
   const double rescale = 1.0 / cm_.data_scale;
 
-  // Commit cache materializations.
+  // Commit cache materializations. `cache_ordinal` (the index within this
+  // stage's commit order) is the checkpoint key — dataset ids are
+  // process-local and do not survive a restart (engine/resume.h).
+  std::size_t cache_ordinal = 0;
   for (const auto* ds : a.to_cache) {
     CachedDataset cd;
     cd.partitions = std::move(a.cache_snapshots[ds]);
@@ -1612,6 +1880,13 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
       e.count = cd.partitions.size();
       emit(std::move(e));
     }
+    // Persist before publishing: the hook writes the block file now, the
+    // kStageEnd WAL line that marks it committed is only emitted after
+    // commit_attempt returns (run_stage).
+    if (eng_.ckpt_hook_ != nullptr) {
+      eng_.ckpt_hook_->on_cache_committed(ctx_.job_id, s, cache_ordinal, cd);
+    }
+    ++cache_ordinal;
     eng_.block_manager_.put(ds->id(), std::move(cd));
   }
 
@@ -1638,6 +1913,9 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
       e.num_partitions = crt.num_tasks;
       if (ps.so.passthrough) e.flags |= obs::kFlagPassthrough;
       emit(std::move(e));
+    }
+    if (eng_.ckpt_hook_ != nullptr) {
+      eng_.ckpt_hook_->on_shuffle_committed(ctx_.job_id, s, ps.consumer, ps.so);
     }
     eng_.shuffles_.put(std::move(ps.so));
   }
@@ -1712,6 +1990,9 @@ void JobRunner::commit_attempt(std::size_t s, StageMetrics& sm, Attempt& a) {
       }
     }
     for (const auto& tm : sm.tasks) ctx_.result.count += tm.records_out;
+    if (eng_.ckpt_hook_ != nullptr) {
+      eng_.ckpt_hook_->on_result_committed(ctx_.job_id, s, rt.output);
+    }
     rt.output.clear();
   }
 

@@ -58,6 +58,7 @@ enum class EventKind : std::uint8_t {
   kNodeReadmitted,   ///< excluded node re-admitted after its backoff window
   kModelRefit,       ///< adaptive controller refit models from live statistics
   kPlanUpdate,       ///< adaptive controller re-chose a pending stage's scheme
+  kResume,           ///< job adopted committed stages from a checkpoint WAL
 };
 
 /// Canonical short name used on the wire ("task", "stage_end", ...).
@@ -143,6 +144,13 @@ struct Event {
   std::uint64_t checksum_failures = 0;
   std::uint64_t node_exclusions = 0;
   std::uint64_t p_min = 0;
+  // Resume telemetry (kResume / kJobFinish). Like wall_time_s, these are
+  // provenance, not results: identity digests must exclude them (a resumed
+  // run legitimately differs here from the uninterrupted run it reproduces).
+  std::uint64_t resumed_stages = 0;    ///< stages adopted from the WAL
+  std::uint64_t replayed_events = 0;   ///< WAL events decoded during recovery
+  std::uint64_t restored_bytes = 0;    ///< block-file payload bytes restored
+  double recovery_wall_s = 0.0;        ///< host seconds spent recovering
   std::int64_t group = -1;  ///< optimizer co-partition group (-1: none)
 
   // -- strings / lists ---------------------------------------------------

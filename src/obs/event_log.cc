@@ -41,6 +41,17 @@ ReentryState& reentry_state() {
   return state;
 }
 
+/// Resets the re-entrancy marker even when a sink throws out of append()
+/// (a checkpoint writer's simulated crash propagates through emit); without
+/// this, every later emit on the thread would queue forever.
+struct ReentryGuard {
+  ReentryState& re;
+  ~ReentryGuard() {
+    re.queued.clear();
+    re.active_log = nullptr;
+  }
+};
+
 }  // namespace
 
 void EventLog::emit(Event e) {
@@ -53,6 +64,7 @@ void EventLog::emit(Event e) {
     return;
   }
   re.active_log = this;
+  ReentryGuard guard{re};
   {
     std::shared_lock lock(sinks_mu_);
     for (const auto& s : sinks_) s->append(e);
@@ -67,7 +79,6 @@ void EventLog::emit(Event e) {
     std::shared_lock lock(sinks_mu_);
     for (const auto& s : sinks_) s->append(next);
   }
-  re.active_log = nullptr;
 }
 
 void EventLog::flush() {

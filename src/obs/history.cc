@@ -90,6 +90,10 @@ engine::JobMetrics job_from_event(const Event& e) {
   jm.evicted_bytes = e.evicted_bytes;
   jm.spilled_bytes = e.spilled_bytes;
   jm.peak_resident_bytes = e.peak_resident_bytes;
+  jm.resumed_stages = static_cast<std::size_t>(e.resumed_stages);
+  jm.replayed_events = e.replayed_events;
+  jm.restored_bytes = e.restored_bytes;
+  jm.recovery_wall_s = e.recovery_wall_s;
   return jm;
 }
 
@@ -111,12 +115,14 @@ HistoryReader HistoryReader::load(const std::string& path) {
   std::vector<Event> events;
   std::size_t skipped = 0;
   std::size_t skipped_unknown = 0;
+  std::size_t torn_tail = 0;
   bool saw_header = false;
   std::size_t pos = 0;
   bool first = true;
   while (pos < content.size()) {
     std::size_t eol = content.find('\n', pos);
-    if (eol == std::string::npos) eol = content.size();
+    const bool newline_terminated = eol != std::string::npos;
+    if (!newline_terminated) eol = content.size();
     const std::string line = content.substr(pos, eol - pos);
     pos = eol + 1;
     if (line.empty()) continue;
@@ -132,6 +138,10 @@ HistoryReader HistoryReader::load(const std::string& path) {
       events.push_back(std::move(*e));
     } else if (unknown_kind) {
       ++skipped_unknown;  // newer log: skip the record, keep the rest
+    } else if (!newline_terminated) {
+      // A final line with no trailing newline that does not parse is a torn
+      // write — the normal tail of a crashed process's log, not corruption.
+      ++torn_tail;
     } else {
       ++skipped;
     }
@@ -143,6 +153,7 @@ HistoryReader HistoryReader::load(const std::string& path) {
   HistoryReader r(std::move(events));
   r.skipped_ = skipped;
   r.skipped_unknown_ = skipped_unknown;
+  r.torn_tail_ = torn_tail;
   return r;
 }
 

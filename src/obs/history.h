@@ -37,6 +37,11 @@ class HistoryReader {
   const std::vector<Event>& events() const noexcept { return events_; }
   /// Lines dropped because they were malformed (corruption / truncation).
   std::size_t skipped_lines() const noexcept { return skipped_; }
+  /// 1 when the file's final line was torn — no trailing newline and not
+  /// parseable. A process killed mid-append leaves exactly this, so it is
+  /// the normal state of a post-crash log, counted separately from
+  /// skipped_lines() (which implies corruption in the middle of the file).
+  std::size_t torn_tail_lines() const noexcept { return torn_tail_; }
   /// Well-formed records dropped because their event kind is unknown to this
   /// binary — a log written by a newer tool. Counted separately from
   /// skipped_lines() so readers can warn about forward-compat skips without
@@ -69,6 +74,7 @@ class HistoryReader {
   std::vector<Event> events_;
   std::size_t skipped_ = 0;
   std::size_t skipped_unknown_ = 0;
+  std::size_t torn_tail_ = 0;
 };
 
 /// Decode one kStageEnd event (plus its buffered task spans) back into the

@@ -42,6 +42,7 @@ constexpr KindName kKindNames[] = {
     {EventKind::kNodeReadmitted, "node_readmit"},
     {EventKind::kModelRefit, "model_refit"},
     {EventKind::kPlanUpdate, "plan_update"},
+    {EventKind::kResume, "resume"},
 };
 
 // -- field table --------------------------------------------------------------
@@ -109,6 +110,10 @@ const FieldDesc kFields[] = {
     {"cksum_fail", &Event::checksum_failures},
     {"excl", &Event::node_exclusions},
     {"p_min", &Event::p_min},
+    {"resumed", &Event::resumed_stages},
+    {"replayed", &Event::replayed_events},
+    {"restored", &Event::restored_bytes},
+    {"recovery_wall_s", nullptr, nullptr, &Event::recovery_wall_s},
     {"group", nullptr, &Event::group},
     {"name", nullptr, nullptr, nullptr, &Event::name},
     {"detail", nullptr, nullptr, nullptr, &Event::detail},

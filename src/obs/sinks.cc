@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "obs/jsonl.h"
 
 namespace chopper::obs {
@@ -13,8 +17,9 @@ constexpr std::size_t kDrainThreshold = 64 * 1024;  // bytes per stripe buffer
 
 // -- JsonlFileSink ------------------------------------------------------------
 
-JsonlFileSink::JsonlFileSink(const std::string& path, std::size_t stripes)
-    : path_(path) {
+JsonlFileSink::JsonlFileSink(const std::string& path, std::size_t stripes,
+                             bool sync)
+    : path_(path), sync_(sync) {
   if (stripes == 0) stripes = 1;
   stripes_.reserve(stripes);
   for (std::size_t i = 0; i < stripes; ++i) {
@@ -38,10 +43,35 @@ JsonlFileSink::~JsonlFileSink() {
 }
 
 void JsonlFileSink::append(const Event& e) {
-  Stripe& s = *stripes_[e.seq % stripes_.size()];
-  std::lock_guard lock(s.mu);
-  append_jsonl(e, s.buf);
-  if (s.buf.size() >= kDrainThreshold) drain(s);
+  const std::size_t idx = e.seq % stripes_.size();
+  const bool barrier =
+      e.kind == EventKind::kStageEnd || e.kind == EventKind::kJobFinish;
+  if (barrier) {
+    // Drain the other stripes before the boundary record: once the boundary
+    // line is on disk, every event emitted before it must be too.
+    for (std::size_t i = 0; i < stripes_.size(); ++i) {
+      if (i == idx) continue;
+      Stripe& other = *stripes_[i];
+      std::lock_guard lock(other.mu);
+      drain(other);
+    }
+  }
+  Stripe& s = *stripes_[idx];
+  {
+    std::lock_guard lock(s.mu);
+    append_jsonl(e, s.buf);
+    if (barrier || s.buf.size() >= kDrainThreshold) drain(s);
+  }
+  if (barrier) barrier_flush();
+}
+
+void JsonlFileSink::barrier_flush() {
+  std::lock_guard lock(file_mu_);
+  if (!file_) return;
+  std::fflush(file_);
+#if defined(__unix__) || defined(__APPLE__)
+  if (sync_) ::fsync(::fileno(file_));
+#endif
 }
 
 void JsonlFileSink::drain(Stripe& s) {

@@ -20,10 +20,17 @@
 namespace chopper::obs {
 
 /// Appends events to a JSONL file (header line + one event object per line).
+///
+/// Durability barrier: stage/job boundary events (kStageEnd, kJobFinish)
+/// drain every stripe buffer — earlier events first, then the boundary
+/// record — and fflush, so a crashed process never leaves a log whose last
+/// committed stage is missing its task spans. With `sync` the barrier also
+/// fsyncs, extending the guarantee from process death to host death.
 class JsonlFileSink : public TraceSink {
  public:
   /// Throws std::runtime_error when the file cannot be opened.
-  explicit JsonlFileSink(const std::string& path, std::size_t stripes = 8);
+  explicit JsonlFileSink(const std::string& path, std::size_t stripes = 8,
+                         bool sync = false);
   ~JsonlFileSink() override;
 
   JsonlFileSink(const JsonlFileSink&) = delete;
@@ -41,11 +48,13 @@ class JsonlFileSink : public TraceSink {
   };
 
   void drain(Stripe& s);  // caller holds s.mu
+  void barrier_flush();   // fflush (+fsync when sync_); takes file_mu_
 
   std::string path_;
   std::vector<std::unique_ptr<Stripe>> stripes_;
   std::mutex file_mu_;
   std::FILE* file_ = nullptr;
+  bool sync_ = false;
 };
 
 /// Keeps the most recent `capacity` events in memory ("flight recorder").

@@ -126,6 +126,16 @@ class JobServer {
   /// running set and the admission queue are at capacity.
   JobHandle submit(const engine::DatasetPtr& ds, SubmitOptions opts = {});
 
+  /// Checkpoint-resume re-admission (DESIGN.md §16): record a job that
+  /// already finished in a previous process as a synthetic succeeded handle.
+  /// Nothing executes and the slot ledger is untouched; `result` is the
+  /// caller's reconstruction of the original outcome (e.g. decoded from the
+  /// WAL's durable kJobFinish row). Consumes one submission sequence number,
+  /// so a driver replaying its original job mix in order — admit_completed
+  /// for finished jobs, submit for the rest — keeps every job's engine id
+  /// stable across the restart.
+  JobHandle admit_completed(const std::string& name, engine::JobResult result);
+
   /// Block until every job submitted so far has left the system.
   void wait_all();
 

@@ -39,6 +39,17 @@
 //       event histories and bounded makespan inflation. Exit 1 on any
 //       divergence.
 //
+//   chopperctl resume DIR
+//       Crash recovery (DESIGN.md §16): decode the newest WAL segment of a
+//       checkpoint directory written by `run --checkpoint DIR` or
+//       `serve --checkpoint DIR`, rebuild the identical run from the
+//       recorded runspec, and continue from the first uncommitted stage.
+//       Committed stages are adopted from the WAL + block files (classic
+//       runs) or finished jobs are re-admitted without re-execution (serve);
+//       everything else re-executes deterministically, so the final results
+//       are bit-identical to an uninterrupted run. A fresh WAL epoch is
+//       opened, so resume itself is crash-consistent (double-resume works).
+//
 //   chopperctl history LOG
 //       Summarize a structured event log (written with --event-log):
 //       per-job and per-stage tables, straggler/critical-path analysis and
@@ -67,6 +78,8 @@
 #include "adapt/adaptive.h"
 #include "chaos.h"
 #include "chopper/chopper.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/resume.h"
 #include "common/logging.h"
 #include "harness.h"
 #include "obs/chrome_trace.h"
@@ -93,8 +106,8 @@ void print_usage(std::FILE* out, const std::string& cmd = "") {
   if (all) {
     std::fprintf(out,
                  "usage: chopperctl COMMAND [--flags]\n"
-                 "commands: profile plan run inspect serve chaos history "
-                 "trace\n\n");
+                 "commands: profile plan run inspect serve resume chaos "
+                 "history trace\n\n");
   }
   if (all || cmd == "profile") {
     std::fprintf(out,
@@ -115,8 +128,16 @@ void print_usage(std::FILE* out, const std::string& cmd = "") {
                  "                 [--mem-scale M] [--event-log FILE] [--tiny]\n"
                  "                 [--adapt] [--db FILE] [--adapt-epsilon E]\n"
                  "                 [--adapt-min-obs N] [--adapt-max-replans K]\n"
+                 "                 [--checkpoint DIR] [--sync] "
+                 "[--crash-at-seq N]\n"
+                 "                 [--crash-at-barrier N] "
+                 "[--crash-after-flush]\n"
                  "      execute the workload and print per-stage metrics;\n"
-                 "      --adapt re-plans pending stages in flight\n");
+                 "      --adapt re-plans pending stages in flight;\n"
+                 "      --checkpoint writes a crash-consistent WAL + block\n"
+                 "      files so `chopperctl resume DIR` can continue;\n"
+                 "      --crash-at-* kill the driver deterministically at a\n"
+                 "      WAL event seq / stage barrier (testing)\n");
   }
   if (all || cmd == "inspect") {
     std::fprintf(out,
@@ -128,7 +149,17 @@ void print_usage(std::FILE* out, const std::string& cmd = "") {
                  "  chopperctl serve [--jobs N] [--mode fifo|fair] "
                  "[--max-concurrent K]\n"
                  "                   [--event-log FILE] [--tiny] [--adapt]\n"
+                 "                   [--checkpoint DIR] [--sync]\n"
                  "      multi-tenant demo over one shared engine\n");
+  }
+  if (all || cmd == "resume") {
+    std::fprintf(out,
+                 "  chopperctl resume DIR [--sync]\n"
+                 "      continue a checkpointed run/serve from its WAL: "
+                 "committed stages\n"
+                 "      are adopted, the rest re-execute deterministically "
+                 "(bit-identical\n"
+                 "      results); opens a fresh WAL epoch in DIR\n");
   }
   if (all || cmd == "chaos") {
     std::fprintf(out,
@@ -232,10 +263,13 @@ void validate_flags(const Args& args) {
       {"run",
        {"workload", "conf", "scale", "speculation", "aqe", "mem-scale",
         "event-log", "tiny", "adapt", "db", "adapt-epsilon", "adapt-min-obs",
-        "adapt-max-replans"}},
+        "adapt-max-replans", "checkpoint", "sync", "crash-at-seq",
+        "crash-at-barrier", "crash-after-flush"}},
       {"inspect", {"db"}},
       {"serve",
-       {"jobs", "mode", "max-concurrent", "event-log", "tiny", "adapt"}},
+       {"jobs", "mode", "max-concurrent", "event-log", "tiny", "adapt",
+        "checkpoint", "sync"}},
+      {"resume", {"sync"}},
       {"chaos", {"seed", "runs", "tiny", "json"}},
       {"history", {"stragglers"}},
       {"trace", {"chrome"}},
@@ -287,6 +321,94 @@ core::ChopperOptions chopper_options(bool tiny) {
     o.profile_both_partitioners = false;
   }
   return o;
+}
+
+/// The serve demo's deterministic job mix: submission index -> dataset graph
+/// plus its display name and pool. Shared with `resume` so a restarted
+/// server rebuilds the exact same jobs (same seeds, same ids, same order).
+engine::DatasetPtr make_serve_job(std::size_t i, bool tiny, std::string* name,
+                                  std::string* pool) {
+  // 1:2 mix of heavy batch jobs and small interactive queries (all small
+  // under --tiny, for CI smoke runs).
+  if (!tiny && i % 3 == 0) {
+    *name = "sql-" + std::to_string(i);
+    *pool = "batch";
+    return bench::service_sql_like_job(i);
+  }
+  if (!tiny && i % 3 == 1) {
+    *name = "kmeans-" + std::to_string(i);
+    *pool = "batch";
+    return bench::service_kmeans_like_job(i);
+  }
+  *name = "agg-" + std::to_string(i);
+  *pool = "interactive";
+  return bench::service_small_job(i);
+}
+
+/// Attach a checkpoint WAL writer to a run/serve invocation and record the
+/// runspec `resume DIR` needs to rebuild the identical process. Refuses
+/// --adapt: in-flight re-planning would let the restarted run choose a
+/// different plan, voiding the bit-identical-resume contract.
+std::shared_ptr<ckpt::CheckpointWriter> attach_checkpoint(
+    const Args& args, obs::EventLog& event_log, engine::Engine& eng,
+    std::vector<std::pair<std::string, std::string>> runspec) {
+  if (args.has("adapt")) {
+    throw UsageError(
+        "--checkpoint cannot be combined with --adapt (in-flight re-planning "
+        "breaks bit-identical resume)");
+  }
+  const std::string dir = args.get("checkpoint");
+  ckpt::CheckpointOptions copts;
+  copts.sync = args.has("sync");
+  if (args.has("crash-at-seq")) {
+    copts.crash.at_event_seq =
+        static_cast<std::int64_t>(args.get_size("crash-at-seq", 0));
+  }
+  if (args.has("crash-at-barrier")) {
+    copts.crash.at_stage_barrier =
+        static_cast<std::int64_t>(args.get_size("crash-at-barrier", 0));
+  }
+  copts.crash.after_barrier_flush = args.has("crash-after-flush");
+  auto writer = std::make_shared<ckpt::CheckpointWriter>(dir, copts);
+  event_log.attach(writer);
+  eng.set_event_log(&event_log);
+  eng.set_checkpoint_hook(writer.get());
+  ckpt::write_kv_snapshot(dir + "/runspec.kv", runspec, copts.sync);
+  std::printf("checkpointing to %s (wal epoch %zu%s)\n", dir.c_str(),
+              writer->wal_epoch(), copts.sync ? ", fsync" : "");
+  return writer;
+}
+
+void print_checkpoint_summary(const ckpt::CheckpointWriter& w) {
+  std::printf(
+      "checkpoint: %llu events -> wal epoch %zu, %llu block files "
+      "(%.1f KB payload)\n",
+      static_cast<unsigned long long>(w.events_appended()), w.wal_epoch(),
+      static_cast<unsigned long long>(w.blocks_written()),
+      static_cast<double>(w.block_bytes_written()) / 1024.0);
+}
+
+/// Per-job recovery telemetry pulled from the engine's JobMetrics rows
+/// (populated by the scheduler's adopt_restored path).
+void print_recovery_telemetry(const engine::Engine& eng) {
+  bool any = false;
+  for (const auto& jm : eng.metrics().jobs()) {
+    if (jm.resumed_stages > 0 || jm.replayed_events > 0) any = true;
+  }
+  if (!any) return;
+  bench::Table rt({"job", "name", "resumed", "replayed", "restored(KB)",
+                   "recovery(ms)"});
+  for (const auto& jm : eng.metrics().jobs()) {
+    if (jm.resumed_stages == 0 && jm.replayed_events == 0) continue;
+    rt.add_row({std::to_string(jm.job_id), jm.name,
+                std::to_string(jm.resumed_stages),
+                std::to_string(jm.replayed_events),
+                bench::Table::num(
+                    static_cast<double>(jm.restored_bytes) / 1024.0, 1),
+                bench::Table::num(jm.recovery_wall_s * 1000.0, 2)});
+  }
+  std::printf("\nrecovery telemetry (stages adopted from the WAL):\n");
+  rt.print();
 }
 
 void print_stages(const engine::Engine& eng) {
@@ -394,6 +516,11 @@ int cmd_run(const Args& args) {
     std::fprintf(stderr, "unknown --workload (kmeans|pca|sql)\n");
     return 2;
   }
+  if ((args.has("crash-at-seq") || args.has("crash-at-barrier") ||
+       args.has("crash-after-flush")) &&
+      !args.has("checkpoint")) {
+    throw UsageError("--crash-at-* requires --checkpoint DIR");
+  }
   const double scale = args.get_double("scale", 1.0);
   engine::EngineOptions opts = bench::vanilla_options();
   if (args.has("speculation")) opts.speculation.enabled = true;
@@ -420,6 +547,21 @@ int cmd_run(const Args& args) {
         std::make_shared<obs::JsonlFileSink>(args.get("event-log")));
     eng.set_event_log(&event_log);
     std::printf("recording event log to %s\n", args.get("event-log").c_str());
+  }
+  std::shared_ptr<ckpt::CheckpointWriter> ckpt_writer;
+  if (args.has("checkpoint")) {
+    ckpt_writer = attach_checkpoint(
+        args, event_log, eng,
+        {{"command", "run"},
+         {"workload", args.get("workload")},
+         {"scale", args.get("scale", "1")},
+         {"tiny", args.has("tiny") ? "1" : "0"},
+         {"conf", args.get("conf")},
+         {"speculation", args.has("speculation") ? "1" : "0"},
+         {"aqe", args.has("aqe") ? "1" : "0"},
+         // --mem-scale turns enforcement on even at 1.0, so record both.
+         {"mem-scale", args.get("mem-scale", "1")},
+         {"mem-enforce", args.has("mem-scale") ? "1" : "0"}});
   }
 
   common::KvConfig initial_plan;
@@ -464,7 +606,16 @@ int cmd_run(const Args& args) {
         chopper->db().total_observations());
   }
 
-  wl->run(eng, scale);
+  try {
+    wl->run(eng, scale);
+  } catch (const ckpt::SimulatedCrash& e) {
+    // The scheduled driver death fired: the WAL is already cut back to its
+    // durable watermark. Exit cleanly so scripts chain straight into resume.
+    std::printf("%s\n", e.what());
+    std::printf("run `chopperctl resume %s` to continue\n",
+                args.get("checkpoint").c_str());
+    return 0;
+  }
   print_stages(eng);
   if (controller != nullptr) {
     const adapt::AdaptStats ast = controller->stats();
@@ -480,6 +631,7 @@ int cmd_run(const Args& args) {
                 static_cast<unsigned long long>(event_log.emitted()),
                 args.get("event-log").c_str());
   }
+  if (ckpt_writer != nullptr) print_checkpoint_summary(*ckpt_writer);
   return 0;
 }
 
@@ -523,6 +675,17 @@ int cmd_serve(const Args& args) {
     eng.set_event_log(&event_log);  // before JobServer: the ledger wires in
     std::printf("recording event log to %s\n", args.get("event-log").c_str());
   }
+  std::shared_ptr<ckpt::CheckpointWriter> ckpt_writer;
+  if (args.has("checkpoint")) {
+    // Also before JobServer construction, for the same ledger reason.
+    ckpt_writer = attach_checkpoint(
+        args, event_log, eng,
+        {{"command", "serve"},
+         {"jobs", std::to_string(jobs)},
+         {"mode", mode_s},
+         {"max-concurrent", std::to_string(max_concurrent)},
+         {"tiny", tiny ? "1" : "0"}});
+  }
 
   // --adapt: adaptive controller shared by all workers; every job opts in.
   std::unique_ptr<core::Chopper> chopper;
@@ -558,22 +721,7 @@ int cmd_serve(const Args& args) {
   std::vector<std::string> pools;
   for (std::size_t i = 0; i < jobs; ++i) {
     service::SubmitOptions o;
-    engine::DatasetPtr ds;
-    // 1:2 mix of heavy batch jobs and small interactive queries (all small
-    // under --tiny, for CI smoke runs).
-    if (!tiny && i % 3 == 0) {
-      ds = bench::service_sql_like_job(i);
-      o.name = "sql-" + std::to_string(i);
-      o.pool = "batch";
-    } else if (!tiny && i % 3 == 1) {
-      ds = bench::service_kmeans_like_job(i);
-      o.name = "kmeans-" + std::to_string(i);
-      o.pool = "batch";
-    } else {
-      ds = bench::service_small_job(i);
-      o.name = "agg-" + std::to_string(i);
-      o.pool = "interactive";
-    }
+    engine::DatasetPtr ds = make_serve_job(i, tiny, &o.name, &o.pool);
     o.adapt = controller != nullptr;
     names.push_back(o.name);
     pools.push_back(o.pool);
@@ -624,7 +772,225 @@ int cmd_serve(const Args& args) {
                 static_cast<unsigned long long>(event_log.emitted()),
                 args.get("event-log").c_str());
   }
+  if (ckpt_writer != nullptr) print_checkpoint_summary(*ckpt_writer);
   return 0;
+}
+
+/// `resume DIR` for a checkpoint written by `run --checkpoint`: rebuild the
+/// identical workload + engine from the runspec, arm the resume ledger and
+/// re-run the driver — adopt_restored skips every committed stage, the rest
+/// re-execute deterministically.
+int resume_run(const Args& args, const std::string& dir,
+               ckpt::ResumePlan& plan,
+               std::map<std::string, std::string>& rs) {
+  const bool tiny = rs["tiny"] == "1";
+  const auto wl = make_workload(rs["workload"], tiny);
+  if (!wl) {
+    std::fprintf(stderr, "error: runspec names unknown workload '%s'\n",
+                 rs["workload"].c_str());
+    return 1;
+  }
+  const double scale =
+      rs.count("scale") ? parse_flag<double>("scale", rs["scale"]) : 1.0;
+  const double mem_scale =
+      rs.count("mem-scale") ? parse_flag<double>("mem-scale", rs["mem-scale"])
+                            : 1.0;
+  engine::EngineOptions opts = bench::vanilla_options();
+  if (rs["speculation"] == "1") opts.speculation.enabled = true;
+  if (rs["aqe"] == "1") {
+    opts.adaptive.enabled = true;
+    opts.adaptive.target_partition_bytes = 24ULL << 20;
+    opts.adaptive.min_partitions = 8;
+  }
+  if (rs["mem-enforce"] == "1") opts.memory.enforce = true;
+
+  engine::Engine eng(bench::bench_cluster(mem_scale), opts);
+  obs::EventLog event_log;
+  ckpt::CheckpointOptions copts;
+  copts.sync = args.has("sync");
+  auto writer = std::make_shared<ckpt::CheckpointWriter>(dir, copts);
+  event_log.attach(writer);
+  eng.set_event_log(&event_log);
+  eng.set_checkpoint_hook(writer.get());
+  if (!rs["conf"].empty()) {
+    const auto conf = common::KvConfig::load(rs["conf"], /*tolerant=*/true);
+    eng.set_plan_provider(std::make_shared<core::ConfigPlanProvider>(conf));
+  }
+  eng.set_resume_ledger(&plan.ledger);
+
+  std::printf("resuming %s (scale %.2f) into wal epoch %zu\n",
+              rs["workload"].c_str(), scale, writer->wal_epoch());
+  wl->run(eng, scale);
+  print_stages(eng);
+  print_recovery_telemetry(eng);
+  event_log.detach_all();
+  print_checkpoint_summary(*writer);
+  return 0;
+}
+
+/// `resume DIR` for a checkpoint written by `serve --checkpoint`: rebuild
+/// the identical job mix, re-admit jobs whose kJobFinish is durable without
+/// re-executing them (their history is carried into the new epoch so it
+/// stays self-contained), and re-submit the rest for deterministic re-run.
+/// Service jobs run against per-job virtual clocks, so stage adoption does
+/// not apply — recovery here is job-granular, not stage-granular.
+int resume_serve(const Args& args, const std::string& dir,
+                 ckpt::ResumePlan& plan,
+                 std::map<std::string, std::string>& rs) {
+  const bool tiny = rs["tiny"] == "1";
+  const std::size_t jobs =
+      rs.count("jobs") ? parse_flag<std::size_t>("jobs", rs["jobs"]) : 8;
+  const std::size_t max_concurrent =
+      rs.count("max-concurrent")
+          ? parse_flag<std::size_t>("max-concurrent", rs["max-concurrent"])
+          : 4;
+  const std::string mode_s = rs.count("mode") ? rs["mode"] : "fifo";
+
+  engine::Engine eng(bench::bench_cluster(), bench::vanilla_options());
+  obs::EventLog event_log;
+  ckpt::CheckpointOptions copts;
+  copts.sync = args.has("sync");
+  auto writer = std::make_shared<ckpt::CheckpointWriter>(dir, copts);
+  event_log.attach(writer);
+  eng.set_event_log(&event_log);  // before JobServer: the ledger wires in
+  eng.set_checkpoint_hook(writer.get());
+
+  // Carry the finished jobs' durable history forward into the new epoch and
+  // decode their kJobFinish rows into re-admittable results.
+  std::map<std::size_t, engine::JobMetrics> finished;
+  for (const auto& j : plan.jobs) {
+    if (j.finished) finished[j.job_id] = engine::JobMetrics{};
+  }
+  const obs::HistoryReader hr = obs::HistoryReader::load(plan.wal);
+  for (const auto& e : hr.events()) {
+    const auto jid = static_cast<std::size_t>(e.job);
+    if (finished.count(jid) == 0) continue;
+    switch (e.kind) {
+      case obs::EventKind::kJobSubmit:
+      case obs::EventKind::kStageStart:
+      case obs::EventKind::kTaskSpan:
+      case obs::EventKind::kShuffleWrite:
+      case obs::EventKind::kBlockStore:
+      case obs::EventKind::kStageEnd:
+        writer->append(e);
+        break;
+      case obs::EventKind::kJobFinish:
+        finished[jid] = obs::job_from_event(e);
+        writer->append(e);
+        break;
+      default:
+        break;
+    }
+  }
+
+  service::JobServerOptions sopts;
+  sopts.mode = mode_s == "fair" ? service::SchedulingMode::kFair
+                                : service::SchedulingMode::kFifo;
+  sopts.max_concurrent_jobs = max_concurrent;
+  sopts.max_queued_jobs = jobs + 1;
+  sopts.pools["interactive"] = {/*weight=*/2.0, /*min_share=*/0.2};
+  sopts.pools["batch"] = {/*weight=*/1.0, /*min_share=*/0.0};
+  service::JobServer server(eng, sopts);
+
+  std::printf(
+      "re-serving %zu jobs (%zu finished re-admitted, %zu re-run), mode=%s, "
+      "wal epoch %zu\n",
+      jobs, finished.size(), jobs - std::min(jobs, finished.size()),
+      service::to_string(sopts.mode), writer->wal_epoch());
+
+  std::vector<service::JobHandle> handles;
+  std::vector<std::string> names;
+  std::vector<std::string> pools;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    std::string name, pool;
+    engine::DatasetPtr ds = make_serve_job(i, tiny, &name, &pool);
+    names.push_back(name);
+    pools.push_back(pool);
+    const auto it = finished.find(i);
+    if (it != finished.end()) {
+      // kJobFinish carries the job's execution record, not its result
+      // payload; a re-admitted handle surfaces metrics + success state.
+      const engine::JobMetrics& jm = it->second;
+      engine::JobResult r;
+      r.job_id = jm.job_id;
+      r.name = jm.name.empty() ? name : jm.name;
+      r.sim_time_s = jm.sim_time_s;
+      r.wall_time_s = jm.wall_time_s;
+      r.stage_ids = jm.stage_ids;
+      r.stage_attempts = jm.stage_attempts;
+      r.fetch_retries = jm.fetch_retries;
+      r.oom_count = jm.oom_count;
+      r.replayed_events = jm.stage_ids.size();
+      handles.push_back(server.admit_completed(name, std::move(r)));
+    } else {
+      service::SubmitOptions o;
+      o.name = name;
+      o.pool = pool;
+      handles.push_back(server.submit(ds, o));
+    }
+  }
+  server.wait_all();
+
+  bench::Table table({"job", "pool", "state", "recovery", "service(s)",
+                      "latency(s)"});
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    auto& h = handles[i];
+    const auto st = h.stats();
+    try {
+      h.wait();
+    } catch (const engine::JobAbortedError&) {
+    }
+    table.add_row({names[i], pools[i], service::to_string(h.status()),
+                   finished.count(i) != 0 ? "replayed" : "re-run",
+                   bench::Table::num(st.service_s, 1),
+                   bench::Table::num(st.latency_s(), 1)});
+  }
+  table.print();
+  event_log.detach_all();
+  print_checkpoint_summary(*writer);
+  return 0;
+}
+
+int cmd_resume(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "resume requires a checkpoint DIR operand\n");
+    print_usage(stderr, "resume");
+    return 2;
+  }
+  const std::string dir = args.positional.front();
+  ckpt::ResumePlan plan = ckpt::build_resume_plan(dir);
+  std::printf(
+      "resume plan: wal epoch %zu, %zu events (%zu torn, %zu skipped), "
+      "%zu committed stage(s), %zu finished job(s), %.1f KB restorable\n",
+      plan.wal_epoch, plan.events, plan.torn_tail_lines, plan.skipped_lines,
+      plan.committed_stages, plan.finished_jobs,
+      static_cast<double>(plan.restored_bytes) / 1024.0);
+  if (!plan.jobs.empty()) {
+    bench::Table pt({"job", "name", "committed", "recovery"});
+    for (const auto& j : plan.jobs) {
+      pt.add_row({std::to_string(j.job_id), j.name,
+                  std::to_string(j.committed_stages),
+                  j.finished      ? "replay (finished)"
+                  : j.full_rerun  ? "full re-run"
+                                  : "adopt + continue"});
+    }
+    pt.print();
+  }
+
+  const auto spec = ckpt::read_kv_snapshot(dir + "/runspec.kv");
+  if (!spec) {
+    std::fprintf(stderr,
+                 "error: %s/runspec.kv missing or corrupt (it is written by "
+                 "run/serve --checkpoint)\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::map<std::string, std::string> rs(spec->begin(), spec->end());
+  if (rs["command"] == "run") return resume_run(args, dir, plan, rs);
+  if (rs["command"] == "serve") return resume_serve(args, dir, plan, rs);
+  std::fprintf(stderr, "error: runspec has unknown command '%s'\n",
+               rs["command"].c_str());
+  return 1;
 }
 
 int cmd_chaos(const Args& args) {
@@ -687,6 +1053,14 @@ int cmd_history(const Args& args) {
     std::fprintf(stderr,
                  "warning: skipped %zu records with unknown event kinds\n",
                  reader.skipped_unknown_kinds());
+  }
+  if (reader.torn_tail_lines() > 0) {
+    // Gentler than the malformed-line warning: a torn final line is the
+    // normal state of a log whose writer died mid-append (DESIGN.md §16).
+    std::fprintf(stderr,
+                 "note: tolerated %zu torn final line(s) — the writer died "
+                 "mid-append (normal after a crash)\n",
+                 reader.torn_tail_lines());
   }
   const auto jobs = reader.jobs();
   const auto stages = reader.stages();
@@ -757,6 +1131,31 @@ int cmd_history(const Args& args) {
       }
     }
     at.print();
+  }
+
+  // ---- checkpoint recovery -------------------------------------------------
+  // kResume markers emitted by the scheduler's adopt_restored path: one row
+  // per resumed job with how much of its history was adopted from the WAL.
+  bool any_resume = false;
+  for (const auto& e : reader.events()) {
+    if (e.kind == obs::EventKind::kResume) {
+      any_resume = true;
+      break;
+    }
+  }
+  if (any_resume) {
+    std::printf("\ncheckpoint recovery:\n");
+    bench::Table rt({"job", "resumed stages", "replayed events",
+                     "restored(KB)", "recovery(ms)"});
+    for (const auto& e : reader.events()) {
+      if (e.kind != obs::EventKind::kResume) continue;
+      rt.add_row({std::to_string(e.job), std::to_string(e.resumed_stages),
+                  std::to_string(e.replayed_events),
+                  bench::Table::num(
+                      static_cast<double>(e.restored_bytes) / 1024.0, 1),
+                  bench::Table::num(e.recovery_wall_s * 1000.0, 2)});
+    }
+    rt.print();
   }
 
   // ---- stragglers ----------------------------------------------------------
@@ -907,6 +1306,7 @@ int main(int argc, char** argv) {
     if (args->command == "run") return cmd_run(*args);
     if (args->command == "inspect") return cmd_inspect(*args);
     if (args->command == "serve") return cmd_serve(*args);
+    if (args->command == "resume") return cmd_resume(*args);
     if (args->command == "chaos") return cmd_chaos(*args);
     if (args->command == "history") return cmd_history(*args);
     if (args->command == "trace") return cmd_trace(*args);
