@@ -6,7 +6,8 @@
 
 using namespace chopper;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_flag(argc, argv);
   const std::vector<std::size_t> partition_counts = {100, 200, 300, 400, 500};
   const workloads::KMeansWorkload wl(bench::kmeans_params());
   const double scale = bench::kmeans_study_scale();
@@ -40,6 +41,10 @@ int main() {
     table.add_row(std::move(row));
   }
   table.print();
+  if (!json_path.empty() &&
+      !table.write_json(json_path, "fig2_kmeans_stage_times")) {
+    return 1;
+  }
 
   // Paper observation: the per-stage optimum varies across stages.
   bench::print_header("Per-stage optimal partition count (arg min over the sweep)");

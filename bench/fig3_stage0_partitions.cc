@@ -5,7 +5,8 @@
 
 using namespace chopper;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_flag(argc, argv);
   const std::vector<std::size_t> partition_counts = {100, 200, 300, 400, 500};
   const workloads::KMeansWorkload wl(bench::kmeans_params());
   const double scale = bench::kmeans_study_scale();
@@ -22,5 +23,9 @@ int main() {
                    bench::Table::num(eng.metrics().stages().front().sim_time_s, 3)});
   }
   table.print();
+  if (!json_path.empty() &&
+      !table.write_json(json_path, "fig3_stage0_partitions")) {
+    return 1;
+  }
   return 0;
 }

@@ -7,7 +7,8 @@
 
 using namespace chopper;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_flag(argc, argv);
   const std::vector<std::size_t> partition_counts = {100, 200, 300, 400, 500};
   const workloads::KMeansWorkload wl(bench::kmeans_params());
   const double scale = bench::kmeans_study_scale();
@@ -57,6 +58,9 @@ int main() {
     }
   }
   table.print();
+  if (!json_path.empty() && !table.write_json(json_path, "fig4_shuffle_data")) {
+    return 1;
+  }
 
   bench::print_header("Total execution time per sweep point (the P=2000 blow-up)");
   bench::Table totals({"partitions", "total time(s)", "last-stage shuffle KB"});

@@ -49,6 +49,11 @@ void AdaptiveController::set_default_enabled(bool enabled) {
   default_enabled_ = enabled;
 }
 
+void AdaptiveController::set_refit_listener(std::function<void()> fn) {
+  std::lock_guard lock(mu_);
+  refit_listener_ = std::move(fn);
+}
+
 AdaptStats AdaptiveController::stats() const {
   std::lock_guard lock(mu_);
   return stats_;
@@ -86,10 +91,18 @@ void AdaptiveController::append(const obs::Event& e) {
     case obs::EventKind::kStageEnd: {
       // The scheduler emits kStageEnd synchronously at the stage barrier,
       // so everything below runs before the next stage's scheme resolves.
-      std::lock_guard lock(mu_);
-      if (!job_enabled_locked(e.job)) break;
-      fold_stage_end_locked(e);
-      maybe_replan_locked(e);
+      std::function<void()> listener;
+      {
+        std::lock_guard lock(mu_);
+        if (!job_enabled_locked(e.job)) break;
+        const std::uint64_t before = epoch_;
+        fold_stage_end_locked(e);
+        maybe_replan_locked(e);
+        if (epoch_ != before) listener = refit_listener_;
+      }
+      // Fire outside mu_: the listener may call back into this controller
+      // (adapted_config) or into the engine's block manager.
+      if (listener) listener();
       break;
     }
     default:

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -100,6 +101,13 @@ class AdaptiveController final : public obs::TraceSink {
   void set_job_enabled(const std::string& job_name, bool enabled);
   void set_default_enabled(bool enabled);
 
+  /// Callback invoked after every refit epoch, outside the controller's
+  /// lock (it may re-enter the controller or the engine). The cache planner
+  /// hooks this to re-score eviction priorities against the refitted models
+  /// at the same stage barrier that produced them (DESIGN.md §17).
+  /// Replaces any previously installed listener.
+  void set_refit_listener(std::function<void()> fn);
+
   AdaptStats stats() const;
   /// Bumped at every refit epoch; the service layer's plan cache re-reads
   /// adapted_config() when its stored epoch falls behind.
@@ -152,6 +160,7 @@ class AdaptiveController final : public obs::TraceSink {
   std::map<std::string, bool> job_overrides_;
   bool default_enabled_ = true;
   std::size_t pending_observations_ = 0;
+  std::function<void()> refit_listener_;
 };
 
 }  // namespace chopper::adapt

@@ -197,6 +197,15 @@ double WorkloadDb::stage_input_estimate(const std::string& workload,
   return estimate;
 }
 
+std::size_t WorkloadDb::times_observed(const std::string& workload,
+                                       std::uint64_t signature) const {
+  std::size_t n = 0;
+  for (const auto& o : observations_) {
+    if (o.workload == workload && o.signature == signature) ++n;
+  }
+  return n;
+}
+
 std::pair<double, double> WorkloadDb::observed_input_range(
     const std::string& workload, std::uint64_t signature) const {
   double lo = 0.0, hi = 0.0;

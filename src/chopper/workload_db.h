@@ -142,6 +142,13 @@ class WorkloadDb {
   std::pair<double, double> observed_input_range(const std::string& workload,
                                                  std::uint64_t signature) const;
 
+  /// Recurrence count: how many times the stage was ever observed (any
+  /// partitioner). The cache planner reads this as the expected reuse of the
+  /// stage's output across recurring runs of the workload (DESIGN.md §17,
+  /// Lachesis-style decision reuse).
+  std::size_t times_observed(const std::string& workload,
+                             std::uint64_t signature) const;
+
   /// Memory-feasibility floor for the stage at input size `stage_input_bytes`
   /// derived from recorded OOMs: each OOM at (D_o, P_o) proves a per-task
   /// slice of D_o / P_o does not fit, so any plan must keep D / P strictly

@@ -9,19 +9,32 @@
 // scheduler can recompute exactly the lost partitions (see scheduler.cc).
 //
 // Memory budget (DESIGN.md §11): configure_budget arms a per-node capacity
-// (the storage tier of MemoryLimits). put() and enforce_budget() LRU-evict
+// (the storage tier of MemoryLimits). put() and enforce_budget() evict
 // partitions of *unpinned* datasets from over-budget nodes; evicted
 // partitions look exactly like failure-lost ones (available[p] == 0, empty
 // partition) and are healed by the same lineage recovery. Readers must hold
 // a Pin across their use of a dataset: get() returns a raw pointer that a
 // concurrent eviction/remove may free, so it is only safe for short,
 // same-thread inspection — pin() is the lifetime-safe accessor.
+//
+// Eviction policy (DESIGN.md §17): under the default kLru policy victims
+// fall in oldest-access order. Under kCost, a CachePlanSnapshot installed by
+// the cache planner (src/cacheplan) orders victims cheapest-to-rebuild
+// first: planner-demoted (Drop) datasets go before unplanned ones (which
+// keep LRU order among themselves), which go before planned datasets in
+// ascending eviction priority. Planner-pinned datasets are never evicted —
+// not even by the OOM path; the task dies, the pinned working set survives.
+// Per-pool shares (FAIR-tenant floors derived from SlotLedger weights) defer
+// evicting a pool's blocks while the pool sits at or below its share of the
+// total storage budget, unless nothing unprotected is left to evict.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -72,6 +85,34 @@ struct CachedDataset {
   }
 };
 
+/// Which order the budget-enforcement scan picks eviction victims in.
+enum class EvictionPolicy {
+  kLru,   ///< oldest access first (the pre-§17 default)
+  kCost,  ///< cheapest-to-rebuild first, per the installed CachePlanSnapshot
+};
+
+const char* to_string(EvictionPolicy policy) noexcept;
+
+/// Per-dataset directive from the cache planner (src/cacheplan).
+struct CacheGuidance {
+  /// Eviction priority under kCost: higher = more expensive to rebuild =
+  /// evicted later. Negative marks a planner-demoted (Drop) dataset, evicted
+  /// before everything else.
+  double priority = 0.0;
+  /// Planner-pinned working set: never evicted by budget enforcement.
+  bool pinned = false;
+  /// FAIR pool (tenant) owning the dataset; "" = unpooled, never protected.
+  std::string pool;
+};
+
+/// The planner's decisions as the BlockManager consumes them: per-dataset
+/// guidance plus per-pool storage-share floors (fraction of the total
+/// storage budget each tenant's cached bytes are protected down to).
+struct CachePlanSnapshot {
+  std::map<std::size_t, CacheGuidance> guidance;  ///< by Dataset::id
+  std::map<std::string, double> pool_share;       ///< fraction of budget
+};
+
 class BlockManager {
  public:
   /// RAII read handle. While alive: the CachedDataset object stays valid
@@ -85,20 +126,29 @@ class BlockManager {
     const CachedDataset& operator*() const noexcept { return *data_; }
     explicit operator bool() const noexcept { return data_ != nullptr; }
     void reset() noexcept { data_.reset(); }
+    /// Mutable access for block recovery/heal paths. Field mutations on a
+    /// dataset other jobs may share still require guard() — the pin only
+    /// fixes lifetime and blocks eviction, it is not a lock.
+    CachedDataset* mutable_get() const noexcept { return data_.get(); }
 
    private:
     friend class BlockManager;
-    std::shared_ptr<const CachedDataset> data_;
+    std::shared_ptr<CachedDataset> data_;
   };
 
   void put(std::size_t dataset_id, CachedDataset data);
   bool contains(std::size_t dataset_id) const;
-  /// Returns nullptr when absent. Lifetime footgun: the pointer is freed by
-  /// remove/clear and — under an armed budget — by a concurrent eviction
-  /// scan; use pin() whenever the dataset outlives the calling statement.
+  /// INTERNAL USE ONLY (BlockManager-adjacent bookkeeping and tests).
+  /// Lifetime contract: the returned pointer is owned by the manager and is
+  /// freed by remove()/clear() and — under an armed budget — by a concurrent
+  /// eviction scan dropping the entry another thread re-put(). It is only
+  /// safe for short, same-thread inspection that completes before any other
+  /// BlockManager call; every call site whose use of the dataset outlives
+  /// the calling statement must hold a Pin instead (pin() is the public
+  /// accessor; the scheduler's read/heal paths all pin since PR 9).
   const CachedDataset* get(std::size_t dataset_id) const;
-  /// Mutable access for block recovery (scheduler-internal; the scheduler
-  /// pins the dataset for the duration of the stage that heals/reads it).
+  /// INTERNAL USE ONLY. Same lifetime contract as get(); prefer
+  /// pin().mutable_get() which fixes the lifetime for the pin's duration.
   CachedDataset* get_mutable(std::size_t dataset_id);
   /// Lifetime-safe accessor: empty Pin when absent.
   Pin pin(std::size_t dataset_id);
@@ -114,11 +164,24 @@ class BlockManager {
   /// `ledger` with bytes multiplied by `ledger_scale` (back to modeled).
   void configure_budget(std::vector<std::uint64_t> per_node_capacity,
                         MemoryLedger* ledger, double ledger_scale);
-  /// Evict (oldest-access first, skipping pinned datasets) until every node
+  /// Evict (in policy order, skipping pinned datasets) until every node
   /// fits its budget — or nothing evictable remains. No-op when no budget
   /// is armed. put() calls this automatically; recovery calls it after
   /// healing blocks re-inflates a node.
   void enforce_budget();
+
+  /// Select the victim order for budget enforcement. kLru (default) keeps
+  /// the §11 behavior; kCost consults the installed cache plan.
+  void set_eviction_policy(EvictionPolicy policy);
+  EvictionPolicy eviction_policy() const;
+
+  /// Merge planner guidance: per-dataset entries overwrite existing ones,
+  /// pool shares replace listed pools (others keep their floor). The cache
+  /// planner calls this when a job plan is built and again on adaptive
+  /// re-scores at stage barriers.
+  void merge_cache_plan(const CachePlanSnapshot& snapshot);
+  /// Installed guidance for one dataset (tests / chopperctl inspection).
+  std::optional<CacheGuidance> guidance_for(std::size_t dataset_id) const;
 
   /// Resident cached bytes currently placed on `node` (raw bytes).
   std::uint64_t used_bytes(std::size_t node) const;
@@ -151,6 +214,14 @@ class BlockManager {
   void enforce_locked();
   std::uint64_t used_locked(std::size_t node) const;
   void touch_locked(std::size_t dataset_id) const;
+  bool evictable_locked(const Entry& entry, std::size_t id) const;
+  /// Victim order for the active policy: ids sorted evict-first.
+  std::vector<std::size_t> victim_order_locked() const;
+  /// Evict dataset `id`'s partitions on `node` until the node fits `used`
+  /// into its capacity; updates `used` and the per-pool byte tally.
+  void evict_on_node_locked(std::size_t id, std::size_t node,
+                            std::uint64_t& used,
+                            std::map<std::string, std::uint64_t>& pool_bytes);
 
   mutable std::mutex mu_;
   mutable std::uint64_t tick_ = 0;
@@ -159,6 +230,8 @@ class BlockManager {
   MemoryLedger* ledger_ = nullptr;
   double ledger_scale_ = 1.0;
   obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
+  EvictionPolicy policy_ = EvictionPolicy::kLru;
+  CachePlanSnapshot plan_;
 };
 
 }  // namespace chopper::engine

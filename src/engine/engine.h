@@ -173,6 +173,13 @@ struct JobResult {
   std::uint64_t replayed_events = 0;  ///< WAL events decoded during recovery
   std::uint64_t restored_bytes = 0;   ///< block-file payload bytes restored
   double recovery_wall_s = 0.0;       ///< host seconds spent recovering
+
+  // Cache telemetry (mirrors the JobMetrics row; DESIGN.md §17).
+  std::size_t cache_hits = 0;         ///< cached partitions read resident
+  std::size_t cache_misses = 0;       ///< cached partitions healed before read
+  std::uint64_t recompute_saved_bytes = 0;  ///< bytes served from residency
+  std::size_t evictions_lru = 0;      ///< evictions chosen by LRU order
+  std::size_t evictions_cost = 0;     ///< evictions chosen by planner priority
 };
 
 /// A job aborted (injected-fault retry budget exhausted, stage-attempt bound
@@ -192,6 +199,19 @@ class JobAbortedError : public std::runtime_error {
 class TaskOomError : public JobAbortedError {
  public:
   explicit TaskOomError(const std::string& what) : JobAbortedError(what) {}
+};
+
+/// Cache-plan hook (implemented by cacheplan::CachePlanner, DESIGN.md §17).
+/// Called under the engine's planning lock right after a job's stage DAG is
+/// built, before any stage executes; the returned snapshot is merged into
+/// the BlockManager so budget enforcement during the job follows the
+/// planner's priorities. Implementations must be thread-safe (concurrent
+/// service jobs plan serially, but adaptive re-scores run on job threads).
+class CacheAdvisor {
+ public:
+  virtual ~CacheAdvisor() = default;
+  virtual CachePlanSnapshot advise(const JobPlan& plan,
+                                   const std::string& job_name) = 0;
 };
 
 /// Arbitrates the simulated cluster's time between concurrently running jobs
@@ -297,6 +317,17 @@ class Engine {
   void set_checkpoint_hook(CheckpointHook* hook) noexcept { ckpt_hook_ = hook; }
   CheckpointHook* checkpoint_hook() const noexcept { return ckpt_hook_; }
 
+  /// Attach a cache-plan advisor (src/cacheplan); nullptr detaches. Consulted
+  /// under plan_mu_ after each job plan is built; its snapshot is merged into
+  /// the block manager before the job's first stage runs. Shared ownership:
+  /// the advisor may outlive the caller's handle (service wiring).
+  void set_cache_advisor(std::shared_ptr<CacheAdvisor> advisor) {
+    cache_advisor_ = std::move(advisor);
+  }
+  const std::shared_ptr<CacheAdvisor>& cache_advisor() const noexcept {
+    return cache_advisor_;
+  }
+
   /// Arm resume state decoded from a checkpoint WAL (engine/resume.h):
   /// ledger->jobs[i] feeds the job that draws engine id i, letting an
   /// unmodified driver re-run its job sequence while committed stages are
@@ -348,6 +379,7 @@ class Engine {
   MetricsRegistry metrics_;
   ResourceTimeline timeline_;
   std::shared_ptr<PlanProvider> plan_provider_;
+  std::shared_ptr<CacheAdvisor> cache_advisor_;
   InsertedRepartitions inserted_repartitions_;
   /// Guards plan building (inserted_repartitions_ is shared mutable state)
   /// when service jobs submit concurrently.

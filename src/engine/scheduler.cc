@@ -520,6 +520,11 @@ JobResult JobRunner::run() {
   ctx_.result.replayed_events = job_metrics_.replayed_events;
   ctx_.result.restored_bytes = job_metrics_.restored_bytes;
   ctx_.result.recovery_wall_s = job_metrics_.recovery_wall_s;
+  ctx_.result.cache_hits = job_metrics_.cache_hits;
+  ctx_.result.cache_misses = job_metrics_.cache_misses;
+  ctx_.result.recompute_saved_bytes = job_metrics_.recompute_saved_bytes;
+  ctx_.result.evictions_lru = job_metrics_.evictions_lru;
+  ctx_.result.evictions_cost = job_metrics_.evictions_cost;
 
   job_metrics_.sim_time_s = ctx_.result.sim_time_s;
   job_metrics_.wall_time_s = ctx_.result.wall_time_s;
@@ -560,6 +565,13 @@ std::size_t JobRunner::adopt_restored() {
         row.fetch_retries != 0 || row.refetched_bytes != 0 ||
         row.checksum_failures != 0 || row.node_exclusions != 0 ||
         row.oom_count != 0) {
+      return 0;
+    }
+    // Cache misses and evictions imply a budget re-shaped the block store
+    // mid-run — not a clean first-attempt row. Hits are fine: clean runs of
+    // iterative workloads read resident caches every round.
+    if (row.cache_misses != 0 || row.evictions_lru != 0 ||
+        row.evictions_cost != 0) {
       return 0;
     }
     if (row.tasks.size() != row.num_partitions || row.tasks.empty()) return 0;
@@ -753,6 +765,11 @@ std::size_t JobRunner::adopt_restored() {
     job_metrics_.spilled_bytes += row.spilled_bytes;
     job_metrics_.peak_resident_bytes =
         std::max(job_metrics_.peak_resident_bytes, row.peak_resident_bytes);
+    job_metrics_.cache_hits += row.cache_hits;
+    job_metrics_.cache_misses += row.cache_misses;
+    job_metrics_.recompute_saved_bytes += row.recompute_saved_bytes;
+    job_metrics_.evictions_lru += row.evictions_lru;
+    job_metrics_.evictions_cost += row.evictions_cost;
     if (tracing()) emit_stage_end(s, row, Attempt{});
     eng_.metrics_.add_stage(std::move(row));
   }
@@ -802,6 +819,11 @@ void JobRunner::emit_job_finish(const JobMetrics& jm) const {
   e.replayed_events = jm.replayed_events;
   e.restored_bytes = jm.restored_bytes;
   e.recovery_wall_s = jm.recovery_wall_s;
+  e.cache_hits = jm.cache_hits;
+  e.cache_misses = jm.cache_misses;
+  e.recompute_saved_bytes = jm.recompute_saved_bytes;
+  e.evictions_lru = jm.evictions_lru;
+  e.evictions_cost = jm.evictions_cost;
   emit(std::move(e));
 }
 
@@ -877,6 +899,11 @@ void JobRunner::emit_stage_end(std::size_t s, const StageMetrics& sm,
   e.evicted_bytes = sm.evicted_bytes;
   e.spilled_bytes = sm.spilled_bytes;
   e.peak_resident_bytes = sm.peak_resident_bytes;
+  e.cache_hits = sm.cache_hits;
+  e.cache_misses = sm.cache_misses;
+  e.recompute_saved_bytes = sm.recompute_saved_bytes;
+  e.evictions_lru = sm.evictions_lru;
+  e.evictions_cost = sm.evictions_cost;
   e.sim_time_s = sm.sim_time_s;
   e.sim_start_s = sm.sim_start_s;
   e.wall_time_s = sm.wall_time_s;
@@ -935,6 +962,8 @@ void JobRunner::run_stage(std::size_t s) {
   // disk-tier spills (wherever in the engine they fired) to this stage.
   const std::uint64_t evicted0 = eng_.mem_ledger_.total_evicted();
   const std::uint64_t spilled0 = eng_.mem_ledger_.total_spilled();
+  const std::size_t ev_lru0 = eng_.mem_ledger_.total_evictions_lru();
+  const std::size_t ev_cost0 = eng_.mem_ledger_.total_evictions_cost();
 
   Attempt a;
   std::size_t consecutive_oom = 0;
@@ -942,6 +971,38 @@ void JobRunner::run_stage(std::size_t s) {
     sm.attempt_count = attempt;
     if (health_active()) sweep_health();
     if (ft_) process_barrier_failures(sm.stage_id);
+    // Cache telemetry (DESIGN.md §17): every cached-input partition resident
+    // at attempt start is a hit — its bytes are recomputation the cache
+    // saved. Partitions healed below count as misses (recover_cached_blocks).
+    if (plan.input == StageInputKind::kCache) {
+      std::size_t hits = 0;
+      std::uint64_t saved = 0;
+      if (auto cache_pin = eng_.block_manager_.pin(plan.anchor->id())) {
+        auto g = eng_.block_manager_.guard();
+        const CachedDataset& cd = *cache_pin;
+        for (std::size_t p = 0; p < cd.partitions.size(); ++p) {
+          if (cd.available.empty() || cd.available[p]) {
+            ++hits;
+            saved += cd.partitions[p].bytes();
+          }
+        }
+      }
+      sm.cache_hits += hits;
+      sm.recompute_saved_bytes += saved;
+      if (hits > 0 && tracing()) {
+        obs::Event e;
+        e.kind = obs::EventKind::kCacheHit;
+        e.job = ctx_.job_id;
+        e.stage = sm.stage_id;
+        e.plan_index = s;
+        e.attempt = attempt;
+        e.dataset = plan.anchor->id();
+        e.name = plan.anchor->label();
+        e.count = hits;
+        e.bytes = saved;
+        emit(std::move(e));
+      }
+    }
     // Heal evicted cache blocks / lost shuffle rows before (re)executing.
     if (retain_) recover_stage_inputs(s, sm);
     a = Attempt{};
@@ -1073,6 +1134,8 @@ void JobRunner::run_stage(std::size_t s) {
   if (mem_) eng_.block_manager_.enforce_budget();
   sm.evicted_bytes += eng_.mem_ledger_.total_evicted() - evicted0;
   sm.spilled_bytes += eng_.mem_ledger_.total_spilled() - spilled0;
+  sm.evictions_lru += eng_.mem_ledger_.total_evictions_lru() - ev_lru0;
+  sm.evictions_cost += eng_.mem_ledger_.total_evictions_cost() - ev_cost0;
 
   job_metrics_.stage_attempts += sm.attempt_count;
   job_metrics_.recomputed_tasks += sm.recomputed_tasks;
@@ -1087,6 +1150,11 @@ void JobRunner::run_stage(std::size_t s) {
   job_metrics_.spilled_bytes += sm.spilled_bytes;
   job_metrics_.peak_resident_bytes =
       std::max(job_metrics_.peak_resident_bytes, sm.peak_resident_bytes);
+  job_metrics_.cache_hits += sm.cache_hits;
+  job_metrics_.cache_misses += sm.cache_misses;
+  job_metrics_.recompute_saved_bytes += sm.recompute_saved_bytes;
+  job_metrics_.evictions_lru += sm.evictions_lru;
+  job_metrics_.evictions_cost += sm.evictions_cost;
   // Stage barrier hook: kStageEnd is delivered to sinks synchronously, so an
   // in-process sink (src/adapt's AdaptiveController) runs to completion here
   // — any plan-provider patch it makes is visible to every scheme still
@@ -2094,12 +2162,12 @@ bool JobRunner::stage_depends_on_node(std::size_t s, std::size_t node) const {
       }
     }
   } else if (plan.input == StageInputKind::kCache) {
-    const CachedDataset* cd = eng_.block_manager_.get(plan.anchor->id());
-    if (cd != nullptr) {
+    const BlockManager::Pin pin = eng_.block_manager_.pin(plan.anchor->id());
+    if (pin) {
       auto g = eng_.block_manager_.guard();
-      for (std::size_t p = 0; p < cd->placement.size(); ++p) {
-        if (cd->placement[p] == node &&
-            (cd->available.empty() || cd->available[p])) {
+      for (std::size_t p = 0; p < pin->placement.size(); ++p) {
+        if (pin->placement[p] == node &&
+            (pin->available.empty() || pin->available[p])) {
           return true;
         }
       }
@@ -2234,7 +2302,8 @@ void JobRunner::verify_shuffle_sums(ShuffleOutput& so, StageMetrics& sm) {
 }
 
 void JobRunner::verify_cache_sums(const Dataset* anchor, StageMetrics& sm) {
-  CachedDataset* cd = eng_.block_manager_.get_mutable(anchor->id());
+  BlockManager::Pin pin = eng_.block_manager_.pin(anchor->id());
+  CachedDataset* cd = pin.mutable_get();
   if (cd == nullptr) return;
   auto g = eng_.block_manager_.guard();
   if (cd->sums.size() != cd->partitions.size()) return;
@@ -2321,12 +2390,15 @@ void JobRunner::recover_stage_inputs(std::size_t s, StageMetrics& sm) {
     }
   } else if (plan.input == StageInputKind::kCache) {
     if (integrity_) verify_cache_sums(plan.anchor, sm);
-    CachedDataset* cd = eng_.block_manager_.get_mutable(plan.anchor->id());
+    BlockManager::Pin pin = eng_.block_manager_.pin(plan.anchor->id());
     bool incomplete = false;
-    if (cd != nullptr) {
+    if (pin) {
       auto g = eng_.block_manager_.guard();
-      incomplete = !cd->complete();
+      incomplete = !pin->complete();
     }
+    // Drop the pin before healing: the wholesale recovery path re-puts the
+    // dataset under the same id.
+    pin.reset();
     if (incomplete) recover_cached_blocks(plan.anchor, sm);
   }
 }
@@ -2358,9 +2430,14 @@ void JobRunner::recover_map_tasks(std::size_t producer, StageMetrics& sm) {
   }
   if (lost_idx.empty()) return;
 
+  // Pin: the replay loop below reads the cached partitions from the thread
+  // pool, long after this statement — a raw get() pointer could be freed by
+  // a concurrent job's eviction mid-replay.
+  BlockManager::Pin cache_pin;
   const CachedDataset* cached = nullptr;
   if (pplan.input == StageInputKind::kCache) {
-    cached = eng_.block_manager_.get(pplan.anchor->id());
+    cache_pin = eng_.block_manager_.pin(pplan.anchor->id());
+    cached = cache_pin.get();
     if (cached == nullptr) {
       throw std::logic_error("recovery: cache anchor vanished for " +
                              pplan.name);
@@ -2486,7 +2563,10 @@ void JobRunner::price_recovery(const std::vector<std::size_t>& nodes,
 }
 
 void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
-  CachedDataset* cd = eng_.block_manager_.get_mutable(anchor->id());
+  // Pin for the whole heal: the dataset's object must outlive every access
+  // below (the narrow path writes healed blocks back into it).
+  BlockManager::Pin pin = eng_.block_manager_.pin(anchor->id());
+  CachedDataset* cd = pin.mutable_get();
   if (cd == nullptr) return;
   std::vector<std::size_t> missing;
   std::size_t n_parts = 0;
@@ -2496,6 +2576,9 @@ void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
     missing = cd->missing();
     n_parts = cd->partitions.size();
   }
+  // Every missing partition is a cache miss: the read only proceeds after
+  // lineage recomputes it (DESIGN.md §17).
+  sm.cache_misses += missing.size();
 
   // Fine-grained path: the cached node sits on a purely narrow chain above
   // a source or another materialized cache — recompute exactly the lost
@@ -2520,8 +2603,8 @@ void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
     base = base->parents().front().get();
   }
   if (narrow_ok && cache_base) {
-    const CachedDataset* bcd = eng_.block_manager_.get(base->id());
-    if (bcd == nullptr || bcd->partitions.size() != n_parts) {
+    const BlockManager::Pin bpin = eng_.block_manager_.pin(base->id());
+    if (!bpin || bpin->partitions.size() != n_parts) {
       narrow_ok = false;  // partition counts diverge: rebuild wholesale
     }
   }
@@ -2605,10 +2688,12 @@ void JobRunner::recover_cached_blocks(const Dataset* anchor, StageMetrics& sm) {
                           "' has no recorded lineage to replay");
   }
   const double sim_before = eng_.sim_clock_;
+  pin.reset();  // release before remove: the rebuild re-puts under this id
   eng_.block_manager_.remove(anchor->id());
   eng_.run_job(lineage, /*collect_records=*/false,
                "recovery:" + anchor->label());
-  const CachedDataset* ncd = eng_.block_manager_.get(anchor->id());
+  const BlockManager::Pin npin = eng_.block_manager_.pin(anchor->id());
+  const CachedDataset* ncd = npin.get();
   if (ncd == nullptr) {
     throw JobAbortedError("recovery job failed to rematerialize '" +
                           anchor->label() + "'");
@@ -2649,6 +2734,13 @@ JobResult Engine::run_job(const DatasetPtr& root, bool collect_records,
     std::lock_guard lock(plan_mu_);
     ctx.plan = build_job_plan(root, block_manager_, plan_provider_.get(),
                               &inserted_repartitions_);
+    // Cache-plan hook (DESIGN.md §17): score the fresh plan's cache
+    // candidates before any stage runs, so the storage budget follows the
+    // planner's priorities from this job's first eviction on.
+    if (cache_advisor_ != nullptr) {
+      block_manager_.merge_cache_plan(
+          cache_advisor_->advise(ctx.plan, job_name));
+    }
   }
   constexpr auto kNoId = static_cast<std::size_t>(-1);
   ctx.job_id = (control != nullptr && control->job_id != kNoId)

@@ -59,6 +59,8 @@ enum class EventKind : std::uint8_t {
   kModelRefit,       ///< adaptive controller refit models from live statistics
   kPlanUpdate,       ///< adaptive controller re-chose a pending stage's scheme
   kResume,           ///< job adopted committed stages from a checkpoint WAL
+  kCachePlanDecision,  ///< cache planner scored a dataset (cache/pin/drop)
+  kCacheHit,         ///< cached-input partitions read resident at a stage
 };
 
 /// Canonical short name used on the wire ("task", "stage_end", ...).
@@ -151,6 +153,12 @@ struct Event {
   std::uint64_t replayed_events = 0;   ///< WAL events decoded during recovery
   std::uint64_t restored_bytes = 0;    ///< block-file payload bytes restored
   double recovery_wall_s = 0.0;        ///< host seconds spent recovering
+  // Cache telemetry (kStageEnd / kJobFinish; DESIGN.md §17).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t recompute_saved_bytes = 0;
+  std::uint64_t evictions_lru = 0;
+  std::uint64_t evictions_cost = 0;
   std::int64_t group = -1;  ///< optimizer co-partition group (-1: none)
 
   // -- strings / lists ---------------------------------------------------

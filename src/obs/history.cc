@@ -61,6 +61,11 @@ engine::StageMetrics stage_from_event(const Event& e,
   sm.evicted_bytes = e.evicted_bytes;
   sm.spilled_bytes = e.spilled_bytes;
   sm.peak_resident_bytes = e.peak_resident_bytes;
+  sm.cache_hits = static_cast<std::size_t>(e.cache_hits);
+  sm.cache_misses = static_cast<std::size_t>(e.cache_misses);
+  sm.recompute_saved_bytes = e.recompute_saved_bytes;
+  sm.evictions_lru = static_cast<std::size_t>(e.evictions_lru);
+  sm.evictions_cost = static_cast<std::size_t>(e.evictions_cost);
   sm.sim_time_s = e.sim_time_s;
   sm.sim_start_s = e.sim_start_s;
   sm.wall_time_s = e.wall_time_s;
@@ -94,6 +99,11 @@ engine::JobMetrics job_from_event(const Event& e) {
   jm.replayed_events = e.replayed_events;
   jm.restored_bytes = e.restored_bytes;
   jm.recovery_wall_s = e.recovery_wall_s;
+  jm.cache_hits = static_cast<std::size_t>(e.cache_hits);
+  jm.cache_misses = static_cast<std::size_t>(e.cache_misses);
+  jm.recompute_saved_bytes = e.recompute_saved_bytes;
+  jm.evictions_lru = static_cast<std::size_t>(e.evictions_lru);
+  jm.evictions_cost = static_cast<std::size_t>(e.evictions_cost);
   return jm;
 }
 

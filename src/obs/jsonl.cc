@@ -43,6 +43,8 @@ constexpr KindName kKindNames[] = {
     {EventKind::kModelRefit, "model_refit"},
     {EventKind::kPlanUpdate, "plan_update"},
     {EventKind::kResume, "resume"},
+    {EventKind::kCachePlanDecision, "cache_plan"},
+    {EventKind::kCacheHit, "cache_hit"},
 };
 
 // -- field table --------------------------------------------------------------
@@ -114,6 +116,11 @@ const FieldDesc kFields[] = {
     {"replayed", &Event::replayed_events},
     {"restored", &Event::restored_bytes},
     {"recovery_wall_s", nullptr, nullptr, &Event::recovery_wall_s},
+    {"chits", &Event::cache_hits},
+    {"cmisses", &Event::cache_misses},
+    {"csaved", &Event::recompute_saved_bytes},
+    {"ev_lru", &Event::evictions_lru},
+    {"ev_cost", &Event::evictions_cost},
     {"group", nullptr, &Event::group},
     {"name", nullptr, nullptr, nullptr, &Event::name},
     {"detail", nullptr, nullptr, nullptr, &Event::detail},

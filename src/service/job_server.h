@@ -158,6 +158,11 @@ class JobServer {
   std::map<std::string, SlotLedger::PoolStats> pool_stats() const {
     return ledger_.pool_stats();
   }
+  /// Normalized per-pool storage shares for the cache planner (DESIGN.md
+  /// §17): SlotLedger::pool_share_fractions over the configured pools.
+  std::map<std::string, double> pool_share_fractions() const {
+    return ledger_.pool_share_fractions();
+  }
   std::vector<GrantEvent> grant_log() const { return ledger_.grant_log(); }
 
  private:

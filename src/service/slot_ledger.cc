@@ -183,6 +183,21 @@ std::map<std::string, SlotLedger::PoolStats> SlotLedger::pool_stats() const {
   return out;
 }
 
+std::map<std::string, double> SlotLedger::pool_share_fractions() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, double> out;
+  double total_weight = 0.0;
+  for (const auto& [name, cfg] : pool_config_) {
+    total_weight += std::max(0.0, cfg.weight);
+  }
+  if (total_weight <= 0.0) return out;
+  for (const auto& [name, cfg] : pool_config_) {
+    const double weighted = std::max(0.0, cfg.weight) / total_weight;
+    out[name] = std::max(weighted, std::clamp(cfg.min_share, 0.0, 1.0));
+  }
+  return out;
+}
+
 double SlotLedger::job_granted_s(std::size_t token) const {
   std::lock_guard lock(mu_);
   const auto it = jobs_.find(token);

@@ -105,6 +105,12 @@ class SlotLedger final : public engine::VirtualTimeArbiter {
   };
   std::map<std::string, PoolStats> pool_stats() const;
 
+  /// Normalized pool weights: each configured pool's weight as a fraction of
+  /// the total (respecting min_share as a floor). The cache planner turns
+  /// these into per-tenant storage-share floors (DESIGN.md §17). Empty when
+  /// no pools are configured.
+  std::map<std::string, double> pool_share_fractions() const;
+
   /// Virtual seconds granted to one job so far.
   double job_granted_s(std::size_t token) const;
 

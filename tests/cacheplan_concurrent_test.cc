@@ -1,0 +1,151 @@
+// Concurrency suite (ctest -L tsan): the cache planner advising a
+// multi-tenant JobServer while submitters run cached jobs from many threads
+// under a storage budget tight enough to churn evict + heal. The data-race
+// surface: planner mutex vs the engine's planning path, the eviction scan
+// vs concurrent block heals, and readers polling planner / block-manager
+// snapshots while both mutate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cacheplan/cacheplan.h"
+#include "engine/block_manager.h"
+#include "engine/engine.h"
+#include "obs/event_log.h"
+#include "obs/sinks.h"
+#include "service/job_server.h"
+
+namespace chopper::cacheplan {
+namespace {
+
+using engine::ClusterSpec;
+using engine::Dataset;
+using engine::DatasetPtr;
+using engine::Engine;
+using engine::EngineOptions;
+using engine::EvictionPolicy;
+
+constexpr std::size_t kRows = 2000;
+
+DatasetPtr cached_rows(const std::string& label, std::uint64_t salt) {
+  return Dataset::source(label, 8,
+                         [salt](std::size_t index, std::size_t count) {
+                           engine::Partition p;
+                           const std::size_t begin = kRows * index / count;
+                           const std::size_t end = kRows * (index + 1) / count;
+                           for (std::size_t i = begin; i < end; ++i) {
+                             engine::Record r;
+                             r.key = i;
+                             r.values = {static_cast<double>(i ^ salt)};
+                             p.push(std::move(r));
+                           }
+                           return p;
+                         })
+      ->cache();
+}
+
+TEST(CachePlanConcurrent, ServeWithPlannerUnderConcurrentSubmitters) {
+  EngineOptions opts;
+  opts.default_parallelism = 8;
+  opts.host_threads = 4;
+  opts.memory.enforce = true;
+  // Storage holds roughly half the tenants' cached working sets, so jobs
+  // continuously evict each other's blocks and heal their own; a huge task
+  // ceiling keeps OOM out of the picture.
+  opts.memory.storage_fraction = 0.1;
+  opts.memory.shuffle_fraction = 1.0;
+  opts.memory.hard_ceiling = 1000.0;
+  Engine eng(ClusterSpec({
+                 {"n0", 4, 1.0, 1ULL << 21, 1.25e9},
+                 {"n1", 4, 1.0, 1ULL << 21, 1.25e9},
+             }),
+             opts);
+
+  // Concurrent wiring plans structurally: no WorkloadDb attached (see the
+  // cacheplan.h threading contract).
+  auto planner = std::make_shared<CachePlanner>();
+  planner->set_pool_shares({{"iter", 0.5}, {"scan", 0.5}});
+  obs::EventLog log;
+  const std::string events_path =
+      ::testing::TempDir() + "/cacheplan_serve_events.jsonl";
+  log.attach(std::make_shared<obs::JsonlFileSink>(events_path));
+  planner->set_event_log(&log);
+  eng.set_event_log(&log);
+  eng.set_cache_advisor(planner);
+  eng.block_manager().set_eviction_policy(EvictionPolicy::kCost);
+
+  service::JobServerOptions sopts;
+  sopts.mode = service::SchedulingMode::kFair;
+  sopts.max_concurrent_jobs = 4;
+  service::JobServer server(eng, sopts);
+
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 3;
+  std::vector<DatasetPtr> tenant_data;
+  for (int t = 0; t < kThreads; ++t) {
+    tenant_data.push_back(
+        cached_rows("cc.data#" + std::to_string(t), 1000 + t));
+    for (int j = 0; j < kJobsPerThread; ++j) {
+      const std::string name =
+          "cc-" + std::to_string(t) + "-" + std::to_string(j);
+      planner->set_job_pool(name, t % 2 == 0 ? "iter" : "scan");
+    }
+  }
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop_reader{false};
+
+  // Reader thread hammers planner snapshots and block-manager accessors
+  // while the eviction scan and job heals mutate the same state.
+  std::thread reader([&] {
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      (void)planner->last_plan();
+      (void)planner->decisions_made();
+      (void)eng.block_manager().total_bytes();
+      (void)eng.block_manager().used_bytes(0);
+      for (const auto& d : tenant_data) {
+        (void)eng.block_manager().guidance_for(d->id());
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        service::SubmitOptions o;
+        o.name = "cc-" + std::to_string(t) + "-" + std::to_string(j);
+        o.pool = t % 2 == 0 ? "iter" : "scan";
+        try {
+          auto h = server.submit(tenant_data[t], o);
+          if (h.wait().count != kRows) failures.fetch_add(1);
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  server.wait_all();
+  stop_reader.store(true, std::memory_order_relaxed);
+  reader.join();
+  log.detach_all();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Every job consulted the planner; each scored its tenant's dataset.
+  EXPECT_GE(planner->decisions_made(),
+            static_cast<std::size_t>(kThreads * kJobsPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    const auto g = eng.block_manager().guidance_for(tenant_data[t]->id());
+    ASSERT_TRUE(g.has_value()) << "tenant " << t;
+    EXPECT_EQ(g->pool, t % 2 == 0 ? "iter" : "scan");
+  }
+}
+
+}  // namespace
+}  // namespace chopper::cacheplan

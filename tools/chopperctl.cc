@@ -76,6 +76,7 @@
 #include <vector>
 
 #include "adapt/adaptive.h"
+#include "cacheplan/cacheplan.h"
 #include "chaos.h"
 #include "chopper/chopper.h"
 #include "ckpt/checkpoint.h"
@@ -132,8 +133,11 @@ void print_usage(std::FILE* out, const std::string& cmd = "") {
                  "[--crash-at-seq N]\n"
                  "                 [--crash-at-barrier N] "
                  "[--crash-after-flush]\n"
+                 "                 [--cache-policy lru|cost]\n"
                  "      execute the workload and print per-stage metrics;\n"
                  "      --adapt re-plans pending stages in flight;\n"
+                 "      --cache-policy cost prices evictions by recomputation\n"
+                 "      cost x reuse instead of LRU (DESIGN.md §17);\n"
                  "      --checkpoint writes a crash-consistent WAL + block\n"
                  "      files so `chopperctl resume DIR` can continue;\n"
                  "      --crash-at-* kill the driver deterministically at a\n"
@@ -150,7 +154,10 @@ void print_usage(std::FILE* out, const std::string& cmd = "") {
                  "[--max-concurrent K]\n"
                  "                   [--event-log FILE] [--tiny] [--adapt]\n"
                  "                   [--checkpoint DIR] [--sync]\n"
-                 "      multi-tenant demo over one shared engine\n");
+                 "                   [--cache-policy lru|cost]\n"
+                 "      multi-tenant demo over one shared engine; with\n"
+                 "      --cache-policy cost, pool weights become per-tenant\n"
+                 "      cache-share floors\n");
   }
   if (all || cmd == "resume") {
     std::fprintf(out,
@@ -264,11 +271,11 @@ void validate_flags(const Args& args) {
        {"workload", "conf", "scale", "speculation", "aqe", "mem-scale",
         "event-log", "tiny", "adapt", "db", "adapt-epsilon", "adapt-min-obs",
         "adapt-max-replans", "checkpoint", "sync", "crash-at-seq",
-        "crash-at-barrier", "crash-after-flush"}},
+        "crash-at-barrier", "crash-after-flush", "cache-policy"}},
       {"inspect", {"db"}},
       {"serve",
        {"jobs", "mode", "max-concurrent", "event-log", "tiny", "adapt",
-        "checkpoint", "sync"}},
+        "checkpoint", "sync", "cache-policy"}},
       {"resume", {"sync"}},
       {"chaos", {"seed", "runs", "tiny", "json"}},
       {"history", {"stragglers"}},
@@ -283,6 +290,13 @@ void validate_flags(const Args& args) {
                        "'");
     }
   }
+}
+
+engine::EvictionPolicy parse_cache_policy(const Args& args) {
+  const std::string p = args.get("cache-policy", "lru");
+  if (p == "lru") return engine::EvictionPolicy::kLru;
+  if (p == "cost") return engine::EvictionPolicy::kCost;
+  throw UsageError("invalid --cache-policy '" + p + "' (lru|cost)");
 }
 
 std::unique_ptr<workloads::Workload> make_workload(const std::string& name,
@@ -412,21 +426,32 @@ void print_recovery_telemetry(const engine::Engine& eng) {
 }
 
 void print_stages(const engine::Engine& eng) {
-  // Only widen the table with memory columns when something happened.
+  // Only widen the table with memory/cache columns when something happened.
   std::size_t ooms = 0;
   std::uint64_t evicted = 0, spilled = 0, peak = 0;
+  std::size_t chits = 0, cmisses = 0, ev_lru = 0, ev_cost = 0;
+  std::uint64_t csaved = 0;
   for (const auto& s : eng.metrics().stages()) {
     ooms += s.oom_count;
     evicted += s.evicted_bytes;
     spilled += s.spilled_bytes;
     peak = std::max(peak, s.peak_resident_bytes);
+    chits += s.cache_hits;
+    cmisses += s.cache_misses;
+    csaved += s.recompute_saved_bytes;
+    ev_lru += s.evictions_lru;
+    ev_cost += s.evictions_cost;
   }
   const bool mem = ooms > 0 || evicted > 0 || spilled > 0;
+  const bool cache = chits > 0 || cmisses > 0;
 
   std::vector<std::string> cols = {"stage",   "name",        "P",   "partitioner",
                                    "time(s)", "shuffle(KB)", "skew"};
   if (mem) {
     cols.insert(cols.end(), {"oom", "evict(KB)", "spill(KB)"});
+  }
+  if (cache) {
+    cols.insert(cols.end(), {"hits", "saved(KB)"});
   }
   bench::Table table(cols);
   for (const auto& s : eng.metrics().stages()) {
@@ -444,6 +469,11 @@ void print_stages(const engine::Engine& eng) {
       row.push_back(bench::Table::num(
           static_cast<double>(s.spilled_bytes) / 1024.0, 1));
     }
+    if (cache) {
+      row.push_back(std::to_string(s.cache_hits));
+      row.push_back(bench::Table::num(
+          static_cast<double>(s.recompute_saved_bytes) / 1024.0, 1));
+    }
     table.add_row(std::move(row));
   }
   table.print();
@@ -455,6 +485,12 @@ void print_stages(const engine::Engine& eng) {
         ooms, static_cast<double>(evicted) / 1024.0,
         static_cast<double>(spilled) / 1024.0,
         static_cast<double>(peak) / 1048576.0);
+  }
+  if (cache || ev_lru > 0 || ev_cost > 0) {
+    std::printf(
+        "cache: %zu hits, %zu misses healed, %.1f KB recompute saved, "
+        "%zu lru / %zu cost evictions\n",
+        chits, cmisses, static_cast<double>(csaved) / 1024.0, ev_lru, ev_cost);
   }
 }
 
@@ -606,6 +642,30 @@ int cmd_run(const Args& args) {
         chopper->db().total_observations());
   }
 
+  // --cache-policy cost: joint cache-plan optimizer (DESIGN.md §17). The
+  // planner prices every cache() dataset when the job plan is built; the
+  // block manager then evicts cheapest-to-rebuild / least-reused first.
+  std::shared_ptr<cacheplan::CachePlanner> cache_planner;
+  if (parse_cache_policy(args) == engine::EvictionPolicy::kCost) {
+    cache_planner = std::make_shared<cacheplan::CachePlanner>();
+    if (chopper != nullptr) {
+      // Single driver thread: planning never races the adaptive folds, so
+      // the planner may read the live DB (recurrence + measured t_exe).
+      cache_planner->set_workload_db(&chopper->db(), wl->name());
+    }
+    cache_planner->set_event_log(&event_log);
+    eng.set_cache_advisor(cache_planner);
+    eng.block_manager().set_eviction_policy(engine::EvictionPolicy::kCost);
+    if (controller != nullptr) {
+      // Re-score priorities at the same stage barriers that refit models.
+      auto planner = cache_planner;
+      engine::BlockManager* bm = &eng.block_manager();
+      controller->set_refit_listener([planner, bm] { planner->rescore(*bm); });
+    }
+    std::printf("cache policy: cost-aware eviction%s\n",
+                controller != nullptr ? " (re-scored at model refits)" : "");
+  }
+
   try {
     wl->run(eng, scale);
   } catch (const ckpt::SimulatedCrash& e) {
@@ -624,6 +684,16 @@ int cmd_run(const Args& args) {
         "(%zu stages adopted, %zu suppressed by epsilon)\n",
         ast.observations, ast.refits, ast.replans, ast.stages_adopted,
         ast.suppressed);
+  }
+  if (cache_planner != nullptr) {
+    const auto plan = cache_planner->last_plan();
+    std::printf("cache plan: %zu decision(s) over the job's lifetime",
+                cache_planner->decisions_made());
+    for (const auto& d : plan.decisions) {
+      std::printf("; %s=%s(prio %.2f)", d.name.c_str(),
+                  cacheplan::to_string(d.action), d.priority);
+    }
+    std::printf("\n");
   }
   event_log.detach_all();
   if (args.has("event-log")) {
@@ -703,6 +773,18 @@ int cmd_serve(const Args& args) {
     std::printf("in-flight adaptation on (per-job opt-in)\n");
   }
 
+  // --cache-policy cost: tenant-aware cost-based eviction. The planner
+  // scores structurally here (no WorkloadDb — concurrent jobs would race
+  // the adaptive folds); pool weights become per-pool cache-share floors.
+  std::shared_ptr<cacheplan::CachePlanner> cache_planner;
+  if (parse_cache_policy(args) == engine::EvictionPolicy::kCost) {
+    cache_planner = std::make_shared<cacheplan::CachePlanner>();
+    cache_planner->set_event_log(&event_log);
+    eng.set_cache_advisor(cache_planner);
+    eng.block_manager().set_eviction_policy(engine::EvictionPolicy::kCost);
+    std::printf("cache policy: cost-aware eviction with pool shares\n");
+  }
+
   service::JobServerOptions sopts;
   sopts.mode = mode_s == "fair" ? service::SchedulingMode::kFair
                                 : service::SchedulingMode::kFifo;
@@ -712,6 +794,9 @@ int cmd_serve(const Args& args) {
   sopts.pools["batch"] = {/*weight=*/1.0, /*min_share=*/0.0};
   service::JobServer server(eng, sopts);
   if (controller != nullptr) server.set_adaptive(controller);
+  if (cache_planner != nullptr) {
+    cache_planner->set_pool_shares(server.pool_share_fractions());
+  }
 
   std::printf("serving %zu jobs, mode=%s, %zu concurrent slots\n", jobs,
               service::to_string(sopts.mode), max_concurrent);
@@ -725,6 +810,7 @@ int cmd_serve(const Args& args) {
     o.adapt = controller != nullptr;
     names.push_back(o.name);
     pools.push_back(o.pool);
+    if (cache_planner != nullptr) cache_planner->set_job_pool(o.name, o.pool);
     handles.push_back(server.submit(ds, o));
   }
   server.wait_all();
@@ -765,6 +851,20 @@ int cmd_serve(const Args& args) {
         "adopted (plan cache holds %zu entries)\n",
         ast.observations, ast.replans, ast.stages_adopted,
         server.current_plan().entries().size());
+  }
+  if (cache_planner != nullptr) {
+    std::size_t chits = 0, cmisses = 0;
+    std::uint64_t csaved = 0;
+    for (const auto& jm : eng.metrics().jobs()) {
+      chits += jm.cache_hits;
+      cmisses += jm.cache_misses;
+      csaved += jm.recompute_saved_bytes;
+    }
+    std::printf(
+        "cache plan: %zu decision(s); %zu hits, %zu misses, %.1f KB "
+        "recompute saved\n",
+        cache_planner->decisions_made(), chits, cmisses,
+        static_cast<double>(csaved) / 1024.0);
   }
   event_log.detach_all();
   if (args.has("event-log")) {
@@ -1131,6 +1231,43 @@ int cmd_history(const Args& args) {
       }
     }
     at.print();
+  }
+
+  // ---- cache planning ------------------------------------------------------
+  // kCachePlanDecision markers from the cache planner (src/cacheplan) and
+  // kCacheHit markers from the scheduler's cached-read accounting: when
+  // present, show what was scored and what residency bought (DESIGN.md §17).
+  bool any_cache_plan = false;
+  bool any_cache_hit = false;
+  for (const auto& e : reader.events()) {
+    if (e.kind == obs::EventKind::kCachePlanDecision) any_cache_plan = true;
+    if (e.kind == obs::EventKind::kCacheHit) any_cache_hit = true;
+  }
+  if (any_cache_plan) {
+    std::printf("\ncache plan decisions:\n");
+    bench::Table cp({"dataset", "name", "action", "priority", "reuse", "W"});
+    for (const auto& e : reader.events()) {
+      if (e.kind != obs::EventKind::kCachePlanDecision) continue;
+      std::string name = e.name;
+      if (name.size() > 36) name = name.substr(0, 33) + "...";
+      cp.add_row({std::to_string(e.dataset), name, e.detail,
+                  bench::Table::num(e.value, 3), std::to_string(e.count),
+                  bench::Table::num(e.value2, 2)});
+    }
+    cp.print();
+  }
+  if (any_cache_hit) {
+    std::printf("\ncache hits (resident cached partitions read per attempt):\n");
+    bench::Table ch({"sim(s)", "job", "stage", "dataset", "partitions",
+                     "saved(KB)"});
+    for (const auto& e : reader.events()) {
+      if (e.kind != obs::EventKind::kCacheHit) continue;
+      ch.add_row({bench::Table::num(e.sim, 3), std::to_string(e.job),
+                  std::to_string(e.stage), std::to_string(e.dataset),
+                  std::to_string(e.count),
+                  bench::Table::num(static_cast<double>(e.bytes) / 1024.0, 1)});
+    }
+    ch.print();
   }
 
   // ---- checkpoint recovery -------------------------------------------------
