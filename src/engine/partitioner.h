@@ -32,6 +32,16 @@ class Partitioner {
   virtual std::size_t num_partitions() const noexcept = 0;
   virtual std::size_t partition_of(std::uint64_t key) const noexcept = 0;
 
+  /// Batched form: out[i] = partition_of(keys[i]) for i in [0, n). One
+  /// virtual call per batch instead of one per record; subclasses override
+  /// with SIMD-friendly (hash: 8-keys-per-iteration autovectorizable mix
+  /// loop) or memoized (range: one binary search per run of equal keys)
+  /// loops. The base implementation is the scalar fallback. Must produce
+  /// exactly partition_of's assignment — the data plane's determinism
+  /// contract (DESIGN.md §18) depends on it.
+  virtual void partition_of_batch(const std::uint64_t* keys, std::size_t n,
+                                  std::uint32_t* out) const noexcept;
+
   /// Structural equality (same kind, same partition count, same bounds).
   /// Used for co-partition detection.
   virtual bool equals(const Partitioner& other) const noexcept = 0;
@@ -46,6 +56,8 @@ class HashPartitioner final : public Partitioner {
   PartitionerKind kind() const noexcept override { return PartitionerKind::kHash; }
   std::size_t num_partitions() const noexcept override { return n_; }
   std::size_t partition_of(std::uint64_t key) const noexcept override;
+  void partition_of_batch(const std::uint64_t* keys, std::size_t n,
+                          std::uint32_t* out) const noexcept override;
   bool equals(const Partitioner& other) const noexcept override;
   std::string describe() const override;
 
@@ -69,6 +81,8 @@ class RangePartitioner final : public Partitioner {
   PartitionerKind kind() const noexcept override { return PartitionerKind::kRange; }
   std::size_t num_partitions() const noexcept override { return n_; }
   std::size_t partition_of(std::uint64_t key) const noexcept override;
+  void partition_of_batch(const std::uint64_t* keys, std::size_t n,
+                          std::uint32_t* out) const noexcept override;
   bool equals(const Partitioner& other) const noexcept override;
   std::string describe() const override;
 

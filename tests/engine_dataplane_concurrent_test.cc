@@ -1,0 +1,224 @@
+// Concurrency soak for the parallel data plane (DESIGN.md §18), built to
+// run under TSan (ctest -L tsan): hammer the lock-free CombineTable from
+// many threads at once, drive the parallel primitives from several caller
+// threads sharing one worker pool (the service shape: concurrent engine
+// tasks each fanning out on the shared data-plane pool), and run a whole
+// engine job mix with host_threads and data_plane_threads both > 1. The
+// assertions are correctness invariants; the real product here is TSan
+// coverage of the CAS claim protocol, the thread_local combine scratch, and
+// the shard hand-off barriers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "engine/combine_table.h"
+#include "engine/dataplane.h"
+#include "engine/engine.h"
+#include "engine/partitioner.h"
+
+namespace chopper::engine {
+namespace {
+
+void sum_fn(Record& acc, const Record& next) {
+  acc.values[0] += next.values[0];
+  acc.values[1] += next.values[1];
+}
+
+Partition make_partition(std::size_t n, std::size_t distinct,
+                         std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  Partition p;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double vals[2] = {static_cast<double>(rng.next_below(100)), 1.0};
+    p.emplace(rng.next_below(distinct), vals, 2, 0);
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// CombineTable under concurrent claims: the slot CAS must linearize same-key
+// races (everyone adopts one gid per key), the load budget must hold, and
+// for_each must see a consistent table afterwards.
+
+TEST(ConcurrentDataPlane, CombineTableChurn) {
+  dataplane::CombineTable table;
+  constexpr std::size_t kKeys = 1500;
+  table.reset(2 * kKeys);  // roomy: this arm tests racing claims, not spill
+  constexpr std::size_t kThreads = 8;
+
+  std::atomic<std::uint32_t> next_gid{0};
+  std::vector<std::vector<std::uint32_t>> seen(kThreads);
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      common::Xoshiro256 rng(w + 1);
+      auto& mine = seen[w];
+      mine.assign(kKeys, dataplane::CombineTable::kSpill);
+      for (std::size_t i = 0; i < 40'000; ++i) {
+        const std::uint64_t key = rng.next_below(kKeys) + 1;
+        // Optimistic gid: racing claimers may burn gids (that is fine — gids
+        // only need to be unique per resident key, not dense here).
+        const std::uint32_t gid =
+            table.find_or_claim(key, next_gid.fetch_add(1));
+        ASSERT_NE(gid, dataplane::CombineTable::kSpill);
+        // A key's gid must never change once observed.
+        if (mine[key - 1] == dataplane::CombineTable::kSpill) {
+          mine[key - 1] = gid;
+        } else {
+          ASSERT_EQ(mine[key - 1], gid) << "gid changed for key " << key;
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  // Cross-thread agreement + table consistency.
+  std::map<std::uint64_t, std::uint32_t> resident;
+  table.for_each([&](std::uint64_t key, std::uint32_t gid) {
+    const bool inserted = resident.emplace(key, gid).second;
+    EXPECT_TRUE(inserted) << "key " << key << " resident twice";
+  });
+  EXPECT_EQ(resident.size(), table.size());
+  EXPECT_LE(table.size(), table.max_size());
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    for (std::size_t k = 0; k < kKeys; ++k) {
+      if (seen[w][k] == dataplane::CombineTable::kSpill) continue;
+      const auto it = resident.find(k + 1);
+      ASSERT_NE(it, resident.end());
+      EXPECT_EQ(it->second, seen[w][k])
+          << "thread " << w << " saw a different gid for key " << k + 1;
+    }
+  }
+}
+
+TEST(ConcurrentDataPlane, CombineTableChurnWithSpill) {
+  // Tiny table: most keys spill. The budget reservation must keep size()
+  // within max_size() no matter how claims race, and resident keys must
+  // still answer consistently.
+  dataplane::CombineTable table;
+  table.reset(1);  // capacity 64, max_size 32
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      common::Xoshiro256 rng(100 + w);
+      for (std::size_t i = 0; i < 20'000; ++i) {
+        const std::uint64_t key = rng.next_below(500) + 1;
+        const std::uint32_t gid =
+            table.find_or_claim(key, static_cast<std::uint32_t>(w * 20'000 + i));
+        if (gid != dataplane::CombineTable::kSpill) {
+          ASSERT_EQ(table.find_or_claim(key, 0xabcdef), gid);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_LE(table.size(), table.max_size());
+  std::size_t visited = 0;
+  table.for_each([&](std::uint64_t, std::uint32_t) { ++visited; });
+  EXPECT_EQ(visited, table.size());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent callers of the parallel primitives sharing one pool: the
+// service shape — several engine task threads each fan a primitive out on
+// the shared data-plane pool. Outputs must equal the sequential reference
+// for every caller (also exercises the thread_local combine scratch being
+// re-entered from pool workers and caller threads alike).
+
+TEST(ConcurrentDataPlane, SharedPoolConcurrentPrimitives) {
+  const HashPartitioner hash(11);
+  constexpr std::size_t kCallers = 6;
+  common::ThreadPool pool(4);
+  const dataplane::ExecContext ctx{&pool, 4};
+
+  std::vector<Partition> inputs(kCallers);
+  std::vector<std::vector<Partition>> want_scatter(kCallers);
+  std::vector<std::vector<Partition>> want_combine(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    inputs[c] = make_partition(8192, 256 + 64 * c, 7 + c);
+    want_scatter[c].resize(hash.num_partitions());
+    dataplane::radix_scatter(inputs[c], hash, want_scatter[c]);
+    want_combine[c].resize(hash.num_partitions());
+    dataplane::combine_scatter(inputs[c], hash, sum_fn, want_combine[c]);
+  }
+
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 4; ++round) {
+        std::vector<Partition> scatter(hash.num_partitions());
+        dataplane::radix_scatter(inputs[c], hash, scatter, ctx);
+        std::vector<Partition> combine(hash.num_partitions());
+        dataplane::combine_scatter(inputs[c], hash, sum_fn, combine, ctx);
+        for (std::size_t r = 0; r < hash.num_partitions(); ++r) {
+          ASSERT_EQ(scatter[r].checksum(), want_scatter[c][r].checksum())
+              << "caller " << c << " round " << round << " bucket " << r;
+          ASSERT_EQ(combine[r].checksum(), want_combine[c][r].checksum())
+              << "caller " << c << " round " << round << " bucket " << r;
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Whole-engine soak: host task pool and data-plane pool both active, two
+// jobs back to back. Checks results against a sequential engine.
+
+TEST(ConcurrentDataPlane, EngineJobsWithParallelPlane) {
+  const auto job = [] {
+    return Dataset::source(
+               "cdp-src", 8,
+               [](std::size_t index, std::size_t count) {
+                 Partition p;
+                 const std::size_t total = 20'000;
+                 const std::size_t begin = total * index / count;
+                 const std::size_t end = total * (index + 1) / count;
+                 for (std::size_t i = begin; i < end; ++i) {
+                   Record r;
+                   r.key = (i * 2654435761ULL) % 499;
+                   r.values = {static_cast<double>(i % 97), 1.0};
+                   p.push(std::move(r));
+                 }
+                 return p;
+               })
+        ->reduce_by_key("cdp-sum", sum_fn,
+                        ShuffleRequest{std::nullopt, 8, false});
+  };
+  const auto sorted = [](std::vector<Record> rows) {
+    std::sort(rows.begin(), rows.end(),
+              [](const Record& a, const Record& b) { return a.key < b.key; });
+    return rows;
+  };
+
+  EngineOptions seq;
+  seq.default_parallelism = 8;
+  seq.host_threads = 4;
+  seq.data_plane_threads = 1;
+  Engine ref(ClusterSpec::uniform(2, 2), seq);
+  const auto want = sorted(ref.collect(job(), "cdp").records);
+
+  EngineOptions par = seq;
+  par.data_plane_threads = 4;
+  Engine eng(ClusterSpec::uniform(2, 2), par);
+  for (int round = 0; round < 2; ++round) {
+    const auto got = sorted(eng.collect(job(), "cdp").records);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].key, want[i].key);
+      ASSERT_EQ(got[i].values, want[i].values);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chopper::engine

@@ -1,0 +1,359 @@
+// Parallel data plane (DESIGN.md §18): the sharded radix scatter, the
+// combine-table map-side combine, and the range-split reduce merge must be
+// bit-identical to the sequential batched paths at every thread count —
+// same records, same order, same bytes. Plus unit coverage of the
+// lock-free CombineTable (load bound, spill contract, reuse) and the
+// batched partitioner dispatch (partition_of_batch == partition_of).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "engine/combine_table.h"
+#include "engine/dataplane.h"
+#include "engine/partitioner.h"
+
+namespace chopper::engine {
+namespace {
+
+Partition make_partition(std::size_t n, std::size_t distinct,
+                         std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  Partition p;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Integer-valued doubles: sums are exact, so reduce results compare
+    // bit-for-bit no matter how applications are grouped.
+    const double vals[3] = {static_cast<double>(rng.next_below(100)), 1.0,
+                            static_cast<double>(i % 7)};
+    p.emplace(rng.next_below(distinct), vals, 2 + (i % 2),
+              static_cast<std::uint32_t>(i % 5));
+  }
+  return p;
+}
+
+void sum_fn(Record& acc, const Record& next) {
+  acc.values[0] += next.values[0];
+  acc.values[1] += next.values[1];
+}
+
+void expect_same_records(const Partition& got, const Partition& want) {
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(got.bytes(), want.bytes());
+  EXPECT_EQ(got.checksum(), want.checksum());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got.key(i), want.key(i)) << "record " << i;
+    ASSERT_EQ(got.aux(i), want.aux(i)) << "record " << i;
+    const auto gv = got.values(i);
+    const auto wv = want.values(i);
+    ASSERT_EQ(gv.size(), wv.size()) << "record " << i;
+    for (std::size_t j = 0; j < gv.size(); ++j) {
+      ASSERT_EQ(gv[j], wv[j]) << "record " << i << " value " << j;
+    }
+  }
+}
+
+// Thread counts the determinism contract is checked at: even/odd, below and
+// at the bench's 8-way target. 16k records >= 8 * the sharding grain, so
+// every count actually fans out.
+const std::size_t kThreadCounts[] = {2, 3, 7, 8};
+constexpr std::size_t kRecords = 16 * 1024;
+
+// ---------------------------------------------------------------------------
+// radix_scatter: parallel == sequential, hash and range partitioners.
+
+TEST(ParallelDataPlane, ScatterMatchesSequentialHash) {
+  const Partition data = make_partition(kRecords, 512, 7);
+  const HashPartitioner hash(13);
+  std::vector<Partition> want(hash.num_partitions());
+  dataplane::radix_scatter(data, hash, want);
+
+  for (const std::size_t t : kThreadCounts) {
+    common::ThreadPool pool(t);
+    const dataplane::ExecContext ctx{&pool, t};
+    std::vector<Partition> got(hash.num_partitions());
+    dataplane::radix_scatter(data, hash, got, ctx);
+    for (std::size_t r = 0; r < want.size(); ++r) {
+      SCOPED_TRACE("threads=" + std::to_string(t) + " bucket=" +
+                   std::to_string(r));
+      expect_same_records(got[r], want[r]);
+    }
+  }
+}
+
+TEST(ParallelDataPlane, ScatterMatchesSequentialRange) {
+  const Partition data = make_partition(kRecords, 4096, 11);
+  std::vector<std::uint64_t> sample;
+  for (std::uint64_t k = 0; k < 4096; k += 37) sample.push_back(k);
+  const auto range = RangePartitioner::from_sample(9, sample);
+  std::vector<Partition> want(range->num_partitions());
+  dataplane::radix_scatter(data, *range, want);
+
+  for (const std::size_t t : kThreadCounts) {
+    common::ThreadPool pool(t);
+    const dataplane::ExecContext ctx{&pool, t};
+    std::vector<Partition> got(range->num_partitions());
+    dataplane::radix_scatter(data, *range, got, ctx);
+    for (std::size_t r = 0; r < want.size(); ++r) {
+      SCOPED_TRACE("threads=" + std::to_string(t) + " bucket=" +
+                   std::to_string(r));
+      expect_same_records(got[r], want[r]);
+    }
+  }
+}
+
+TEST(ParallelDataPlane, ScatterAppendsToNonEmptyBuckets) {
+  // The scheduler scatters several map tasks into the same bucket row;
+  // parallel scatter must append after existing records exactly like the
+  // sequential path.
+  const Partition first = make_partition(2048, 128, 3);
+  const Partition second = make_partition(kRecords, 128, 4);
+  const HashPartitioner hash(5);
+
+  std::vector<Partition> want(hash.num_partitions());
+  dataplane::radix_scatter(first, hash, want);
+  dataplane::radix_scatter(second, hash, want);
+
+  common::ThreadPool pool(7);
+  const dataplane::ExecContext ctx{&pool, 7};
+  std::vector<Partition> got(hash.num_partitions());
+  dataplane::radix_scatter(first, hash, got, ctx);
+  dataplane::radix_scatter(second, hash, got, ctx);
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    expect_same_records(got[r], want[r]);
+  }
+}
+
+TEST(ParallelDataPlane, ScatterEmptyAndTinyInputs) {
+  const HashPartitioner hash(4);
+  common::ThreadPool pool(8);
+  const dataplane::ExecContext ctx{&pool, 8};
+
+  std::vector<Partition> got(4);
+  dataplane::radix_scatter(Partition{}, hash, got, ctx);
+  for (const auto& p : got) EXPECT_EQ(p.size(), 0u);
+
+  // Fewer records than threads: shards_for clamps, still correct.
+  const Partition tiny = make_partition(3, 2, 19);
+  std::vector<Partition> want(4);
+  dataplane::radix_scatter(tiny, hash, want);
+  dataplane::radix_scatter(tiny, hash, got, ctx);
+  for (std::size_t r = 0; r < 4; ++r) expect_same_records(got[r], want[r]);
+}
+
+// ---------------------------------------------------------------------------
+// combine_scatter: parallel == sequential across key-cardinality regimes
+// (heavy duplication, all-distinct spill-everything, and mixed).
+
+TEST(ParallelDataPlane, CombineMatchesSequential) {
+  const HashPartitioner hash(7);
+  for (const std::size_t distinct : {std::size_t{64}, std::size_t{100'000}}) {
+    const Partition data = make_partition(kRecords, distinct, 23);
+    std::vector<Partition> want(hash.num_partitions());
+    dataplane::combine_scatter(data, hash, sum_fn, want);
+    for (const std::size_t t : kThreadCounts) {
+      common::ThreadPool pool(t);
+      const dataplane::ExecContext ctx{&pool, t};
+      std::vector<Partition> got(hash.num_partitions());
+      dataplane::combine_scatter(data, hash, sum_fn, got, ctx);
+      for (std::size_t r = 0; r < want.size(); ++r) {
+        SCOPED_TRACE("distinct=" + std::to_string(distinct) + " threads=" +
+                     std::to_string(t) + " bucket=" + std::to_string(r));
+        expect_same_records(got[r], want[r]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// merge_reduce_by_key: parallel == sequential, sorted and unsorted inputs.
+
+std::vector<Partition> make_parts(std::size_t count, std::size_t distinct,
+                                  bool sorted) {
+  std::vector<Partition> parts(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    parts[i] = make_partition(2048 + 128 * i, distinct, 100 + i);
+    if (sorted) parts[i].stable_sort_by_key();
+  }
+  return parts;
+}
+
+TEST(ParallelDataPlane, MergeMatchesSequentialSortedRuns) {
+  for (const std::size_t distinct : {std::size_t{256}, std::size_t{50'000}}) {
+    auto ref = make_parts(8, distinct, /*sorted=*/true);
+    const Partition want =
+        dataplane::merge_reduce_by_key(std::move(ref), sum_fn);
+    for (const std::size_t t : kThreadCounts) {
+      common::ThreadPool pool(t);
+      const dataplane::ExecContext ctx{&pool, t};
+      auto parts = make_parts(8, distinct, /*sorted=*/true);
+      const Partition got =
+          dataplane::merge_reduce_by_key(std::move(parts), sum_fn, ctx);
+      SCOPED_TRACE("distinct=" + std::to_string(distinct) + " threads=" +
+                   std::to_string(t));
+      expect_same_records(got, want);
+    }
+  }
+}
+
+TEST(ParallelDataPlane, MergeMatchesSequentialUnsortedInputs) {
+  auto ref = make_parts(6, 512, /*sorted=*/false);
+  const Partition want = dataplane::merge_reduce_by_key(std::move(ref), sum_fn);
+  for (const std::size_t t : kThreadCounts) {
+    common::ThreadPool pool(t);
+    const dataplane::ExecContext ctx{&pool, t};
+    auto parts = make_parts(6, 512, /*sorted=*/false);
+    const Partition got =
+        dataplane::merge_reduce_by_key(std::move(parts), sum_fn, ctx);
+    SCOPED_TRACE("threads=" + std::to_string(t));
+    expect_same_records(got, want);
+  }
+}
+
+TEST(ParallelDataPlane, MergeSkewedKeyDistribution) {
+  // One key carries half of all records: every splitter candidate repeats,
+  // ranges collapse — output must still be exactly the sequential result.
+  std::vector<Partition> ref(4);
+  std::vector<Partition> in(4);
+  for (std::size_t p = 0; p < 4; ++p) {
+    common::Xoshiro256 rng(500 + p);
+    Partition part;
+    for (std::size_t i = 0; i < 4096; ++i) {
+      const double vals[2] = {static_cast<double>(rng.next_below(50)), 1.0};
+      const std::uint64_t key = (i % 2 == 0) ? 42 : rng.next_below(64);
+      part.emplace(key, vals, 2, 0);
+    }
+    part.stable_sort_by_key();
+    ref[p] = part;
+    in[p] = std::move(part);
+  }
+  const Partition want = dataplane::merge_reduce_by_key(std::move(ref), sum_fn);
+  common::ThreadPool pool(8);
+  const dataplane::ExecContext ctx{&pool, 8};
+  const Partition got =
+      dataplane::merge_reduce_by_key(std::move(in), sum_fn, ctx);
+  expect_same_records(got, want);
+}
+
+// ---------------------------------------------------------------------------
+// CombineTable unit coverage.
+
+TEST(CombineTable, ClaimThenFind) {
+  dataplane::CombineTable t;
+  t.reset(16);
+  EXPECT_EQ(t.find_or_claim(100, 0), 0u);
+  EXPECT_EQ(t.find_or_claim(200, 1), 1u);
+  EXPECT_EQ(t.find_or_claim(100, 2), 0u) << "existing key keeps its gid";
+  EXPECT_EQ(t.find_or_claim(200, 2), 1u);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(CombineTable, LoadFactorBoundHolds) {
+  dataplane::CombineTable t;
+  t.reset(64);
+  ASSERT_EQ(t.max_size(), t.capacity() * dataplane::CombineTable::kMaxLoadNum /
+                              dataplane::CombineTable::kMaxLoadDen);
+  ASSERT_LT(t.max_size(), t.capacity());
+  std::uint32_t next = 0;
+  std::size_t spilled = 0;
+  // All-distinct worst case: claims succeed until the bound, then every new
+  // key spills — gracefully, never probing forever.
+  for (std::uint64_t k = 0; k < 4 * t.capacity(); ++k) {
+    const std::uint32_t gid = t.find_or_claim(k * 0x9e3779b9ULL + 1, next);
+    if (gid == dataplane::CombineTable::kSpill) {
+      ++spilled;
+    } else {
+      EXPECT_EQ(gid, next);
+      ++next;
+    }
+  }
+  EXPECT_EQ(next, t.max_size());
+  EXPECT_EQ(t.size(), t.max_size());
+  EXPECT_GT(spilled, 0u);
+}
+
+TEST(CombineTable, SpilledKeyStaysSpilledResidentKeyStaysResident) {
+  dataplane::CombineTable t;
+  t.reset(1);  // minimum capacity 64 -> max_size 32
+  std::uint32_t next = 0;
+  std::uint64_t spilled_key = 0;
+  for (std::uint64_t k = 1; k <= t.max_size() + 1; ++k) {
+    if (t.find_or_claim(k, next) == dataplane::CombineTable::kSpill) {
+      spilled_key = k;
+      break;
+    }
+    ++next;
+  }
+  ASSERT_NE(spilled_key, 0u);
+  // The spill contract: once refused, every later encounter is refused too
+  // (all encounters of a spilled key reach the overflow run in order) while
+  // resident keys keep answering with their gid.
+  EXPECT_EQ(t.find_or_claim(spilled_key, 99), dataplane::CombineTable::kSpill);
+  EXPECT_EQ(t.find_or_claim(spilled_key, 99), dataplane::CombineTable::kSpill);
+  EXPECT_EQ(t.find_or_claim(1, 99), 0u);
+}
+
+TEST(CombineTable, ResetReusesStorageAndClears) {
+  dataplane::CombineTable t;
+  t.reset(1000);
+  const std::size_t cap = t.capacity();
+  for (std::uint64_t k = 0; k < 100; ++k) t.find_or_claim(k + 1, k);
+  EXPECT_EQ(t.size(), 100u);
+  t.reset(500);  // smaller run: same storage, cleared active prefix
+  EXPECT_LE(t.capacity(), cap);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.find_or_claim(7, 5), 5u) << "old residency must be gone";
+}
+
+TEST(CombineTable, ForEachVisitsExactlyResidentKeys) {
+  dataplane::CombineTable t;
+  t.reset(32);
+  for (std::uint64_t k = 0; k < 20; ++k) t.find_or_claim(1000 + k, k);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> seen;
+  t.for_each([&](std::uint64_t key, std::uint32_t gid) {
+    seen.emplace_back(key, gid);
+  });
+  ASSERT_EQ(seen.size(), 20u);
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].first, 1000 + i);
+    EXPECT_EQ(seen[i].second, i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// partition_of_batch: the autovectorized batch must equal the scalar call.
+
+TEST(PartitionerBatch, HashBatchMatchesScalar) {
+  const HashPartitioner hash(300);
+  common::Xoshiro256 rng(1);
+  // Deliberately not a multiple of 8 to cover the scalar tail.
+  std::vector<std::uint64_t> keys(4099);
+  for (auto& k : keys) k = rng();
+  std::vector<std::uint32_t> got(keys.size());
+  hash.partition_of_batch(keys.data(), keys.size(), got.data());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(got[i], hash.partition_of(keys[i])) << "key " << i;
+  }
+}
+
+TEST(PartitionerBatch, RangeBatchMatchesScalar) {
+  common::Xoshiro256 rng(2);
+  std::vector<std::uint64_t> sample(512);
+  for (auto& k : sample) k = rng.next_below(1 << 16);
+  const auto range = RangePartitioner::from_sample(37, sample);
+  // Sorted-ish input exercises the memoized fast path; random the slow one.
+  std::vector<std::uint64_t> keys(2051);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = (i < 1000) ? i * 13 % (1 << 16) : rng.next_below(1 << 16);
+  }
+  std::vector<std::uint32_t> got(keys.size());
+  range->partition_of_batch(keys.data(), keys.size(), got.data());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(got[i], range->partition_of(keys[i])) << "key " << i;
+  }
+}
+
+}  // namespace
+}  // namespace chopper::engine
